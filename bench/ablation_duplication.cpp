@@ -1,0 +1,42 @@
+// Ablation X2: how much does effective entry-task duplication buy? Sweeps
+// CCR on random and FFT workflows; higher CCR should make duplication
+// matter more (the duplicate saves a network hop).
+//
+// Expected reading: the FFT rows separate (single real entry, Algorithm 1
+// fires); the random rows are *identical* by construction — the paper's own
+// generator emits multi-entry graphs whose normalized pseudo entry costs
+// zero, so entry duplication is a no-op there (see EXPERIMENTS.md).
+#include "bench_common.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "ablation_duplication";
+  config.title = "HDLTS entry-duplication ablation: avg SLR vs CCR";
+  config.x_label = "workload/CCR";
+  config.metric = bench::Metric::kSlr;
+  config.schedulers = {"hdlts", "hdlts-nodup"};
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 3.0, 5.0}) {
+    cells.push_back({"random/" + util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  for (const double ccr : {1.0, 3.0, 5.0}) {
+    cells.push_back({"fft16/" + util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::FftParams p;
+                       p.points = 16;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::fft_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

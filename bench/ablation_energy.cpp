@@ -1,0 +1,67 @@
+// Ablation X9: the §II-B duplication/energy trade-off, quantified. For each
+// scheduler: makespan AND total energy (busy + idle; duplicates attributed)
+// on communication-heavy FFT workflows — duplication buys schedule length
+// with redundant joules.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/energy.hpp"
+#include "hdlts/util/env.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/util/stats.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/fft.hpp"
+
+int main() {
+  using namespace hdlts;
+  const std::size_t reps = bench::bench_reps(100);
+  const auto base_seed =
+      static_cast<std::uint64_t>(util::env_int("HDLTS_SEED", 42));
+  const sched::Registry reg = core::default_registry();
+  const std::vector<std::string> names = {"hdlts", "hdlts-nodup", "sdbats",
+                                          "dheft", "heft"};
+
+  struct Row {
+    util::RunningStats makespan;
+    util::RunningStats total_energy;
+    util::RunningStats dup_energy;
+  };
+  std::vector<Row> rows(names.size());
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    workload::FftParams p;
+    p.points = 16;
+    p.costs.num_procs = 4;
+    p.costs.ccr = 4.0;
+    const sim::Workload w =
+        workload::fft_workload(p, util::derive_seed(base_seed, rep));
+    const sim::Problem problem(w);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const sim::Schedule s = reg.make(names[i])->schedule(problem);
+      const metrics::EnergyBreakdown e = metrics::energy(problem, s);
+      rows[i].makespan.add(s.makespan());
+      rows[i].total_energy.add(e.total());
+      rows[i].dup_energy.add(e.duplicate);
+    }
+  }
+
+  util::Table table({"scheduler", "makespan", "energy", "dup energy",
+                     "energy/makespan tradeoff"});
+  const double ref_mk = rows[4].makespan.mean();   // heft
+  const double ref_en = rows[4].total_energy.mean();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.add_row({names[i], util::fmt(rows[i].makespan.mean(), 1),
+                   util::fmt(rows[i].total_energy.mean(), 1),
+                   util::fmt(rows[i].dup_energy.mean(), 1),
+                   util::fmt(rows[i].makespan.mean() / ref_mk, 3) + "x mk, " +
+                       util::fmt(rows[i].total_energy.mean() / ref_en, 3) +
+                       "x J"});
+  }
+  std::cout << "== ablation_energy: duplication buys makespan with joules ==\n"
+            << "FFT m=16, 4 CPUs, CCR=4, " << reps
+            << " repetitions (busy power 1.0, idle 0.1; ratios vs heft)\n\n";
+  table.write_markdown(std::cout);
+  std::cout << std::endl;
+  return 0;
+}

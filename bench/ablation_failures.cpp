@@ -1,0 +1,66 @@
+// Ablation X4 (the paper's §VI future-work direction): online HDLTS under
+// processor failures. Reports mean makespan inflation and lost executions as
+// 0, 1, or 2 of 4 processors die mid-run.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hdlts/core/online.hpp"
+#include "hdlts/util/env.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/util/stats.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  const std::size_t reps = bench::bench_reps(100);
+  const auto base_seed =
+      static_cast<std::uint64_t>(util::env_int("HDLTS_SEED", 42));
+
+  util::Table table({"failures", "mean makespan", "vs clean", "lost execs",
+                     "completed"});
+  util::RunningStats clean_stats;
+
+  for (const std::size_t failures : {0u, 1u, 2u}) {
+    util::RunningStats makespan;
+    util::RunningStats lost;
+    std::size_t completed = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      workload::RandomDagParams p;
+      p.num_tasks = 100;
+      p.costs.num_procs = 4;
+      p.costs.ccr = 2.0;
+      const std::uint64_t seed = util::derive_seed(base_seed, rep);
+      const sim::Workload w = workload::random_workload(p, seed);
+
+      // Failures strike distinct processors at mid-execution times drawn
+      // from the clean run's horizon.
+      const core::OnlineResult clean = core::run_online(w, {});
+      std::vector<core::ProcFailure> fails;
+      util::Rng rng(util::derive_seed(seed, 0xfa11ULL));
+      for (std::size_t f = 0; f < failures; ++f) {
+        fails.push_back({static_cast<platform::ProcId>(f),
+                         clean.makespan * rng.uniform(0.2, 0.8)});
+      }
+      const core::OnlineResult r = core::run_online(w, fails);
+      if (r.completed) {
+        ++completed;
+        makespan.add(r.makespan);
+        lost.add(static_cast<double>(r.lost_executions));
+      }
+      if (failures == 0) clean_stats.add(r.makespan);
+    }
+    const double vs_clean =
+        clean_stats.mean() > 0 ? makespan.mean() / clean_stats.mean() : 1.0;
+    table.add_row({std::to_string(failures), util::fmt(makespan.mean(), 1),
+                   util::fmt(vs_clean, 3) + "x", util::fmt(lost.mean(), 2),
+                   std::to_string(completed) + "/" + std::to_string(reps)});
+  }
+
+  std::cout << "== ablation_failures: online HDLTS under CPU failures ==\n"
+            << "random workflows, V=100, 4 CPUs, CCR=2, " << reps
+            << " repetitions\n\n";
+  table.write_markdown(std::cout);
+  std::cout << std::endl;
+  return 0;
+}

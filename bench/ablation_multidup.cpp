@@ -1,0 +1,45 @@
+// Ablation X5 (paper §VI generalization): what should "entry duplication"
+// mean on multi-entry workflows like Montage, where the normalized entry is
+// a zero-cost pseudo task and Algorithm 1 is a no-op?
+//   * hdlts           — Algorithm 1 verbatim (duplicates nothing here)
+//   * hdlts-multidup  — eager generalization: duplicate every real source
+//                       task wherever a child could benefit
+//   * dheft           — lazy generalization: duplicate a critical parent on
+//                       the consumer's processor only when it pays
+// Finding (EXPERIMENTS.md): eager flooding *hurts* (redundant copies eat
+// machine capacity); lazy consumer-side duplication wins decisively.
+#include "bench_common.hpp"
+#include "hdlts/workload/montage.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "ablation_multidup";
+  config.title = "duplication generalizations on multi-entry workflows";
+  config.x_label = "workload/CCR";
+  config.metric = bench::Metric::kSlr;
+  config.schedulers = {"hdlts", "hdlts-multidup", "dheft", "heft"};
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 3.0, 5.0}) {
+    cells.push_back({"montage50/" + util::fmt(ccr, 1),
+                     [ccr](std::uint64_t seed) {
+                       workload::MontageParams p;
+                       p.num_nodes = 50;
+                       p.costs.num_procs = 5;
+                       p.costs.ccr = ccr;
+                       return workload::montage_workload(p, seed);
+                     }});
+  }
+  for (const double ccr : {1.0, 3.0, 5.0}) {
+    cells.push_back({"random/" + util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,31 @@
+// Ablation X6 (paper §VI "uncertain network conditions"): heterogeneous
+// link bandwidths. gamma controls per-link bandwidth spread around 1.0;
+// rank computations only see the mean, so higher gamma degrades every
+// static-rank scheduler — the question is who degrades gracefully.
+#include "bench_common.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "ablation_network";
+  config.title = "heterogeneous link bandwidths: avg SLR vs gamma (CCR = 3)";
+  config.x_label = "gamma";
+  config.metric = bench::Metric::kSlr;
+
+  std::vector<bench::SweepCell> cells;
+  for (const double gamma : {0.0, 0.5, 1.0, 1.5}) {
+    cells.push_back({util::fmt(gamma, 1), [gamma](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = 3.0;
+                       sim::Workload w = workload::random_workload(p, seed);
+                       util::Rng rng(util::derive_seed(seed, 0xbebdULL));
+                       workload::randomize_bandwidths(w, gamma, 1.0, rng);
+                       return w;
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

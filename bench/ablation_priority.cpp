@@ -1,0 +1,29 @@
+// Ablation X3: the design choices behind the penalty value.
+//   * dynamic re-prioritization (the paper's claim) vs a frozen static list
+//   * sample stddev (paper) vs population stddev vs range as the PV
+//   * end-of-queue EST (paper) vs insertion-based EST
+#include "bench_common.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "ablation_priority";
+  config.title = "HDLTS priority-rule ablation: avg SLR vs CCR (random, V=100)";
+  config.x_label = "CCR";
+  config.metric = bench::Metric::kSlr;
+  config.schedulers = {"hdlts", "hdlts-static", "hdlts-popstddev",
+                       "hdlts-range", "hdlts-insertion"};
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    cells.push_back({util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,72 @@
+// Ablation X8: heuristics vs search (the paper's §I taxonomy — list
+// heuristics are fast, genetic search is "good quality but high time
+// complexity", and tiny instances admit exact optima). Reports makespan
+// relative to the branch-and-bound optimum on 9-task instances, plus
+// wall-clock per schedule, substantiating the taxonomy quantitatively.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sched/optimal.hpp"
+#include "hdlts/util/env.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/util/stats.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  const std::size_t reps = bench::bench_reps(30);
+  const auto base_seed =
+      static_cast<std::uint64_t>(util::env_int("HDLTS_SEED", 42));
+  const sched::Registry reg = core::default_registry();
+  const std::vector<std::string> names = {"hdlts", "heft",   "peft",
+                                          "dheft", "genetic"};
+
+  struct Row {
+    util::RunningStats ratio;  // makespan / optimum
+    util::RunningStats micros;
+    std::size_t optimal_hits = 0;
+  };
+  std::vector<Row> rows(names.size());
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    workload::RandomDagParams p;
+    p.num_tasks = 9;
+    p.costs.num_procs = 3;
+    p.costs.ccr = 2.0;
+    const sim::Workload w =
+        workload::random_workload(p, util::derive_seed(base_seed, rep));
+    const sim::Problem problem(w);
+    const double optimum =
+        sched::BranchAndBound(12).schedule(problem).makespan();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto scheduler = reg.make(names[i]);
+      const auto t0 = std::chrono::steady_clock::now();
+      const double makespan = scheduler->schedule(problem).makespan();
+      const auto t1 = std::chrono::steady_clock::now();
+      rows[i].ratio.add(makespan / optimum);
+      rows[i].micros.add(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      // Duplication-capable schedulers can beat the duplication-free
+      // optimum, hence <= with tolerance counts as a hit.
+      if (makespan <= optimum + 1e-6) ++rows[i].optimal_hits;
+    }
+  }
+
+  util::Table table({"scheduler", "makespan/optimum", "hit optimum",
+                     "time (us)"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.add_row({names[i], util::fmt(rows[i].ratio.mean(), 4),
+                   std::to_string(rows[i].optimal_hits) + "/" +
+                       std::to_string(reps),
+                   util::fmt(rows[i].micros.mean(), 1)});
+  }
+  std::cout << "== ablation_search: heuristics vs exact/GA search ==\n"
+            << "random 9-task / 3-CPU instances, optimum via branch-and-bound"
+            << ", " << reps << " repetitions\n\n";
+  table.write_markdown(std::cout);
+  std::cout << std::endl;
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Extension comparison: HDLTS against the classic dynamic heuristics the
+// paper does not evaluate — DLS (joint task×processor dynamic levels),
+// Min-Min / Max-Min (batch-mode), and duplication-based HEFT. Isolates how
+// much of HDLTS's behaviour comes from the dynamic ready set (shared by all
+// of these) versus the PV priority and entry duplication specifically.
+#include "bench_common.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "extra_baselines";
+  config.title = "HDLTS vs classic dynamic heuristics: avg SLR vs CCR";
+  config.x_label = "workload/CCR";
+  config.metric = bench::Metric::kSlr;
+  config.schedulers = {"hdlts", "dls", "minmin", "maxmin", "dheft", "heft"};
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 3.0, 5.0}) {
+    cells.push_back({"random/" + util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  for (const double ccr : {1.0, 3.0, 5.0}) {
+    cells.push_back({"fft16/" + util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::FftParams p;
+                       p.points = 16;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::fft_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,28 @@
+// Fig. 10: average SLR of Montage workflows (50 and 100 nodes, 5 CPUs) vs
+// CCR. Paper finding: HDLTS has the lowest SLR at every CCR.
+#include "bench_common.hpp"
+#include "hdlts/workload/montage.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig10_montage_slr_vs_ccr";
+  config.title = "average SLR of Montage workflows (5 CPUs) vs CCR";
+  config.x_label = "nodes/CCR";
+  config.metric = bench::Metric::kSlr;
+
+  std::vector<bench::SweepCell> cells;
+  for (const std::size_t nodes : {50u, 100u}) {
+    for (const double ccr : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+      cells.push_back({std::to_string(nodes) + "/" + util::fmt(ccr, 1),
+                       [nodes, ccr](std::uint64_t seed) {
+                         workload::MontageParams p;
+                         p.num_nodes = nodes;
+                         p.costs.num_procs = 5;
+                         p.costs.ccr = ccr;
+                         return workload::montage_workload(p, seed);
+                       }});
+    }
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,24 @@
+// Fig. 11: efficiency of Montage workflows (CCR = 3) vs number of CPUs.
+#include "bench_common.hpp"
+#include "hdlts/workload/montage.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig11_montage_efficiency_vs_cpus";
+  config.title = "efficiency of Montage workflows (CCR = 3) vs number of CPUs";
+  config.x_label = "CPUs";
+  config.metric = bench::Metric::kEfficiency;
+
+  std::vector<bench::SweepCell> cells;
+  for (const std::size_t cpus : {2u, 4u, 6u, 8u, 10u}) {
+    cells.push_back({std::to_string(cpus), [cpus](std::uint64_t seed) {
+                       workload::MontageParams p;
+                       p.num_nodes = 50;
+                       p.costs.num_procs = cpus;
+                       p.costs.ccr = 3.0;
+                       return workload::montage_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

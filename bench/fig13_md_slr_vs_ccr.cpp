@@ -1,0 +1,23 @@
+// Fig. 13: average SLR of the molecular-dynamics workflow vs CCR.
+#include "bench_common.hpp"
+#include "hdlts/workload/md.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig13_md_slr_vs_ccr";
+  config.title = "average SLR of molecular-dynamics workflows vs CCR";
+  config.x_label = "CCR";
+  config.metric = bench::Metric::kSlr;
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    cells.push_back({util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::MdParams p;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::md_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

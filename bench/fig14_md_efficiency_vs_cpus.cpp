@@ -1,0 +1,25 @@
+// Fig. 14: efficiency of the molecular-dynamics workflow (CCR = 3) vs
+// number of CPUs. Paper finding: HDLTS leads at every machine count.
+#include "bench_common.hpp"
+#include "hdlts/workload/md.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig14_md_efficiency_vs_cpus";
+  config.title =
+      "efficiency of molecular-dynamics workflows (CCR = 3) vs CPUs";
+  config.x_label = "CPUs";
+  config.metric = bench::Metric::kEfficiency;
+
+  std::vector<bench::SweepCell> cells;
+  for (const std::size_t cpus : {2u, 4u, 6u, 8u, 10u}) {
+    cells.push_back({std::to_string(cpus), [cpus](std::uint64_t seed) {
+                       workload::MdParams p;
+                       p.costs.num_procs = cpus;
+                       p.costs.ccr = 3.0;
+                       return workload::md_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

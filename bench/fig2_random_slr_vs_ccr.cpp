@@ -1,0 +1,30 @@
+// Fig. 2: average SLR of random application workflows vs CCR.
+// Paper finding: HDLTS ties HEFT/SDBATS at low CCR and wins as the graphs
+// become communication-intensive.
+#include "bench_common.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig2_random_slr_vs_ccr";
+  config.title = "average SLR of random workflows vs CCR";
+  config.x_label = "CCR";
+  config.metric = bench::Metric::kSlr;
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    cells.push_back({util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.alpha = 1.0;
+                       p.density = 3;
+                       p.costs.num_procs = 4;
+                       p.costs.wdag = 50.0;
+                       p.costs.beta = 0.8;
+                       p.costs.ccr = ccr;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,36 @@
+// Fig. 3: average SLR of random application workflows vs task count.
+// Paper finding: HDLTS's advantage grows with workflow size.
+// V = 5000/10000 rows (the paper's upper range) run when HDLTS_FULL=1;
+// the default stops at 1000 to keep CI time sane on one core.
+#include "bench_common.hpp"
+#include "hdlts/util/env.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig3_random_slr_vs_tasks";
+  config.title = "average SLR of random workflows vs task count";
+  config.x_label = "V";
+  config.metric = bench::Metric::kSlr;
+  config.default_reps = 20;
+
+  std::vector<std::size_t> sizes{100, 200, 300, 400, 500, 1000};
+  if (util::env_int("HDLTS_FULL", 0) != 0) {
+    sizes.push_back(5000);
+    sizes.push_back(10000);
+  }
+  std::vector<bench::SweepCell> cells;
+  for (const std::size_t v : sizes) {
+    cells.push_back({std::to_string(v), [v](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = v;
+                       p.alpha = 1.0;
+                       p.density = 3;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = 2.0;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,29 @@
+// Fig. 4: efficiency of random application workflows vs number of CPUs.
+// Paper finding: HDLTS leads at small machine counts; HEFT/SDBATS catch up
+// and pass it as CPUs grow (HDLTS only looks at independent tasks, not the
+// whole graph).
+#include "bench_common.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig4_random_efficiency_vs_cpus";
+  config.title = "efficiency of random workflows vs number of CPUs";
+  config.x_label = "CPUs";
+  config.metric = bench::Metric::kEfficiency;
+
+  std::vector<bench::SweepCell> cells;
+  for (const std::size_t cpus : {2u, 4u, 6u, 8u, 10u}) {
+    cells.push_back({std::to_string(cpus), [cpus](std::uint64_t seed) {
+                       workload::RandomDagParams p;
+                       p.num_tasks = 100;
+                       p.alpha = 1.0;
+                       p.density = 3;
+                       p.costs.num_procs = cpus;
+                       p.costs.ccr = 1.0;
+                       return workload::random_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,25 @@
+// Fig. 7: average SLR of the FFT application workflow vs CCR.
+// Paper finding: HDLTS has the lowest SLR across all CCR values.
+#include "bench_common.hpp"
+#include "hdlts/workload/fft.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig7_fft_slr_vs_ccr";
+  config.title = "average SLR of FFT workflows vs CCR";
+  config.x_label = "CCR";
+  config.metric = bench::Metric::kSlr;
+
+  std::vector<bench::SweepCell> cells;
+  for (const double ccr : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    cells.push_back({util::fmt(ccr, 1), [ccr](std::uint64_t seed) {
+                       workload::FftParams p;
+                       p.points = 16;
+                       p.costs.num_procs = 4;
+                       p.costs.ccr = ccr;
+                       return workload::fft_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

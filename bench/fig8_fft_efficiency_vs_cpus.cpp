@@ -1,0 +1,25 @@
+// Fig. 8: efficiency of the FFT application workflow (16 input points) vs
+// number of CPUs. Paper finding: HDLTS leads at every machine count.
+#include "bench_common.hpp"
+#include "hdlts/workload/fft.hpp"
+
+int main() {
+  using namespace hdlts;
+  bench::SweepConfig config;
+  config.name = "fig8_fft_efficiency_vs_cpus";
+  config.title = "efficiency of FFT workflows (m = 16) vs number of CPUs";
+  config.x_label = "CPUs";
+  config.metric = bench::Metric::kEfficiency;
+
+  std::vector<bench::SweepCell> cells;
+  for (const std::size_t cpus : {2u, 4u, 6u, 8u, 10u}) {
+    cells.push_back({std::to_string(cpus), [cpus](std::uint64_t seed) {
+                       workload::FftParams p;
+                       p.points = 16;
+                       p.costs.num_procs = cpus;
+                       p.costs.ccr = 3.0;
+                       return workload::fft_workload(p, seed);
+                     }});
+  }
+  return bench::run_sweep(config, cells);
+}

@@ -1,0 +1,63 @@
+// Micro-benchmark X1 (google-benchmark): scheduler running time vs workflow
+// size, exercising the paper's §IV complexity claim
+// O(v^2 * (v/k) * p) for HDLTS against the O(v^2 * p) HEFT family.
+#include <benchmark/benchmark.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace {
+
+using namespace hdlts;
+
+sim::Workload make_random(std::size_t tasks, std::size_t procs) {
+  workload::RandomDagParams p;
+  p.num_tasks = tasks;
+  p.costs.num_procs = procs;
+  p.costs.ccr = 2.0;
+  return workload::random_workload(p, util::derive_seed(7, tasks, procs));
+}
+
+void run_scheduler(benchmark::State& state, const std::string& name) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::size_t>(state.range(1));
+  const sim::Workload w = make_random(tasks, procs);
+  const sim::Problem problem(w);
+  const auto scheduler = core::default_registry().make(name);
+  double makespan = 0.0;
+  for (auto _ : state) {
+    const sim::Schedule s = scheduler->schedule(problem);
+    makespan = s.makespan();
+    benchmark::DoNotOptimize(makespan);
+  }
+  state.counters["tasks"] = static_cast<double>(tasks);
+  state.counters["procs"] = static_cast<double>(procs);
+  state.counters["makespan"] = makespan;
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const auto tasks : {100, 400, 1000}) {
+    for (const auto procs : {4, 10}) {
+      b->Args({tasks, procs});
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+void BM_Hdlts(benchmark::State& s) { run_scheduler(s, "hdlts"); }
+void BM_Heft(benchmark::State& s) { run_scheduler(s, "heft"); }
+void BM_Cpop(benchmark::State& s) { run_scheduler(s, "cpop"); }
+void BM_Pets(benchmark::State& s) { run_scheduler(s, "pets"); }
+void BM_Peft(benchmark::State& s) { run_scheduler(s, "peft"); }
+void BM_Sdbats(benchmark::State& s) { run_scheduler(s, "sdbats"); }
+
+BENCHMARK(BM_Hdlts)->Apply(args);
+BENCHMARK(BM_Heft)->Apply(args);
+BENCHMARK(BM_Cpop)->Apply(args);
+BENCHMARK(BM_Pets)->Apply(args);
+BENCHMARK(BM_Peft)->Apply(args);
+BENCHMARK(BM_Sdbats)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

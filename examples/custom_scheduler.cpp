@@ -1,0 +1,90 @@
+// Extending the library: write your own scheduler against the
+// sched::Scheduler interface and benchmark it against the built-ins.
+//
+// The example implements "critical-child first": a ready-list scheduler that
+// prioritizes the task whose heaviest outgoing edge is largest (a cheap
+// proxy for downstream pressure), with min-EFT placement.
+//
+//   $ ./custom_scheduler
+#include <algorithm>
+#include <iostream>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/experiment.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace {
+
+using namespace hdlts;
+
+class CriticalChildFirst final : public sched::Scheduler {
+ public:
+  std::string name() const override { return "critical-child"; }
+
+  sim::Schedule schedule(const sim::Problem& problem) const override {
+    const auto& g = problem.graph();
+    std::vector<double> pressure(g.num_tasks(), 0.0);
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      for (const graph::Adjacent& c : g.children(v)) {
+        pressure[v] = std::max(pressure[v], problem.mean_comm_data(c.data));
+      }
+    }
+    std::vector<std::size_t> pending(g.num_tasks());
+    std::vector<graph::TaskId> ready;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      pending[v] = g.in_degree(v);
+      if (pending[v] == 0) ready.push_back(v);
+    }
+    sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+    while (!ready.empty()) {
+      const auto it = std::max_element(
+          ready.begin(), ready.end(), [&](graph::TaskId a, graph::TaskId b) {
+            return pressure[a] < pressure[b];
+          });
+      const graph::TaskId v = *it;
+      ready.erase(it);
+      sched::commit(schedule, v,
+                    sched::best_eft(problem, schedule, v, /*insertion=*/true));
+      for (const graph::Adjacent& c : g.children(v)) {
+        if (--pending[c.task] == 0) ready.push_back(c.task);
+      }
+    }
+    return schedule;
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Register the custom scheduler next to the built-ins, then compare.
+  sched::Registry registry = core::default_registry();
+  registry.add("critical-child",
+               [] { return std::make_unique<CriticalChildFirst>(); });
+
+  const metrics::WorkloadFactory factory = [](std::uint64_t seed) {
+    workload::RandomDagParams p;
+    p.num_tasks = 100;
+    p.costs.num_procs = 4;
+    p.costs.ccr = 3.0;
+    return workload::random_workload(p, seed);
+  };
+  metrics::CompareOptions options;
+  options.repetitions = 20;
+  options.check_schedules = true;  // the harness validates our schedules
+  const auto rows = metrics::compare_schedulers(
+      factory, {"hdlts", "heft", "critical-child", "random"}, registry,
+      options);
+
+  std::cout << "Custom scheduler vs built-ins (random, V=100, CCR=3):\n\n";
+  util::Table table({"scheduler", "SLR", "efficiency", "wins"});
+  for (const auto& r : rows) {
+    table.add_row({r.scheduler, util::fmt(r.slr.mean(), 3),
+                   util::fmt(r.efficiency.mean(), 3), std::to_string(r.wins)});
+  }
+  table.write_markdown(std::cout);
+  std::cout << "\nA naive one-hop priority beats random order but not the "
+               "published heuristics.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Domain example: an FFT workflow (paper §V-C1) swept over machine counts —
+// how far does parallel efficiency carry as the HCE grows?
+//
+//   $ ./fft_workflow --points=16 --ccr=2 --reps=20
+#include <iostream>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/experiment.hpp"
+#include "hdlts/util/cli.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/fft.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdlts;
+  const util::Cli cli(argc, argv);
+  const auto points = static_cast<std::size_t>(cli.get_int("points", 16));
+  const double ccr = cli.get_double("ccr", 2.0);
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 20));
+
+  std::cout << "FFT workflow, m = " << points << " ("
+            << workload::fft_task_count(points) << " tasks), CCR " << ccr
+            << ":\n\n";
+
+  util::Table table({"CPUs", "hdlts SLR", "hdlts speedup", "hdlts efficiency",
+                     "heft efficiency"});
+  for (const std::size_t cpus : {2u, 4u, 6u, 8u, 10u}) {
+    workload::FftParams params;
+    params.points = points;
+    params.costs.num_procs = cpus;
+    params.costs.ccr = ccr;
+    const metrics::WorkloadFactory factory = [&params](std::uint64_t seed) {
+      return workload::fft_workload(params, seed);
+    };
+    metrics::CompareOptions options;
+    options.repetitions = reps;
+    const auto rows = metrics::compare_schedulers(
+        factory, {"hdlts", "heft"}, core::default_registry(), options);
+    table.add_row({std::to_string(cpus), util::fmt(rows[0].slr.mean(), 3),
+                   util::fmt(rows[0].speedup.mean(), 3),
+                   util::fmt(rows[0].efficiency.mean(), 3),
+                   util::fmt(rows[1].efficiency.mean(), 3)});
+  }
+  table.write_markdown(std::cout);
+  std::cout << "\nEfficiency falls as CPUs grow (Eq. 12): the butterfly's "
+               "parallelism saturates.\n";
+  return 0;
+}

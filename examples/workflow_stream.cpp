@@ -1,0 +1,54 @@
+// Dynamic workflow streams (paper §VI): workflows arriving over time on a
+// shared heterogeneous platform, scheduled online with the HDLTS penalty
+// value vs a FIFO baseline.
+//
+//   $ ./workflow_stream --workflows=5 --gap=100 --cpus=4
+#include <iostream>
+
+#include "hdlts/core/stream.hpp"
+#include "hdlts/util/cli.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdlts;
+  const util::Cli cli(argc, argv);
+  const auto workflows =
+      static_cast<std::size_t>(cli.get_int("workflows", 5));
+  const double gap = cli.get_double("gap", 100.0);
+  const auto cpus = static_cast<std::size_t>(cli.get_int("cpus", 4));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  std::vector<core::StreamArrival> stream;
+  for (std::size_t w = 0; w < workflows; ++w) {
+    workload::RandomDagParams p;
+    p.num_tasks = 30 + 10 * (w % 3);  // mixed sizes
+    p.costs.num_procs = cpus;
+    p.costs.ccr = 2.0;
+    stream.push_back({workload::random_workload(p, util::derive_seed(seed, w)),
+                      gap * static_cast<double>(w)});
+  }
+
+  core::StreamOptions pv;
+  core::StreamOptions fifo;
+  fifo.policy = core::StreamPolicy::kFifoEft;
+  const core::StreamResult a = core::run_stream(stream, pv);
+  const core::StreamResult b = core::run_stream(stream, fifo);
+
+  std::cout << workflows << " workflows arriving every " << gap << " on "
+            << cpus << " CPUs:\n\n";
+  util::Table table({"workflow", "tasks", "arrival", "PV flow time",
+                     "FIFO flow time"});
+  for (std::size_t w = 0; w < workflows; ++w) {
+    table.add_row({std::to_string(w),
+                   std::to_string(stream[w].workload.graph.num_tasks()),
+                   util::fmt(stream[w].arrival, 0),
+                   util::fmt(a.flow_time[w], 1),
+                   util::fmt(b.flow_time[w], 1)});
+  }
+  table.write_markdown(std::cout);
+  std::cout << "\nstream makespan: PV " << util::fmt(a.makespan, 1)
+            << " vs FIFO " << util::fmt(b.makespan, 1) << "\n";
+  return 0;
+}

@@ -1,0 +1,191 @@
+// A small command-line tool around the library: generate workload files,
+// schedule them with any registered algorithm, and print/dump the result.
+//
+//   $ ./workflow_tool generate --kind=montage --nodes=50 --out=m.wl
+//   $ ./workflow_tool schedule m.wl --scheduler=hdlts --gantt
+//   $ ./workflow_tool schedule m.wl --scheduler=heft --csv=placements.csv
+//   $ ./workflow_tool list
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/graph/analysis.hpp"
+#include "hdlts/io/workload_io.hpp"
+#include "hdlts/metrics/metrics.hpp"
+#include "hdlts/report/gantt_svg.hpp"
+#include "hdlts/sim/gantt.hpp"
+#include "hdlts/util/cli.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/gauss.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace {
+
+using namespace hdlts;
+
+int usage() {
+  std::cout <<
+      "usage:\n"
+      "  workflow_tool list\n"
+      "  workflow_tool generate --kind=random|fft|montage|md|gauss\n"
+      "      [--tasks=N --points=M --nodes=N --matrix=M]\n"
+      "      [--cpus=P --ccr=X --beta=X --wdag=X --seed=S] --out=FILE\n"
+      "  workflow_tool schedule FILE [--scheduler=hdlts] [--gantt]\n"
+      "      [--csv=FILE] [--svg=FILE]\n"
+      "  workflow_tool profile FILE\n"
+      "  workflow_tool compare FILE [--schedulers=a,b,c]\n";
+  return 2;
+}
+
+sim::Workload generate(const util::Cli& cli) {
+  workload::CostParams costs;
+  costs.num_procs = static_cast<std::size_t>(cli.get_int("cpus", 4));
+  costs.ccr = cli.get_double("ccr", 1.0);
+  costs.beta = cli.get_double("beta", 0.8);
+  costs.wdag = cli.get_double("wdag", 50.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string kind = cli.get("kind", "random");
+  if (kind == "random") {
+    workload::RandomDagParams p;
+    p.num_tasks = static_cast<std::size_t>(cli.get_int("tasks", 100));
+    p.alpha = cli.get_double("alpha", 1.0);
+    p.density = static_cast<std::size_t>(cli.get_int("density", 3));
+    p.costs = costs;
+    return workload::random_workload(p, seed);
+  }
+  if (kind == "fft") {
+    workload::FftParams p;
+    p.points = static_cast<std::size_t>(cli.get_int("points", 16));
+    p.costs = costs;
+    return workload::fft_workload(p, seed);
+  }
+  if (kind == "montage") {
+    workload::MontageParams p;
+    p.num_nodes = static_cast<std::size_t>(cli.get_int("nodes", 50));
+    p.costs = costs;
+    return workload::montage_workload(p, seed);
+  }
+  if (kind == "md") {
+    workload::MdParams p;
+    p.costs = costs;
+    return workload::md_workload(p, seed);
+  }
+  if (kind == "gauss") {
+    workload::GaussParams p;
+    p.matrix_size = static_cast<std::size_t>(cli.get_int("matrix", 8));
+    p.costs = costs;
+    return workload::gauss_workload(p, seed);
+  }
+  throw InvalidArgument("unknown workload kind '" + kind + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  try {
+    if (cli.positional().empty()) return usage();
+    const std::string& command = cli.positional()[0];
+
+    if (command == "list") {
+      std::cout << "registered schedulers:\n";
+      for (const auto& name : core::default_registry().names()) {
+        std::cout << "  " << name << "\n";
+      }
+      return 0;
+    }
+
+    if (command == "generate") {
+      const std::string out = cli.get("out", "workflow.wl");
+      const sim::Workload w = generate(cli);
+      io::save_workload(out, w);
+      std::cout << "wrote " << out << " (" << w.graph.num_tasks()
+                << " tasks, " << w.graph.num_edges() << " edges, "
+                << w.platform.num_procs() << " CPUs)\n";
+      return 0;
+    }
+
+    if (command == "profile") {
+      if (cli.positional().size() < 2) return usage();
+      const sim::Workload w = io::load_workload(cli.positional()[1]);
+      graph::write_profile(std::cout, graph::profile(w.graph));
+      std::cout << "processors       " << w.platform.num_procs() << "\n"
+                << "mean exec (W)    ";
+      double mean = 0.0;
+      for (graph::TaskId v = 0; v < w.graph.num_tasks(); ++v) {
+        mean += w.costs.mean(v);
+      }
+      std::cout << mean / static_cast<double>(w.graph.num_tasks()) << "\n";
+      return 0;
+    }
+
+    if (command == "compare") {
+      if (cli.positional().size() < 2) return usage();
+      const sim::Workload w = io::load_workload(cli.positional()[1]);
+      const sim::Problem problem(w);
+      const auto registry = core::default_registry();
+      std::vector<std::string> names;
+      {
+        std::istringstream ls(
+            cli.get("schedulers", "hdlts,heft,pets,cpop,peft,sdbats,dheft"));
+        std::string token;
+        while (std::getline(ls, token, ',')) names.push_back(token);
+      }
+      util::Table table({"scheduler", "makespan", "SLR", "efficiency"});
+      for (const auto& name : names) {
+        const sim::Schedule s = registry.make(name)->schedule(problem);
+        table.add_row({name, util::fmt(s.makespan(), 2),
+                       util::fmt(metrics::slr(problem, s), 3),
+                       util::fmt(metrics::efficiency(problem, s), 3)});
+      }
+      table.write_markdown(std::cout);
+      return 0;
+    }
+
+    if (command == "schedule") {
+      if (cli.positional().size() < 2) return usage();
+      const sim::Workload w = io::load_workload(cli.positional()[1]);
+      const sim::Problem problem(w);
+      const auto scheduler =
+          core::default_registry().make(cli.get("scheduler", "hdlts"));
+      const sim::Schedule schedule = scheduler->schedule(problem);
+      const auto violations = schedule.validate(problem);
+      if (!violations.empty()) {
+        std::cerr << "INVALID schedule: " << violations.front() << "\n";
+        return 1;
+      }
+      std::cout << "scheduler  = " << scheduler->name()
+                << "\nmakespan   = " << schedule.makespan()
+                << "\nSLR        = " << metrics::slr(problem, schedule)
+                << "\nspeedup    = " << metrics::speedup(problem, schedule)
+                << "\nefficiency = " << metrics::efficiency(problem, schedule)
+                << "\n";
+      if (cli.get_bool("gantt", false)) {
+        std::cout << "\n" << sim::to_gantt(schedule);
+      }
+      if (cli.has("csv")) {
+        std::ofstream out(cli.get("csv", "placements.csv"));
+        sim::write_placements_csv(out, schedule, &w.graph);
+        std::cout << "wrote " << cli.get("csv", "placements.csv") << "\n";
+      }
+      if (cli.has("svg")) {
+        report::GanttSvgOptions gantt_options;
+        gantt_options.graph = &w.graph;
+        gantt_options.title = scheduler->name() + " — makespan " +
+                              std::to_string(schedule.makespan());
+        report::save_gantt_svg(cli.get("svg", "schedule.svg"), schedule,
+                               gantt_options);
+        std::cout << "wrote " << cli.get("svg", "schedule.svg") << "\n";
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Reproduces every table/figure of the paper plus the extension ablations.
+#
+#   scripts/reproduce.sh [results_dir]
+#
+# Environment: HDLTS_REPS (default 100), HDLTS_FULL=1 to include the
+# V=5000/10000 rows of Fig. 3 and the full grid range of table2_grid.
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$here/results}"
+mkdir -p "$out"
+
+cmake -B "$here/build" -G Ninja -S "$here"
+cmake --build "$here/build"
+
+echo "== tests ==" | tee "$out/tests.txt"
+ctest --test-dir "$here/build" 2>&1 | tail -3 | tee -a "$out/tests.txt"
+
+export HDLTS_CSV_DIR="$out"
+export HDLTS_SVG_DIR="$out"
+for b in "$here"/build/bench/*; do
+  name="$(basename "$b")"
+  echo "== $name =="
+  "$b" | tee "$out/$name.txt"
+done
+
+echo
+echo "results written to $out (tables: *.txt, plot data: *.csv, figures: *.svg)"

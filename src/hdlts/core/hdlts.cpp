@@ -1,0 +1,260 @@
+#include "hdlts/core/hdlts.hpp"
+
+#include <algorithm>
+
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/util/stats.hpp"
+
+namespace hdlts::core {
+
+namespace {
+
+double penalty_value(PvKind kind, std::span<const double> eft) {
+  switch (kind) {
+    case PvKind::kSampleStddev:
+      return util::stddev_sample(eft);
+    case PvKind::kPopulationStddev:
+      return util::stddev_population(eft);
+    case PvKind::kRange:
+      return util::range(eft);
+  }
+  throw ContractViolation("unhandled PvKind");
+}
+
+/// A task sitting in the ITQ. Ready times are fixed once a task becomes
+/// independent (all parents are placed before it enters the queue), so they
+/// are cached; only processor availability changes between iterations.
+struct ItqEntry {
+  graph::TaskId task = graph::kInvalidTask;
+  std::vector<double> ready;  ///< per alive processor, problem.procs() order
+  double frozen_pv = 0.0;     ///< used when dynamic_priorities is off
+};
+
+}  // namespace
+
+sim::Schedule Hdlts::schedule(const sim::Problem& problem) const {
+  return schedule_traced(problem, nullptr);
+}
+
+sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
+                                     HdltsTrace* trace) const {
+  const auto& g = problem.graph();
+  const auto& procs = problem.procs();
+  const std::size_t np = procs.size();
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+
+  const auto entries = g.entry_tasks();
+  const bool unique_entry = entries.size() == 1;
+
+  std::vector<std::size_t> pending(g.num_tasks());
+  std::vector<ItqEntry> itq;
+
+  // EFT of an ITQ entry on procs[pi] under the current schedule state.
+  auto eft_of = [&](const ItqEntry& e, std::size_t pi) {
+    const platform::ProcId p = procs[pi];
+    const double duration = problem.exec_time(e.task, p);
+    const double est =
+        schedule.earliest_start(p, e.ready[pi], duration, options_.insertion);
+    return est + duration;
+  };
+  auto eft_row = [&](const ItqEntry& e) {
+    std::vector<double> row(np);
+    for (std::size_t pi = 0; pi < np; ++pi) row[pi] = eft_of(e, pi);
+    return row;
+  };
+
+  auto push_ready = [&](graph::TaskId v) {
+    ItqEntry e;
+    e.task = v;
+    e.ready.resize(np);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      e.ready[pi] = schedule.ready_time(problem, v, procs[pi]);
+    }
+    if (!options_.dynamic_priorities) {
+      // Conventional static list: the PV is computed against the schedule
+      // state at the moment the task becomes independent and never updated.
+      e.frozen_pv = penalty_value(options_.pv, eft_row(e));
+    }
+    itq.push_back(std::move(e));
+  };
+
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) push_ready(v);
+  }
+
+  // A task is "free" when it costs nothing anywhere (pseudo entry/exit).
+  auto is_free_task = [&](graph::TaskId v) {
+    const auto row = problem.costs().row(v);
+    for (const double c : row) {
+      if (c > 0.0) return false;
+    }
+    return true;
+  };
+  // Duplication candidates: the unique entry (Algorithm 1), and — with the
+  // duplicate_all_sources extension — every source task (no parents, or
+  // only zero-cost pseudo parents).
+  auto qualifies_for_duplication = [&](graph::TaskId v) {
+    if (options_.duplication == DuplicationRule::kOff) return false;
+    if (unique_entry && v == entries.front()) return true;
+    if (!options_.duplicate_all_sources) return false;
+    const auto parents = g.parents(v);
+    if (parents.empty()) return true;
+    for (const graph::Adjacent& p : parents) {
+      if (!is_free_task(p.task)) return false;
+    }
+    return true;
+  };
+
+  // Entry/source-task duplication, Algorithm 1. Runs right after the task's
+  // primary placement. When the task is the unique entry scheduled first,
+  // every processor is still empty and the duplicate occupies
+  // [0, W(entry, k)] — the paper's Table I behaviour; in the generalized
+  // case duplicates go into idle slots.
+  auto duplicate_task = [&](graph::TaskId v) {
+    const auto children = g.children(v);
+    if (children.empty() || is_free_task(v)) return;
+    const sim::Placement& primary = schedule.placement(v);
+    for (const platform::ProcId k : procs) {
+      if (k == primary.proc) continue;
+      const double dup_dur = problem.exec_time(v, k);
+      const double dup_ready = schedule.ready_time(problem, v, k);
+      const double dup_start =
+          schedule.earliest_start(k, dup_ready, dup_dur, /*insertion=*/true);
+      const double dup_finish = dup_start + dup_dur;
+      // The duplicate "benefits" child j when it finishes before j's input
+      // could arrive from the primary copy over the network.
+      std::size_t benefits = 0;
+      for (const graph::Adjacent& c : children) {
+        const double arrival =
+            primary.finish + problem.comm_time_data(c.data, primary.proc, k);
+        if (dup_finish < arrival) ++benefits;
+      }
+      const bool do_duplicate =
+          options_.duplication == DuplicationRule::kAnyChildBenefits
+              ? benefits > 0
+              : benefits == children.size();
+      if (do_duplicate) {
+        schedule.place_duplicate(v, k, dup_start, dup_finish);
+        if (trace != nullptr) trace->duplicated_on.push_back(k);
+      }
+    }
+  };
+
+  while (!itq.empty()) {
+    // Prioritize: PV per queued task (recomputed each round in dynamic mode).
+    std::vector<double> pv(itq.size());
+    for (std::size_t i = 0; i < itq.size(); ++i) {
+      pv[i] = options_.dynamic_priorities
+                  ? penalty_value(options_.pv, eft_row(itq[i]))
+                  : itq[i].frozen_pv;
+    }
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < itq.size(); ++i) {
+      // Highest PV wins; ties go to the lower task id for determinism.
+      if (pv[i] > pv[pick] ||
+          (pv[i] == pv[pick] && itq[i].task < itq[pick].task)) {
+        pick = i;
+      }
+    }
+
+    // Select the min-EFT processor (ties: lower processor id).
+    const ItqEntry chosen_entry = std::move(itq[pick]);
+    const double chosen_pv = pv[pick];
+    itq.erase(itq.begin() + static_cast<std::ptrdiff_t>(pick));
+    const auto row = eft_row(chosen_entry);
+    std::size_t best = 0;
+    for (std::size_t pi = 1; pi < np; ++pi) {
+      if (row[pi] < row[best]) best = pi;
+    }
+    const platform::ProcId proc = procs[best];
+    const double finish = row[best];
+    const double start = finish - problem.exec_time(chosen_entry.task, proc);
+
+    if (trace != nullptr) {
+      HdltsStep step;
+      step.selected = chosen_entry.task;
+      step.eft = row;
+      step.chosen = proc;
+      step.ready.push_back(chosen_entry.task);
+      step.pv.push_back(chosen_pv);
+      for (std::size_t i = 0; i < itq.size(); ++i) {
+        step.ready.push_back(itq[i].task);
+        step.pv.push_back(pv[i < pick ? i : i + 1]);
+      }
+      // Present the ITQ in ascending task id, like the paper's Table I.
+      std::vector<std::size_t> perm(step.ready.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+        return step.ready[a] < step.ready[b];
+      });
+      HdltsStep sorted;
+      sorted.selected = step.selected;
+      sorted.eft = step.eft;
+      sorted.chosen = step.chosen;
+      for (const std::size_t i : perm) {
+        sorted.ready.push_back(step.ready[i]);
+        sorted.pv.push_back(step.pv[i]);
+      }
+      trace->steps.push_back(std::move(sorted));
+    }
+
+    schedule.place(chosen_entry.task, proc, start, finish);
+    if (qualifies_for_duplication(chosen_entry.task)) {
+      duplicate_task(chosen_entry.task);
+    }
+    for (const graph::Adjacent& c : g.children(chosen_entry.task)) {
+      if (--pending[c.task] == 0) push_ready(c.task);
+    }
+  }
+
+  HDLTS_ENSURES(schedule.num_placed() == problem.num_tasks());
+  return schedule;
+}
+
+sched::Registry default_registry() {
+  sched::Registry r = sched::baseline_registry();
+  r.add("hdlts", [] { return std::make_unique<Hdlts>(); });
+  r.add("hdlts-nodup", [] {
+    HdltsOptions o;
+    o.duplication = DuplicationRule::kOff;
+    return std::make_unique<Hdlts>(o);
+  });
+  r.add("hdlts-static", [] {
+    HdltsOptions o;
+    o.dynamic_priorities = false;
+    return std::make_unique<Hdlts>(o);
+  });
+  r.add("hdlts-popstddev", [] {
+    HdltsOptions o;
+    o.pv = PvKind::kPopulationStddev;
+    return std::make_unique<Hdlts>(o);
+  });
+  r.add("hdlts-range", [] {
+    HdltsOptions o;
+    o.pv = PvKind::kRange;
+    return std::make_unique<Hdlts>(o);
+  });
+  r.add("hdlts-insertion", [] {
+    HdltsOptions o;
+    o.insertion = true;
+    return std::make_unique<Hdlts>(o);
+  });
+  r.add("hdlts-multidup", [] {
+    HdltsOptions o;
+    o.duplicate_all_sources = true;
+    return std::make_unique<Hdlts>(o);
+  });
+  return r;
+}
+
+std::vector<sched::SchedulerPtr> paper_schedulers() {
+  const sched::Registry r = default_registry();
+  std::vector<sched::SchedulerPtr> out;
+  for (const char* name : {"hdlts", "heft", "pets", "cpop", "peft", "sdbats"}) {
+    out.push_back(r.make(name));
+  }
+  return out;
+}
+
+}  // namespace hdlts::core

@@ -1,0 +1,102 @@
+// Heterogeneous Dynamic List Task Scheduling (HDLTS) — the paper's
+// contribution (§IV, Algorithms 1 and 2).
+//
+// Three phases:
+//  1. Effective entry-task duplication: after the entry task is placed on its
+//     min-EFT processor, it is duplicated (from t = 0) on every other
+//     processor where the duplicate finishes before the entry's output could
+//     arrive over the network (Algorithm 1) — so children start locally.
+//  2. Dynamic task prioritization: only *independent* tasks (all parents
+//     finished) sit in the Independent Task Queue (ITQ); after every
+//     assignment the penalty value PV(v) = sample standard deviation of
+//     EFT(v, p) over all processors is recomputed, so processor availability
+//     feeds back into priorities.
+//  3. CPU selection: the highest-PV task goes to its min-EFT processor, with
+//     EST = max(ready, avail) (end-of-queue; the paper's Table I trace shows
+//     no insertion).
+//
+// Semantics pinned by reproducing Table I exactly (see DESIGN.md): PV uses
+// the n-1 (sample) standard deviation, duplicates occupy their processor
+// from t = 0, and children read the entry's output from the cheapest copy.
+#pragma once
+
+#include <vector>
+
+#include "hdlts/sched/registry.hpp"
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::core {
+
+/// How the penalty value condenses the EFT vector. The paper uses the sample
+/// standard deviation; the alternatives are ablation variants (bench X3).
+enum class PvKind { kSampleStddev, kPopulationStddev, kRange };
+
+/// When to duplicate the entry task on a non-primary processor (Algorithm 1
+/// leaves the quantifier over children ambiguous; both reproduce Table I).
+enum class DuplicationRule {
+  kOff,                  ///< never duplicate (ablation)
+  kAnyChildBenefits,     ///< duplicate if it helps at least one child
+  kAllChildrenBenefit,   ///< duplicate only if it helps every child
+};
+
+struct HdltsOptions {
+  DuplicationRule duplication = DuplicationRule::kAnyChildBenefits;
+  PvKind pv = PvKind::kSampleStddev;
+  /// Idle-slot insertion for EST (off in the paper; ablation toggle).
+  bool insertion = false;
+  /// Recompute PVs after every assignment (the paper's "dynamic" list).
+  /// When false, a task's PV is frozen when it enters the ITQ (ablation:
+  /// the conventional static list).
+  bool dynamic_priorities = true;
+  /// Extension (paper §VI direction): on multi-entry workflows the pseudo
+  /// entry has zero cost, so Algorithm 1 buys nothing — the exact reason
+  /// HDLTS loses its edge on Montage (see EXPERIMENTS.md). When set, the
+  /// duplication rule is applied to every *source* task (a task whose
+  /// parents are all zero-cost pseudo tasks, or any entry), with duplicates
+  /// placed into idle slots instead of assuming empty processors. On
+  /// single-entry graphs with the entry scheduled first this reduces to
+  /// Algorithm 1 exactly.
+  bool duplicate_all_sources = false;
+};
+
+/// One scheduling step, mirroring a row of the paper's Table I.
+struct HdltsStep {
+  std::vector<graph::TaskId> ready;  ///< ITQ at selection time (id order)
+  std::vector<double> pv;            ///< penalty values, parallel to `ready`
+  graph::TaskId selected = graph::kInvalidTask;
+  std::vector<double> eft;           ///< EFT of `selected` per alive processor
+  platform::ProcId chosen = platform::kInvalidProc;
+};
+
+struct HdltsTrace {
+  std::vector<HdltsStep> steps;
+  /// Processors that received an entry-task duplicate.
+  std::vector<platform::ProcId> duplicated_on;
+};
+
+class Hdlts final : public sched::Scheduler {
+ public:
+  explicit Hdlts(HdltsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "hdlts"; }
+  const HdltsOptions& options() const { return options_; }
+
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+  /// Like schedule() but records every step (used to regenerate Table I).
+  sim::Schedule schedule_traced(const sim::Problem& problem,
+                                HdltsTrace* trace) const;
+
+ private:
+  HdltsOptions options_;
+};
+
+/// A registry with the baselines plus "hdlts" and its ablation variants
+/// ("hdlts-nodup", "hdlts-static", "hdlts-popstddev", "hdlts-range").
+sched::Registry default_registry();
+
+/// The comparison set evaluated in the paper's §V, in reporting order:
+/// HDLTS, HEFT, PETS, CPOP, PEFT, SDBATS.
+std::vector<sched::SchedulerPtr> paper_schedulers();
+
+}  // namespace hdlts::core

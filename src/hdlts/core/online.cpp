@@ -1,0 +1,260 @@
+#include "hdlts/core/online.hpp"
+
+#include <algorithm>
+
+#include "hdlts/util/stats.hpp"
+
+namespace hdlts::core {
+
+namespace {
+
+double penalty_value(PvKind kind, std::span<const double> eft) {
+  switch (kind) {
+    case PvKind::kSampleStddev:
+      return util::stddev_sample(eft);
+    case PvKind::kPopulationStddev:
+      return util::stddev_population(eft);
+    case PvKind::kRange:
+      return util::range(eft);
+  }
+  throw ContractViolation("unhandled PvKind");
+}
+
+struct ItqEntry {
+  graph::TaskId task = graph::kInvalidTask;
+  std::vector<double> ready;
+  double frozen_pv = 0.0;
+};
+
+/// One HDLTS pass over the not-yet-done tasks, starting from the committed
+/// state already placed in `schedule`. New executions start at or after
+/// `phase_start`. Appends the new executions to `out`.
+void run_phase(const sim::Problem& problem, sim::Schedule& schedule,
+               std::vector<bool>& done, double phase_start,
+               const HdltsOptions& options, bool cold,
+               std::vector<OnlineExec>& out) {
+  const auto& g = problem.graph();
+  const auto& procs = problem.procs();
+  const std::size_t np = procs.size();
+
+  std::vector<std::size_t> pending(g.num_tasks(), 0);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const graph::Adjacent& p : g.parents(v)) {
+      if (!done[p.task]) ++pending[v];
+    }
+  }
+
+  auto eft_of = [&](const ItqEntry& e, std::size_t pi) {
+    const platform::ProcId p = procs[pi];
+    const double duration = problem.exec_time(e.task, p);
+    const double ready = std::max(e.ready[pi], phase_start);
+    const double est =
+        schedule.earliest_start(p, ready, duration, options.insertion);
+    return est + duration;
+  };
+  auto eft_row = [&](const ItqEntry& e) {
+    std::vector<double> row(np);
+    for (std::size_t pi = 0; pi < np; ++pi) row[pi] = eft_of(e, pi);
+    return row;
+  };
+
+  std::vector<ItqEntry> itq;
+  auto push_ready = [&](graph::TaskId v) {
+    ItqEntry e;
+    e.task = v;
+    e.ready.resize(np);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      e.ready[pi] = schedule.ready_time(problem, v, procs[pi]);
+    }
+    if (!options.dynamic_priorities) {
+      e.frozen_pv = penalty_value(options.pv, eft_row(e));
+    }
+    itq.push_back(std::move(e));
+  };
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (!done[v] && pending[v] == 0) push_ready(v);
+  }
+
+  const auto entries = g.entry_tasks();
+  const bool unique_entry = entries.size() == 1;
+
+  while (!itq.empty()) {
+    std::vector<double> pv(itq.size());
+    for (std::size_t i = 0; i < itq.size(); ++i) {
+      pv[i] = options.dynamic_priorities
+                  ? penalty_value(options.pv, eft_row(itq[i]))
+                  : itq[i].frozen_pv;
+    }
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < itq.size(); ++i) {
+      if (pv[i] > pv[pick] ||
+          (pv[i] == pv[pick] && itq[i].task < itq[pick].task)) {
+        pick = i;
+      }
+    }
+    const ItqEntry chosen = std::move(itq[pick]);
+    itq.erase(itq.begin() + static_cast<std::ptrdiff_t>(pick));
+    const auto row = eft_row(chosen);
+    std::size_t best = 0;
+    for (std::size_t pi = 1; pi < np; ++pi) {
+      if (row[pi] < row[best]) best = pi;
+    }
+    const platform::ProcId proc = procs[best];
+    const double finish = row[best];
+    const double start = finish - problem.exec_time(chosen.task, proc);
+    schedule.place(chosen.task, proc, start, finish);
+    out.push_back({chosen.task, proc, start, finish, false, false});
+
+    // Entry duplication only applies on the cold start (all processors
+    // empty); after a failure the machines are busy and Algorithm 1's
+    // "duplicate from t = 0" premise no longer holds.
+    if (cold && unique_entry && chosen.task == entries.front() &&
+        options.duplication != DuplicationRule::kOff &&
+        !g.children(chosen.task).empty()) {
+      for (const platform::ProcId k : procs) {
+        if (k == proc) continue;
+        const double dup_finish = problem.exec_time(chosen.task, k);
+        std::size_t benefits = 0;
+        const auto children = g.children(chosen.task);
+        for (const graph::Adjacent& c : children) {
+          if (dup_finish < finish + problem.comm_time_data(c.data, proc, k)) {
+            ++benefits;
+          }
+        }
+        const bool do_dup =
+            options.duplication == DuplicationRule::kAnyChildBenefits
+                ? benefits > 0
+                : benefits == children.size();
+        if (do_dup) {
+          schedule.place_duplicate(chosen.task, k, 0.0, dup_finish);
+          out.push_back({chosen.task, k, 0.0, dup_finish, true, false});
+        }
+      }
+    }
+
+    for (const graph::Adjacent& c : g.children(chosen.task)) {
+      bool ready = true;
+      for (const graph::Adjacent& p : g.parents(c.task)) {
+        if (!done[p.task] && !schedule.is_placed(p.task)) {
+          ready = false;
+          break;
+        }
+      }
+      // pending-based check: only push when this was the last open parent.
+      if (ready && !schedule.is_placed(c.task)) {
+        bool already = false;
+        for (const ItqEntry& e : itq) {
+          if (e.task == c.task) {
+            already = true;
+            break;
+          }
+        }
+        if (!already) push_ready(c.task);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OnlineResult run_online(const sim::Workload& workload,
+                        std::span<const ProcFailure> failures,
+                        const HdltsOptions& options) {
+  sim::Workload state = workload;
+  state.validate();
+  const std::size_t n = state.graph.num_tasks();
+
+  std::vector<ProcFailure> pending_failures(failures.begin(), failures.end());
+  std::sort(pending_failures.begin(), pending_failures.end(),
+            [](const ProcFailure& a, const ProcFailure& b) {
+              return a.time < b.time;
+            });
+
+  OnlineResult result;
+  std::vector<OnlineExec> committed;  // finished or unstoppable executions
+  std::vector<bool> done(n, false);
+  double phase_start = 0.0;
+  bool cold = true;
+
+  for (;;) {
+    const bool all_done =
+        std::all_of(done.begin(), done.end(), [](bool d) { return d; });
+    if (all_done) {
+      result.completed = true;
+      break;
+    }
+    if (state.platform.num_alive() == 0) {
+      result.completed = false;
+      break;
+    }
+
+    // Rebuild the schedule state from committed executions.
+    const sim::Problem problem(state);
+    sim::Schedule schedule(n, state.platform.num_procs());
+    std::vector<bool> has_primary(n, false);
+    for (const OnlineExec& e : committed) {
+      if (!has_primary[e.task]) {
+        schedule.place(e.task, e.proc, e.start, e.finish);
+        has_primary[e.task] = true;
+      } else {
+        schedule.place_duplicate(e.task, e.proc, e.start, e.finish);
+      }
+    }
+
+    std::vector<OnlineExec> fresh;
+    run_phase(problem, schedule, done, phase_start, options, cold, fresh);
+    cold = false;
+
+    if (pending_failures.empty()) {
+      for (OnlineExec& e : fresh) committed.push_back(e);
+      for (const OnlineExec& e : committed) {
+        if (!e.duplicate) done[e.task] = true;
+      }
+      result.completed = true;
+      break;
+    }
+
+    // Apply the next failure: keep what physically happened before it.
+    const ProcFailure fail = pending_failures.front();
+    pending_failures.erase(pending_failures.begin());
+    if (!state.platform.is_alive(fail.proc)) continue;  // duplicate failure
+
+    for (OnlineExec& e : fresh) {
+      const bool on_failed = e.proc == fail.proc;
+      if (e.finish <= fail.time) {
+        committed.push_back(e);  // finished before the failure
+      } else if (e.start < fail.time) {
+        if (on_failed) {
+          // Killed mid-execution: record the lost attempt, re-queue later.
+          e.lost = true;
+          e.finish = fail.time;
+          result.executions.push_back(e);
+          ++result.lost_executions;
+        } else {
+          committed.push_back(e);  // keeps running on a healthy machine
+        }
+      }
+      // start >= fail.time: revoked silently; the task will be reconsidered.
+    }
+    // A task is done when any committed copy of it completed (a surviving
+    // duplicate covers a lost primary).
+    done.assign(n, false);
+    for (const OnlineExec& e : committed) done[e.task] = true;
+
+    state.platform.set_alive(fail.proc, false);
+    phase_start = fail.time;
+  }
+
+  for (const OnlineExec& e : committed) {
+    result.executions.push_back(e);
+    result.makespan = std::max(result.makespan, e.finish);
+  }
+  std::sort(result.executions.begin(), result.executions.end(),
+            [](const OnlineExec& a, const OnlineExec& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.task < b.task;
+            });
+  return result;
+}
+
+}  // namespace hdlts::core

@@ -1,0 +1,57 @@
+// Online HDLTS with processor-failure injection (the paper's §IV claim that
+// the dynamic ITQ "will still be able to efficiently assign the tasks to the
+// remaining available CPUs" when a CPU malfunctions, and its §VI future-work
+// direction).
+//
+// Execution model: HDLTS assigns independent tasks exactly as the static
+// algorithm does. When processor q fails at time T:
+//   * executions that finished anywhere by T are committed (their outputs
+//     remain available — already in transit / checkpointed);
+//   * the execution running on q at T is lost and its task is re-queued;
+//   * assignments that had not started by T (on any processor) are revoked
+//     and re-queued — the scheduler reconsiders them against the reduced
+//     machine set;
+//   * q accepts no further work, and every new execution starts at or
+//     after T.
+// With no failures the result is identical to the static schedule (verified
+// by the test suite).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hdlts/core/hdlts.hpp"
+
+namespace hdlts::core {
+
+struct ProcFailure {
+  platform::ProcId proc = platform::kInvalidProc;
+  double time = 0.0;
+};
+
+struct OnlineExec {
+  graph::TaskId task = graph::kInvalidTask;
+  platform::ProcId proc = platform::kInvalidProc;
+  double start = 0.0;
+  double finish = 0.0;
+  bool duplicate = false;
+  /// True when this attempt was killed by a processor failure.
+  bool lost = false;
+};
+
+struct OnlineResult {
+  std::vector<OnlineExec> executions;
+  double makespan = 0.0;
+  /// False when the workflow could not finish (all processors failed).
+  bool completed = false;
+  std::size_t lost_executions = 0;
+};
+
+/// Runs the workflow to completion under the given failures (which must not
+/// kill every processor if completion is expected). Failures are applied in
+/// time order; duplicate failures of the same processor are ignored.
+OnlineResult run_online(const sim::Workload& workload,
+                        std::span<const ProcFailure> failures,
+                        const HdltsOptions& options = {});
+
+}  // namespace hdlts::core

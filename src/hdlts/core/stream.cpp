@@ -1,0 +1,199 @@
+#include "hdlts/core/stream.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hdlts/util/stats.hpp"
+
+namespace hdlts::core {
+
+namespace {
+
+double penalty_value(PvKind kind, std::span<const double> eft) {
+  switch (kind) {
+    case PvKind::kSampleStddev:
+      return util::stddev_sample(eft);
+    case PvKind::kPopulationStddev:
+      return util::stddev_population(eft);
+    case PvKind::kRange:
+      return util::range(eft);
+  }
+  throw ContractViolation("unhandled PvKind");
+}
+
+struct ItqEntry {
+  graph::TaskId task = graph::kInvalidTask;  // combined id space
+  std::vector<double> ready;                 // per alive processor
+  std::size_t fifo_order = 0;                // arrival order into the ITQ
+};
+
+}  // namespace
+
+StreamResult run_stream(std::span<const StreamArrival> arrivals,
+                        const StreamOptions& options) {
+  if (arrivals.empty()) {
+    throw InvalidArgument("workflow stream must not be empty");
+  }
+  const std::size_t num_procs = arrivals.front().workload.platform.num_procs();
+  for (const StreamArrival& a : arrivals) {
+    a.workload.validate();
+    if (a.workload.platform.num_procs() != num_procs) {
+      throw InvalidArgument(
+          "all stream workflows must target the same processor count");
+    }
+    if (a.arrival < 0.0) {
+      throw InvalidArgument("arrival times must be non-negative");
+    }
+  }
+
+  // Combined id space: workflow w's task t maps to offset[w] + t.
+  std::vector<std::size_t> offset(arrivals.size() + 1, 0);
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    offset[w + 1] = offset[w] + arrivals[w].workload.graph.num_tasks();
+  }
+  const std::size_t total = offset.back();
+
+  sim::Workload combined{graph::TaskGraph{}, sim::CostTable(total, num_procs),
+                         arrivals.front().workload.platform};
+  std::vector<double> floor(total, 0.0);
+  std::vector<std::size_t> owner(total, 0);
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    const auto& g = arrivals[w].workload.graph;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const graph::TaskId id =
+          combined.graph.add_task(g.name(v) + "@" + std::to_string(w),
+                                  g.work(v));
+      HDLTS_ENSURES(id == offset[w] + v);
+      floor[id] = arrivals[w].arrival;
+      owner[id] = w;
+      for (platform::ProcId p = 0; p < num_procs; ++p) {
+        combined.costs.set(id, p, arrivals[w].workload.costs(v, p));
+      }
+    }
+  }
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    const auto& g = arrivals[w].workload.graph;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      for (const graph::Adjacent& c : g.children(v)) {
+        combined.graph.add_edge(static_cast<graph::TaskId>(offset[w] + v),
+                                static_cast<graph::TaskId>(offset[w] + c.task),
+                                c.data);
+      }
+    }
+  }
+  const sim::Problem problem(combined);
+  const auto& procs = problem.procs();
+  const std::size_t np = procs.size();
+
+  // Arrival phases in time order.
+  std::vector<std::size_t> phase_order(arrivals.size());
+  std::iota(phase_order.begin(), phase_order.end(), 0);
+  std::sort(phase_order.begin(), phase_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return arrivals[a].arrival < arrivals[b].arrival;
+            });
+
+  sim::Schedule schedule(total, num_procs);
+  std::vector<std::size_t> pending(total, 0);
+  std::vector<bool> released(total, false);
+  std::vector<ItqEntry> itq;
+  std::size_t fifo_counter = 0;
+
+  auto eft_of = [&](const ItqEntry& e, std::size_t pi) {
+    const platform::ProcId p = procs[pi];
+    const double duration = problem.exec_time(e.task, p);
+    const double ready = std::max(e.ready[pi], floor[e.task]);
+    const double est = std::max(ready, schedule.proc_available(p));
+    return est + duration;
+  };
+  auto push_ready = [&](graph::TaskId v) {
+    ItqEntry e;
+    e.task = v;
+    e.ready.resize(np);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      e.ready[pi] = schedule.ready_time(problem, v, procs[pi]);
+    }
+    e.fifo_order = fifo_counter++;
+    itq.push_back(std::move(e));
+  };
+
+  auto drain_itq = [&]() {
+    while (!itq.empty()) {
+      std::size_t pick = 0;
+      if (options.policy == StreamPolicy::kHdltsPv) {
+        std::vector<double> pv(itq.size());
+        for (std::size_t i = 0; i < itq.size(); ++i) {
+          std::vector<double> row(np);
+          for (std::size_t pi = 0; pi < np; ++pi) row[pi] = eft_of(itq[i], pi);
+          pv[i] = penalty_value(options.pv, row);
+        }
+        for (std::size_t i = 1; i < itq.size(); ++i) {
+          if (pv[i] > pv[pick] ||
+              (pv[i] == pv[pick] && itq[i].task < itq[pick].task)) {
+            pick = i;
+          }
+        }
+      } else {
+        for (std::size_t i = 1; i < itq.size(); ++i) {
+          if (itq[i].fifo_order < itq[pick].fifo_order) pick = i;
+        }
+      }
+      const ItqEntry chosen = std::move(itq[pick]);
+      itq.erase(itq.begin() + static_cast<std::ptrdiff_t>(pick));
+      std::size_t best = 0;
+      double best_eft = eft_of(chosen, 0);
+      for (std::size_t pi = 1; pi < np; ++pi) {
+        const double eft = eft_of(chosen, pi);
+        if (eft < best_eft) {
+          best_eft = eft;
+          best = pi;
+        }
+      }
+      const platform::ProcId proc = procs[best];
+      const double start = best_eft - problem.exec_time(chosen.task, proc);
+      schedule.place(chosen.task, proc, start, best_eft);
+      for (const graph::Adjacent& c : problem.graph().children(chosen.task)) {
+        if (released[c.task] && --pending[c.task] == 0) push_ready(c.task);
+      }
+    }
+  };
+
+  for (const std::size_t w : phase_order) {
+    // Release workflow w's tasks into the scheduler's universe.
+    for (std::size_t t = offset[w]; t < offset[w + 1]; ++t) {
+      const auto v = static_cast<graph::TaskId>(t);
+      released[v] = true;
+      pending[v] = 0;
+      for (const graph::Adjacent& p : problem.graph().parents(v)) {
+        if (!schedule.is_placed(p.task)) ++pending[v];
+      }
+      if (pending[v] == 0) push_ready(v);
+    }
+    drain_itq();
+  }
+
+  HDLTS_ENSURES(schedule.num_placed() == total);
+  StreamResult result;
+  result.finish.assign(arrivals.size(), 0.0);
+  result.flow_time.assign(arrivals.size(), 0.0);
+  for (std::size_t t = 0; t < total; ++t) {
+    const auto v = static_cast<graph::TaskId>(t);
+    const sim::Placement& pl = schedule.placement(v);
+    result.executions.push_back({owner[t],
+                                 static_cast<graph::TaskId>(t - offset[owner[t]]),
+                                 pl.proc, pl.start, pl.finish});
+    result.finish[owner[t]] = std::max(result.finish[owner[t]], pl.finish);
+    result.makespan = std::max(result.makespan, pl.finish);
+  }
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    result.flow_time[w] = result.finish[w] - arrivals[w].arrival;
+  }
+  std::sort(result.executions.begin(), result.executions.end(),
+            [](const StreamTaskExec& a, const StreamTaskExec& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.task < b.task;
+            });
+  return result;
+}
+
+}  // namespace hdlts::core

@@ -1,0 +1,63 @@
+// Dynamic application workflows (the paper's §VI second future-work item):
+// a stream of workflows arriving over time on a shared heterogeneous
+// platform, scheduled online.
+//
+// Model: the scheduler is not clairvoyant — a workflow is invisible before
+// its arrival. Between arrivals the scheduler eagerly assigns every
+// currently-independent task exactly as HDLTS does (Algorithm 2), with each
+// task's EST floored at its workflow's arrival time; when a new workflow
+// arrives its source tasks join the ITQ and priorities are recomputed.
+// Assignments are non-preemptive and never revoked (contrast with the
+// failure path in hdlts/core/online.hpp, which does revoke).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hdlts/core/hdlts.hpp"
+
+namespace hdlts::core {
+
+/// One workflow in the stream. Workloads must all target a platform with
+/// the same processor count; the stream runs on the platform of the first
+/// arrival (bandwidths of later platforms are ignored).
+struct StreamArrival {
+  sim::Workload workload;
+  double arrival = 0.0;
+};
+
+/// Which priority rule drives the shared ITQ.
+enum class StreamPolicy {
+  kHdltsPv,  ///< penalty value (sample stddev of EFTs) — the paper's rule
+  kFifoEft,  ///< first-come-first-served among ready tasks, min-EFT CPU
+};
+
+struct StreamTaskExec {
+  std::size_t workflow = 0;       ///< index into the arrival list
+  graph::TaskId task = 0;         ///< task id *within* that workflow
+  platform::ProcId proc = platform::kInvalidProc;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct StreamResult {
+  std::vector<StreamTaskExec> executions;
+  /// Completion time of each workflow (absolute).
+  std::vector<double> finish;
+  /// Flow time of each workflow: finish - arrival.
+  std::vector<double> flow_time;
+  /// Completion of the whole stream.
+  double makespan = 0.0;
+};
+
+struct StreamOptions {
+  StreamPolicy policy = StreamPolicy::kHdltsPv;
+  PvKind pv = PvKind::kSampleStddev;
+};
+
+/// Runs the stream to completion. Throws InvalidArgument on inconsistent
+/// processor counts or an empty stream.
+StreamResult run_stream(std::span<const StreamArrival> arrivals,
+                        const StreamOptions& options = {});
+
+}  // namespace hdlts::core

@@ -1,0 +1,104 @@
+#include "hdlts/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hdlts::graph {
+
+namespace {
+
+/// Kahn's algorithm; returns an order of size < num_tasks when cyclic.
+std::vector<TaskId> kahn_order(const TaskGraph& g) {
+  const std::size_t n = g.num_tasks();
+  std::vector<std::size_t> pending(n);
+  // Min-heap on task id keeps the order deterministic and stable.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId v = 0; v < n; ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push(v);
+  }
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const Adjacent& c : g.children(v)) {
+      if (--pending[c.task] == 0) ready.push(c.task);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+bool is_acyclic(const TaskGraph& g) {
+  return kahn_order(g).size() == g.num_tasks();
+}
+
+std::vector<TaskId> topological_order(const TaskGraph& g) {
+  auto order = kahn_order(g);
+  if (order.size() != g.num_tasks()) {
+    throw InvalidArgument("task graph contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::size_t> precedence_levels(const TaskGraph& g) {
+  const auto order = topological_order(g);
+  std::vector<std::size_t> level(g.num_tasks(), 0);
+  for (const TaskId v : order) {
+    for (const Adjacent& p : g.parents(v)) {
+      level[v] = std::max(level[v], level[p.task] + 1);
+    }
+  }
+  return level;
+}
+
+std::size_t num_levels(const TaskGraph& g) {
+  if (g.empty()) return 0;
+  const auto level = precedence_levels(g);
+  return 1 + *std::max_element(level.begin(), level.end());
+}
+
+std::vector<std::size_t> level_widths(const TaskGraph& g) {
+  const auto level = precedence_levels(g);
+  std::vector<std::size_t> width(num_levels(g), 0);
+  for (const std::size_t l : level) ++width[l];
+  return width;
+}
+
+namespace {
+
+std::vector<TaskId> reach(const TaskGraph& g, TaskId v, bool forward) {
+  std::vector<bool> seen(g.num_tasks(), false);
+  std::vector<TaskId> stack{v};
+  seen[v] = true;
+  std::vector<TaskId> out;
+  while (!stack.empty()) {
+    const TaskId u = stack.back();
+    stack.pop_back();
+    const auto next = forward ? g.children(u) : g.parents(u);
+    for (const Adjacent& a : next) {
+      if (!seen[a.task]) {
+        seen[a.task] = true;
+        out.push_back(a.task);
+        stack.push_back(a.task);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<TaskId> descendants(const TaskGraph& g, TaskId v) {
+  return reach(g, v, /*forward=*/true);
+}
+
+std::vector<TaskId> ancestors(const TaskGraph& g, TaskId v) {
+  return reach(g, v, /*forward=*/false);
+}
+
+}  // namespace hdlts::graph

@@ -1,0 +1,37 @@
+// Structural graph algorithms: acyclicity, topological order, precedence
+// levels, reachability. Cost-aware analyses (critical path with a W matrix)
+// live in hdlts/metrics.
+#pragma once
+
+#include <vector>
+
+#include "hdlts/graph/task_graph.hpp"
+
+namespace hdlts::graph {
+
+/// True when the graph has no directed cycle.
+bool is_acyclic(const TaskGraph& g);
+
+/// Kahn topological order (stable: ready tasks are taken in id order).
+/// Throws InvalidArgument when the graph is cyclic.
+std::vector<TaskId> topological_order(const TaskGraph& g);
+
+/// Precedence level of each task: entries are level 0; otherwise
+/// 1 + max(level of parents). This is the `k` in the paper's complexity bound
+/// O(v^2 * (v/k) * p). Throws on cyclic graphs.
+std::vector<std::size_t> precedence_levels(const TaskGraph& g);
+
+/// Number of distinct precedence levels (height of the DAG + 1).
+std::size_t num_levels(const TaskGraph& g);
+
+/// Width per level: tasks that share a level are mutually independent
+/// (paper §III: "tasks on the same level ... can be executed in parallel").
+std::vector<std::size_t> level_widths(const TaskGraph& g);
+
+/// All tasks reachable from v by directed edges (excluding v itself).
+std::vector<TaskId> descendants(const TaskGraph& g, TaskId v);
+
+/// All tasks that reach v by directed edges (excluding v itself).
+std::vector<TaskId> ancestors(const TaskGraph& g, TaskId v);
+
+}  // namespace hdlts::graph

@@ -1,0 +1,68 @@
+#include "hdlts/graph/analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "hdlts/graph/algorithms.hpp"
+
+namespace hdlts::graph {
+
+GraphProfile profile(const TaskGraph& g) {
+  GraphProfile p;
+  p.num_tasks = g.num_tasks();
+  p.num_edges = g.num_edges();
+  if (g.empty()) return p;
+  p.num_entries = g.entry_tasks().size();
+  p.num_exits = g.exit_tasks().size();
+  p.level_widths = level_widths(g);
+  p.height = p.level_widths.size();
+  p.max_width = *std::max_element(p.level_widths.begin(),
+                                  p.level_widths.end());
+  p.mean_width =
+      static_cast<double>(p.num_tasks) / static_cast<double>(p.height);
+  std::size_t non_exit = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    p.max_out_degree = std::max(p.max_out_degree, g.out_degree(v));
+    p.max_in_degree = std::max(p.max_in_degree, g.in_degree(v));
+    if (g.out_degree(v) > 0) ++non_exit;
+  }
+  p.mean_out_degree =
+      non_exit > 0 ? static_cast<double>(p.num_edges) /
+                         static_cast<double>(non_exit)
+                   : 0.0;
+  p.critical_path_hops = p.height - 1;
+  p.density = p.num_tasks > 1
+                  ? 2.0 * static_cast<double>(p.num_edges) /
+                        (static_cast<double>(p.num_tasks) *
+                         static_cast<double>(p.num_tasks - 1))
+                  : 0.0;
+  return p;
+}
+
+void write_profile(std::ostream& os, const GraphProfile& p) {
+  os << "tasks            " << p.num_tasks << "\n"
+     << "edges            " << p.num_edges << "\n"
+     << "entries/exits    " << p.num_entries << "/" << p.num_exits << "\n"
+     << "height (levels)  " << p.height << "\n"
+     << "width mean/max   " << p.mean_width << "/" << p.max_width << "\n"
+     << "out-degree mean  " << p.mean_out_degree << " (max "
+     << p.max_out_degree << ")\n"
+     << "in-degree max    " << p.max_in_degree << "\n"
+     << "cp hops          " << p.critical_path_hops << "\n"
+     << "density          " << p.density << "\n"
+     << "profile          ";
+  for (std::size_t i = 0; i < p.level_widths.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << p.level_widths[i];
+  }
+  os << "\n";
+}
+
+std::string to_string(const GraphProfile& p) {
+  std::ostringstream os;
+  write_profile(os, p);
+  return os.str();
+}
+
+}  // namespace hdlts::graph

@@ -1,0 +1,42 @@
+// Workload characterization: the structural quantities the paper's
+// generator parameters control (height/width via alpha, edge density,
+// degree profile) measured on an actual graph, plus a parallelism profile.
+// Used by tests to verify generator fidelity and by examples/tools to
+// describe a workflow before scheduling it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hdlts/graph/task_graph.hpp"
+
+namespace hdlts::graph {
+
+struct GraphProfile {
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_entries = 0;
+  std::size_t num_exits = 0;
+  std::size_t height = 0;           ///< number of precedence levels
+  std::size_t max_width = 0;        ///< widest level
+  double mean_width = 0.0;          ///< num_tasks / height
+  double mean_out_degree = 0.0;     ///< edges / non-exit tasks
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  /// Width of each precedence level (the parallelism profile).
+  std::vector<std::size_t> level_widths;
+  /// Edges on the longest (by hop count) entry->exit path.
+  std::size_t critical_path_hops = 0;
+  /// 2*E / (V*(V-1)): how close the DAG is to a tournament.
+  double density = 0.0;
+};
+
+/// Computes the profile; throws InvalidArgument on cyclic graphs.
+GraphProfile profile(const TaskGraph& g);
+
+/// Human-readable multi-line rendering of the profile.
+void write_profile(std::ostream& os, const GraphProfile& p);
+std::string to_string(const GraphProfile& p);
+
+}  // namespace hdlts::graph

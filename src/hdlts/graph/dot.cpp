@@ -1,0 +1,47 @@
+#include "hdlts/graph/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace hdlts::graph {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const TaskGraph& g,
+               const DotOptions& options) {
+  os << "digraph \"" << dot_escape(options.name) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    os << "  " << v << " [label=\"" << dot_escape(g.name(v));
+    if (options.work_labels) os << "\\nwork=" << g.work(v);
+    os << "\"];\n";
+  }
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const Adjacent& c : g.children(v)) {
+      os << "  " << v << " -> " << c.task;
+      if (options.edge_labels) os << " [label=\"" << c.data << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const TaskGraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, g, options);
+  return os.str();
+}
+
+}  // namespace hdlts::graph

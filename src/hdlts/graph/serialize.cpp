@@ -1,0 +1,82 @@
+#include "hdlts/graph/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hdlts::graph {
+
+void write_text(std::ostream& os, const TaskGraph& g) {
+  os << "# hdlts workflow, " << g.num_tasks() << " tasks, " << g.num_edges()
+     << " edges\n";
+  os << "workflow " << g.num_tasks() << "\n";
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    os << "task " << v << " " << g.name(v) << " " << g.work(v) << "\n";
+  }
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const Adjacent& c : g.children(v)) {
+      os << "edge " << v << " " << c.task << " " << c.data << "\n";
+    }
+  }
+}
+
+TaskGraph read_text(std::istream& is) {
+  TaskGraph g;
+  std::string line;
+  bool saw_header = false;
+  std::size_t declared_tasks = 0;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    auto fail = [&](const std::string& why) -> void {
+      throw InvalidArgument("workflow text line " + std::to_string(line_no) +
+                            ": " + why);
+    };
+    if (kind == "workflow") {
+      if (saw_header) fail("duplicate workflow header");
+      if (!(ls >> declared_tasks)) fail("malformed workflow header");
+      saw_header = true;
+    } else if (kind == "task") {
+      TaskId id = 0;
+      std::string name;
+      double work = 0.0;
+      if (!(ls >> id >> name >> work)) fail("malformed task line");
+      if (id != g.num_tasks()) fail("task ids must be dense and in order");
+      g.add_task(name, work);
+    } else if (kind == "edge") {
+      TaskId src = 0;
+      TaskId dst = 0;
+      double data = 0.0;
+      if (!(ls >> src >> dst >> data)) fail("malformed edge line");
+      g.add_edge(src, dst, data);
+    } else {
+      fail("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!saw_header) throw InvalidArgument("missing 'workflow' header");
+  if (g.num_tasks() != declared_tasks) {
+    throw InvalidArgument("workflow header declares " +
+                          std::to_string(declared_tasks) + " tasks but " +
+                          std::to_string(g.num_tasks()) + " were defined");
+  }
+  return g;
+}
+
+void save_text(const std::string& path, const TaskGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  write_text(out, g);
+  if (!out) throw Error("write failed: " + path);
+}
+
+TaskGraph load_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for reading: " + path);
+  return read_text(in);
+}
+
+}  // namespace hdlts::graph

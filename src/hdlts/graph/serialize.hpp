@@ -1,0 +1,25 @@
+// Plain-text workflow serialization.
+//
+// Format (one record per line, '#' starts a comment):
+//   workflow <num_tasks>
+//   task <id> <name> <work>
+//   edge <src> <dst> <data>
+// Task lines must precede edge lines that reference them; ids are dense and
+// must appear in order (this keeps round-trips exact).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hdlts/graph/task_graph.hpp"
+
+namespace hdlts::graph {
+
+void write_text(std::ostream& os, const TaskGraph& g);
+TaskGraph read_text(std::istream& is);
+
+/// File helpers; throw hdlts::Error on I/O failure.
+void save_text(const std::string& path, const TaskGraph& g);
+TaskGraph load_text(const std::string& path);
+
+}  // namespace hdlts::graph

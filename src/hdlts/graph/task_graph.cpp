@@ -1,0 +1,143 @@
+#include "hdlts/graph/task_graph.hpp"
+
+#include <algorithm>
+
+namespace hdlts::graph {
+
+TaskId TaskGraph::add_task(std::string name, double work) {
+  if (work < 0.0) throw InvalidArgument("task work must be non-negative");
+  const auto id = static_cast<TaskId>(names_.size());
+  if (name.empty()) {
+    name = "t";
+    name += std::to_string(id);
+  }
+  names_.push_back(std::move(name));
+  work_.push_back(work);
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+void TaskGraph::add_edge(TaskId src, TaskId dst, double data) {
+  check_task(src);
+  check_task(dst);
+  if (src == dst) {
+    throw InvalidArgument("self-loop on task " + std::to_string(src));
+  }
+  if (data < 0.0) throw InvalidArgument("edge data must be non-negative");
+  if (has_edge(src, dst)) {
+    throw InvalidArgument("duplicate edge " + std::to_string(src) + " -> " +
+                          std::to_string(dst));
+  }
+  children_[src].push_back({dst, data});
+  parents_[dst].push_back({src, data});
+  ++num_edges_;
+}
+
+void TaskGraph::set_work(TaskId v, double work) {
+  check_task(v);
+  if (work < 0.0) throw InvalidArgument("task work must be non-negative");
+  work_[v] = work;
+}
+
+std::span<const Adjacent> TaskGraph::children(TaskId v) const {
+  check_task(v);
+  return children_[v];
+}
+
+std::span<const Adjacent> TaskGraph::parents(TaskId v) const {
+  check_task(v);
+  return parents_[v];
+}
+
+bool TaskGraph::has_edge(TaskId src, TaskId dst) const {
+  check_task(src);
+  check_task(dst);
+  const auto& kids = children_[src];
+  return std::any_of(kids.begin(), kids.end(),
+                     [dst](const Adjacent& a) { return a.task == dst; });
+}
+
+double TaskGraph::edge_data(TaskId src, TaskId dst) const {
+  check_task(src);
+  check_task(dst);
+  for (const Adjacent& a : children_[src]) {
+    if (a.task == dst) return a.data;
+  }
+  throw InvalidArgument("no edge " + std::to_string(src) + " -> " +
+                        std::to_string(dst));
+}
+
+void TaskGraph::set_edge_data(TaskId src, TaskId dst, double data) {
+  check_task(src);
+  check_task(dst);
+  if (data < 0.0) throw InvalidArgument("edge data must be non-negative");
+  for (Adjacent& a : children_[src]) {
+    if (a.task == dst) {
+      a.data = data;
+      for (Adjacent& b : parents_[dst]) {
+        if (b.task == src) b.data = data;
+      }
+      return;
+    }
+  }
+  throw InvalidArgument("no edge " + std::to_string(src) + " -> " +
+                        std::to_string(dst));
+}
+
+std::vector<TaskId> TaskGraph::entry_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId v = 0; v < num_tasks(); ++v) {
+    if (parents_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::exit_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId v = 0; v < num_tasks(); ++v) {
+    if (children_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+TaskId TaskGraph::single_entry() const {
+  const auto entries = entry_tasks();
+  if (entries.size() != 1) {
+    throw InvalidArgument("graph has " + std::to_string(entries.size()) +
+                          " entry tasks; expected exactly 1");
+  }
+  return entries.front();
+}
+
+TaskId TaskGraph::single_exit() const {
+  const auto exits = exit_tasks();
+  if (exits.size() != 1) {
+    throw InvalidArgument("graph has " + std::to_string(exits.size()) +
+                          " exit tasks; expected exactly 1");
+  }
+  return exits.front();
+}
+
+Normalized normalize_single_entry_exit(const TaskGraph& g) {
+  Normalized out;
+  out.graph = g;
+  const auto entries = g.entry_tasks();
+  const auto exits = g.exit_tasks();
+  if (entries.empty() || exits.empty()) {
+    throw InvalidArgument("graph has no entry or no exit task (cyclic?)");
+  }
+  if (entries.size() > 1) {
+    const TaskId pseudo = out.graph.add_task("pseudo_entry", 0.0);
+    for (TaskId e : entries) out.graph.add_edge(pseudo, e, 0.0);
+    out.pseudo_entry = pseudo;
+  }
+  if (exits.size() > 1) {
+    const TaskId pseudo = out.graph.add_task("pseudo_exit", 0.0);
+    for (TaskId x : exits) out.graph.add_edge(x, pseudo, 0.0);
+    out.pseudo_exit = pseudo;
+  }
+  return out;
+}
+
+}  // namespace hdlts::graph

@@ -1,0 +1,103 @@
+// Directed acyclic task graph (application workflow), paper §III.
+//
+// Nodes are tasks identified by dense TaskIds; edges carry the volume of data
+// transferred from parent to child (paper Definition 2). Execution costs are
+// *not* stored here — they live in sim::CostTable so the same structure can be
+// re-costed (e.g. one Montage graph swept over many CCR values).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::graph {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// One endpoint of an adjacency: the task on the other side plus the data
+/// volume on the connecting edge.
+struct Adjacent {
+  TaskId task = kInvalidTask;
+  double data = 0.0;
+};
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Adds a task and returns its id (ids are dense, starting at 0).
+  /// `work` is an abstract computation amount used when deriving cost tables
+  /// from processor speeds; generators that set W directly may leave it 1.
+  TaskId add_task(std::string name = {}, double work = 1.0);
+
+  /// Adds a dependency edge src -> dst carrying `data` units.
+  /// Throws InvalidArgument on self-loops, unknown ids, or duplicate edges.
+  void add_edge(TaskId src, TaskId dst, double data = 0.0);
+
+  std::size_t num_tasks() const { return names_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+  bool empty() const { return names_.empty(); }
+
+  const std::string& name(TaskId v) const { return names_.at(v); }
+  double work(TaskId v) const { return work_.at(v); }
+  void set_work(TaskId v, double work);
+
+  /// Children of v with per-edge data volumes.
+  std::span<const Adjacent> children(TaskId v) const;
+  /// Parents of v with per-edge data volumes.
+  std::span<const Adjacent> parents(TaskId v) const;
+
+  std::size_t out_degree(TaskId v) const { return children(v).size(); }
+  std::size_t in_degree(TaskId v) const { return parents(v).size(); }
+
+  bool has_edge(TaskId src, TaskId dst) const;
+  /// Data volume on edge src -> dst; throws InvalidArgument if absent.
+  double edge_data(TaskId src, TaskId dst) const;
+  /// Replaces the data volume on an existing edge.
+  void set_edge_data(TaskId src, TaskId dst, double data);
+
+  /// Tasks with no parents, in id order.
+  std::vector<TaskId> entry_tasks() const;
+  /// Tasks with no children, in id order.
+  std::vector<TaskId> exit_tasks() const;
+
+  /// The unique entry task; throws if the graph has zero or multiple entries.
+  TaskId single_entry() const;
+  /// The unique exit task; throws if the graph has zero or multiple exits.
+  TaskId single_exit() const;
+
+  bool contains(TaskId v) const { return v < names_.size(); }
+
+ private:
+  void check_task(TaskId v) const {
+    if (!contains(v)) {
+      throw InvalidArgument("unknown task id " + std::to_string(v));
+    }
+  }
+
+  std::vector<std::string> names_;
+  std::vector<double> work_;
+  std::vector<std::vector<Adjacent>> children_;
+  std::vector<std::vector<Adjacent>> parents_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Result of normalize_single_entry_exit(). Original task ids are preserved;
+/// pseudo tasks (zero work, zero data edges, paper §III) are appended.
+struct Normalized {
+  TaskGraph graph;
+  std::optional<TaskId> pseudo_entry;
+  std::optional<TaskId> pseudo_exit;
+};
+
+/// Ensures the graph has a single entry and a single exit by appending pseudo
+/// tasks where needed. A graph that is already single-entry/exit is copied
+/// unchanged (both optionals empty).
+Normalized normalize_single_entry_exit(const TaskGraph& g);
+
+}  // namespace hdlts::graph

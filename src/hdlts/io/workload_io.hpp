@@ -1,0 +1,23 @@
+// Full-workload serialization (graph + W matrix + platform bandwidth), so a
+// generated problem instance can be archived and re-run bit-identically.
+//
+// Format extends the graph text format (hdlts/graph/serialize.hpp) with:
+//   platform <num_procs>
+//   bandwidth <src> <dst> <value>     (only non-default links)
+//   cost <task> <w_p1> <w_p2> ... <w_pp>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hdlts/sim/problem.hpp"
+
+namespace hdlts::io {
+
+void write_workload(std::ostream& os, const sim::Workload& w);
+sim::Workload read_workload(std::istream& is);
+
+void save_workload(const std::string& path, const sim::Workload& w);
+sim::Workload load_workload(const std::string& path);
+
+}  // namespace hdlts::io

@@ -1,0 +1,24 @@
+#include "hdlts/metrics/energy.hpp"
+
+namespace hdlts::metrics {
+
+EnergyBreakdown energy(const sim::Problem& problem,
+                       const sim::Schedule& schedule) {
+  const auto& platform = problem.platform();
+  EnergyBreakdown out;
+  const double horizon = schedule.makespan();
+  for (const platform::ProcId p : problem.procs()) {
+    double busy_time = 0.0;
+    for (const sim::Placement& pl : schedule.timeline(p)) {
+      const double duration = pl.finish - pl.start;
+      const double joules = duration * platform.busy_power(p);
+      out.busy += joules;
+      if (pl.duplicate) out.duplicate += joules;
+      busy_time += duration;
+    }
+    out.idle += (horizon - busy_time) * platform.idle_power(p);
+  }
+  return out;
+}
+
+}  // namespace hdlts::metrics

@@ -1,0 +1,27 @@
+// Energy accounting (extension; the paper's §II-B observes that task
+// duplication "may reduce the overall makespan, but with the cost of ...
+// higher energy consumption" — this module makes that trade-off
+// measurable).
+//
+// Model: every executed block (primary or duplicate) draws its processor's
+// busy power for its duration; for the rest of the schedule horizon
+// (through the makespan) each alive processor draws its idle power.
+#pragma once
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::metrics {
+
+struct EnergyBreakdown {
+  double busy = 0.0;       ///< energy spent executing blocks
+  double idle = 0.0;       ///< energy spent idling until the makespan
+  double duplicate = 0.0;  ///< portion of `busy` burned by duplicates
+  double total() const { return busy + idle; }
+};
+
+/// Energy of a (partial or complete) schedule on the problem's platform.
+EnergyBreakdown energy(const sim::Problem& problem,
+                       const sim::Schedule& schedule);
+
+}  // namespace hdlts::metrics

@@ -1,0 +1,143 @@
+#include "hdlts/metrics/experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/metrics/metrics.hpp"
+#include "hdlts/util/rng.hpp"
+
+namespace hdlts::metrics {
+
+namespace {
+
+struct CellResult {
+  double slr = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  double makespan = 0.0;
+};
+
+/// Shared rep runner: fills `cells` (rep-major) or records a failure.
+void run_repetitions(const WorkloadFactory& factory,
+                     const std::vector<std::string>& scheduler_names,
+                     const sched::Registry& registry,
+                     const CompareOptions& options,
+                     std::vector<CellResult>& cells,
+                     std::vector<std::string>& failures) {
+  const std::size_t ns = scheduler_names.size();
+  auto run_rep = [&](std::size_t rep) {
+    try {
+      const std::uint64_t seed =
+          util::derive_seed(options.base_seed, 0x9d1cULL, rep);
+      const sim::Workload workload = factory(seed);
+      const sim::Problem problem(workload);
+      for (std::size_t si = 0; si < ns; ++si) {
+        const auto scheduler = registry.make(scheduler_names[si]);
+        const sim::Schedule schedule = scheduler->schedule(problem);
+        if (options.check_schedules) {
+          const auto violations = schedule.validate(problem);
+          if (!violations.empty()) {
+            failures[rep] = scheduler_names[si] + ": " + violations.front();
+            return;
+          }
+        }
+        CellResult& cell = cells[rep * ns + si];
+        cell.slr = slr(problem, schedule);
+        cell.speedup = speedup(problem, schedule);
+        cell.efficiency = efficiency(problem, schedule);
+        cell.makespan = schedule.makespan();
+      }
+    } catch (const std::exception& e) {
+      failures[rep] = e.what();
+    }
+  };
+  if (options.pool != nullptr) {
+    util::parallel_for(*options.pool, options.repetitions, run_rep);
+  } else {
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) run_rep(rep);
+  }
+  for (const std::string& f : failures) {
+    if (!f.empty()) throw Error("experiment repetition failed: " + f);
+  }
+}
+
+void check_inputs(const std::vector<std::string>& scheduler_names,
+                  const CompareOptions& options) {
+  if (scheduler_names.empty()) {
+    throw InvalidArgument("experiment needs >= 1 scheduler");
+  }
+  if (options.repetitions == 0) {
+    throw InvalidArgument("experiment needs >= 1 repetition");
+  }
+}
+
+}  // namespace
+
+std::vector<SchedulerSummary> compare_schedulers(
+    const WorkloadFactory& factory,
+    const std::vector<std::string>& scheduler_names,
+    const sched::Registry& registry, const CompareOptions& options) {
+  check_inputs(scheduler_names, options);
+  const std::size_t ns = scheduler_names.size();
+  const std::size_t reps = options.repetitions;
+
+  // Each worker instantiates its own scheduler objects (they are not
+  // required to be thread-safe) but shares nothing mutable across reps.
+  std::vector<CellResult> cells(ns * reps);
+  std::vector<std::string> failures(reps);
+  run_repetitions(factory, scheduler_names, registry, options, cells,
+                  failures);
+
+  std::vector<SchedulerSummary> out(ns);
+  for (std::size_t si = 0; si < ns; ++si) {
+    out[si].scheduler = scheduler_names[si];
+  }
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t si = 0; si < ns; ++si) {
+      best = std::min(best, cells[rep * ns + si].makespan);
+    }
+    for (std::size_t si = 0; si < ns; ++si) {
+      const CellResult& cell = cells[rep * ns + si];
+      SchedulerSummary& s = out[si];
+      s.slr.add(cell.slr);
+      s.speedup.add(cell.speedup);
+      s.efficiency.add(cell.efficiency);
+      s.makespan.add(cell.makespan);
+      if (cell.makespan <= best * (1.0 + 1e-12)) ++s.wins;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> win_matrix(
+    const WorkloadFactory& factory,
+    const std::vector<std::string>& scheduler_names,
+    const sched::Registry& registry, const CompareOptions& options) {
+  check_inputs(scheduler_names, options);
+  const std::size_t ns = scheduler_names.size();
+  const std::size_t reps = options.repetitions;
+  std::vector<CellResult> cells(ns * reps);
+  std::vector<std::string> failures(reps);
+  run_repetitions(factory, scheduler_names, registry, options, cells,
+                  failures);
+
+  std::vector<std::vector<double>> matrix(ns, std::vector<double>(ns, 0.0));
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = 0; j < ns; ++j) {
+        if (i == j) continue;
+        if (cells[rep * ns + i].makespan <
+            cells[rep * ns + j].makespan - 1e-12) {
+          matrix[i][j] += 1.0;
+        }
+      }
+    }
+  }
+  for (auto& row : matrix) {
+    for (double& v : row) v /= static_cast<double>(reps);
+  }
+  return matrix;
+}
+
+}  // namespace hdlts::metrics

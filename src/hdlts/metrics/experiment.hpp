@@ -1,0 +1,60 @@
+// Experiment harness: runs a set of schedulers over many seeded repetitions
+// of a workload family and aggregates the paper's metrics. Repetitions are
+// independent and each derives its RNG from (base seed, repetition), so the
+// results are identical whether they run on 1 thread or many.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hdlts/sched/registry.hpp"
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/util/stats.hpp"
+#include "hdlts/util/thread_pool.hpp"
+
+namespace hdlts::metrics {
+
+/// Produces a fresh workload for a repetition seed.
+using WorkloadFactory = std::function<sim::Workload(std::uint64_t seed)>;
+
+/// Aggregated metrics of one scheduler over all repetitions.
+struct SchedulerSummary {
+  std::string scheduler;
+  util::RunningStats slr;
+  util::RunningStats speedup;
+  util::RunningStats efficiency;
+  util::RunningStats makespan;
+  /// Repetitions in which this scheduler produced the (possibly shared)
+  /// best makespan among the compared set.
+  std::size_t wins = 0;
+};
+
+struct CompareOptions {
+  std::size_t repetitions = 30;
+  std::uint64_t base_seed = 42;
+  /// Validate every schedule against the problem (on in tests; costs time).
+  bool check_schedules = false;
+  /// Optional pool; when null the repetitions run sequentially.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Runs every named scheduler from `registry` on `repetitions` workloads
+/// drawn from `factory`. Throws if a scheduler produces an invalid schedule
+/// while check_schedules is set. Summaries come back in the order of
+/// `scheduler_names`.
+std::vector<SchedulerSummary> compare_schedulers(
+    const WorkloadFactory& factory,
+    const std::vector<std::string>& scheduler_names,
+    const sched::Registry& registry, const CompareOptions& options = {});
+
+/// Pairwise comparison: entry [i][j] is the fraction of repetitions where
+/// scheduler i's makespan was strictly lower than scheduler j's (diagonal
+/// 0). Rows/columns follow `scheduler_names`. Same repetition seeds as
+/// compare_schedulers, so the two views are consistent.
+std::vector<std::vector<double>> win_matrix(
+    const WorkloadFactory& factory,
+    const std::vector<std::string>& scheduler_names,
+    const sched::Registry& registry, const CompareOptions& options = {});
+
+}  // namespace hdlts::metrics

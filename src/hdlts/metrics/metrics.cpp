@@ -1,0 +1,69 @@
+#include "hdlts/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/graph/algorithms.hpp"
+
+namespace hdlts::metrics {
+
+double min_cost_critical_path(const sim::Problem& problem) {
+  const auto& g = problem.graph();
+  const auto order = graph::topological_order(g);
+  std::vector<double> best(g.num_tasks(), 0.0);
+  double cp = 0.0;
+  for (const graph::TaskId v : order) {
+    double from_parents = 0.0;
+    for (const graph::Adjacent& p : g.parents(v)) {
+      from_parents = std::max(from_parents, best[p.task]);
+    }
+    best[v] = from_parents + problem.costs().min(v);
+    cp = std::max(cp, best[v]);
+  }
+  return cp;
+}
+
+double slr(const sim::Problem& problem, const sim::Schedule& schedule) {
+  const double denom = min_cost_critical_path(problem);
+  if (denom <= 0.0) {
+    throw InvalidArgument("SLR undefined: critical path has zero cost");
+  }
+  return schedule.makespan() / denom;
+}
+
+double best_sequential_time(const sim::Problem& problem) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const platform::ProcId p : problem.procs()) {
+    double total = 0.0;
+    for (graph::TaskId v = 0; v < problem.num_tasks(); ++v) {
+      total += problem.exec_time(v, p);
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+double speedup(const sim::Problem& problem, const sim::Schedule& schedule) {
+  const double span = schedule.makespan();
+  if (span <= 0.0) {
+    throw InvalidArgument("speedup undefined: zero makespan");
+  }
+  return best_sequential_time(problem) / span;
+}
+
+double efficiency(const sim::Problem& problem, const sim::Schedule& schedule) {
+  return speedup(problem, schedule) /
+         static_cast<double>(problem.procs().size());
+}
+
+double makespan_lower_bound(const sim::Problem& problem) {
+  double total_min_work = 0.0;
+  for (graph::TaskId v = 0; v < problem.num_tasks(); ++v) {
+    total_min_work += problem.costs().min(v);
+  }
+  const double work_bound =
+      total_min_work / static_cast<double>(problem.procs().size());
+  return std::max(min_cost_critical_path(problem), work_bound);
+}
+
+}  // namespace hdlts::metrics

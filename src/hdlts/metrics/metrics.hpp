@@ -1,0 +1,37 @@
+// The paper's comparison metrics (§V-A): makespan (Eq. 9), scheduling length
+// ratio (Eq. 10), speedup (Eq. 11), efficiency (Eq. 12).
+#pragma once
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::metrics {
+
+/// Sum of min-processor execution costs along the minimum-computation-cost
+/// critical path CP_MIN — the SLR denominator (lower bound on makespan).
+/// The path maximizes the sum of per-task minimum execution times
+/// (communication excluded, as in the HEFT paper's SLR definition).
+double min_cost_critical_path(const sim::Problem& problem);
+
+/// makespan / min_cost_critical_path (Eq. 10); >= 1 for valid schedules on
+/// graphs whose critical path has positive cost.
+double slr(const sim::Problem& problem, const sim::Schedule& schedule);
+
+/// Minimum over processors of the whole graph's sequential execution time
+/// (the Eq. 11 numerator).
+double best_sequential_time(const sim::Problem& problem);
+
+/// best_sequential_time / makespan (Eq. 11).
+double speedup(const sim::Problem& problem, const sim::Schedule& schedule);
+
+/// speedup / number of (alive) processors (Eq. 12).
+double efficiency(const sim::Problem& problem, const sim::Schedule& schedule);
+
+/// A (slightly) sharper lower bound on any duplication-free makespan:
+/// max(min-cost critical path, total minimum work / alive processors).
+/// Duplication can beat the work term only by wasting capacity, never the
+/// critical-path term, so only the CP component binds schedules with
+/// duplicates.
+double makespan_lower_bound(const sim::Problem& problem);
+
+}  // namespace hdlts::metrics

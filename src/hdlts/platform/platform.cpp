@@ -1,0 +1,97 @@
+#include "hdlts/platform/platform.hpp"
+
+#include <algorithm>
+
+namespace hdlts::platform {
+
+Platform::Platform(std::size_t num_procs, double bandwidth)
+    : bandwidth_(num_procs * num_procs, bandwidth),
+      alive_(num_procs, true),
+      busy_power_(num_procs, 1.0),
+      idle_power_(num_procs, 0.1) {
+  if (num_procs == 0) throw InvalidArgument("platform needs >= 1 processor");
+  if (bandwidth <= 0.0) throw InvalidArgument("bandwidth must be positive");
+}
+
+std::string Platform::proc_name(ProcId p) const {
+  check_proc(p);
+  return "P" + std::to_string(p + 1);
+}
+
+double Platform::bandwidth(ProcId src, ProcId dst) const {
+  check_proc(src);
+  check_proc(dst);
+  return bandwidth_[src * num_procs() + dst];
+}
+
+void Platform::set_bandwidth(ProcId a, ProcId b, double bandwidth) {
+  check_proc(a);
+  check_proc(b);
+  if (a == b) throw InvalidArgument("cannot set same-processor bandwidth");
+  if (bandwidth <= 0.0) throw InvalidArgument("bandwidth must be positive");
+  bandwidth_[a * num_procs() + b] = bandwidth;
+  bandwidth_[b * num_procs() + a] = bandwidth;
+}
+
+double Platform::mean_bandwidth() const {
+  const std::size_t p = num_procs();
+  if (p < 2) return bandwidth_.empty() ? 1.0 : bandwidth_.front();
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (ProcId i = 0; i < p; ++i) {
+    for (ProcId j = 0; j < p; ++j) {
+      if (i == j) continue;
+      sum += bandwidth_[i * p + j];
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+bool Platform::is_alive(ProcId p) const {
+  check_proc(p);
+  return alive_[p];
+}
+
+void Platform::set_alive(ProcId p, bool alive) {
+  check_proc(p);
+  alive_[p] = alive;
+}
+
+std::size_t Platform::num_alive() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+double Platform::busy_power(ProcId p) const {
+  check_proc(p);
+  return busy_power_[p];
+}
+
+double Platform::idle_power(ProcId p) const {
+  check_proc(p);
+  return idle_power_[p];
+}
+
+void Platform::set_power(ProcId p, double busy, double idle) {
+  check_proc(p);
+  if (busy < 0.0 || idle < 0.0) {
+    throw InvalidArgument("power draws must be non-negative");
+  }
+  if (idle > busy) {
+    throw InvalidArgument("idle power cannot exceed busy power");
+  }
+  busy_power_[p] = busy;
+  idle_power_[p] = idle;
+}
+
+std::vector<ProcId> Platform::alive_procs() const {
+  std::vector<ProcId> out;
+  out.reserve(num_procs());
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    if (alive_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace hdlts::platform

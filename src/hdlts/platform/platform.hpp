@@ -1,0 +1,71 @@
+// Heterogeneous computing environment (HCE) model, paper §III.
+//
+// The paper assumes p fully connected processors with no network contention.
+// Heterogeneity of *computation* is expressed through the W cost table
+// (sim::CostTable); the platform models the communication fabric (per-link
+// bandwidth, default uniform 1.0 so communication time == data volume) and
+// processor liveness for the failure-injection extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::platform {
+
+using ProcId = std::uint32_t;
+inline constexpr ProcId kInvalidProc = static_cast<ProcId>(-1);
+
+class Platform {
+ public:
+  /// A platform with `num_procs` processors and uniform link bandwidth.
+  explicit Platform(std::size_t num_procs, double bandwidth = 1.0);
+
+  std::size_t num_procs() const { return alive_.size(); }
+
+  /// Human-readable processor name ("P1".."Pp", 1-based like the paper).
+  std::string proc_name(ProcId p) const;
+
+  /// Bandwidth of the directed link src -> dst. Same-processor bandwidth is
+  /// conceptually infinite; callers must special-case pu == pv (the library's
+  /// comm_time helpers do). Throws on unknown processors.
+  double bandwidth(ProcId src, ProcId dst) const;
+
+  /// Sets the bandwidth of the link in both directions.
+  void set_bandwidth(ProcId a, ProcId b, double bandwidth);
+
+  /// Mean bandwidth over all ordered pairs of distinct processors; used by
+  /// rank computations that need processor-independent mean communication.
+  double mean_bandwidth() const;
+
+  /// Liveness (failure-injection extension; all processors start alive).
+  bool is_alive(ProcId p) const;
+  void set_alive(ProcId p, bool alive);
+  std::size_t num_alive() const;
+  /// Alive processor ids in increasing order.
+  std::vector<ProcId> alive_procs() const;
+
+  /// Power model (energy extension; §II-B notes duplication buys makespan
+  /// at the cost of energy). Busy power is drawn while executing a block,
+  /// idle power for the rest of the schedule horizon. Defaults: 1.0 / 0.1.
+  double busy_power(ProcId p) const;
+  double idle_power(ProcId p) const;
+  void set_power(ProcId p, double busy, double idle);
+
+ private:
+  void check_proc(ProcId p) const {
+    if (p >= num_procs()) {
+      throw InvalidArgument("unknown processor id " + std::to_string(p));
+    }
+  }
+
+  // Row-major p×p matrix; diagonal unused.
+  std::vector<double> bandwidth_;
+  std::vector<bool> alive_;
+  std::vector<double> busy_power_;
+  std::vector<double> idle_power_;
+};
+
+}  // namespace hdlts::platform

@@ -1,0 +1,125 @@
+#include "hdlts/report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "hdlts/util/error.hpp"
+#include "hdlts/util/table.hpp"
+
+namespace hdlts::report {
+
+namespace {
+
+double nice_step(double span) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / 6.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (const double mult : {1.0, 2.0, 2.5, 5.0}) {
+    if (raw <= mult * mag) return mult * mag;
+  }
+  return 10.0 * mag;
+}
+
+}  // namespace
+
+Svg render_line_chart(const LineChartSpec& spec) {
+  if (spec.x_categories.empty()) {
+    throw InvalidArgument("line chart needs >= 1 x category");
+  }
+  if (spec.series.empty()) {
+    throw InvalidArgument("line chart needs >= 1 series");
+  }
+  for (const Series& s : spec.series) {
+    if (s.values.size() != spec.x_categories.size()) {
+      throw InvalidArgument("series '" + s.name + "' has " +
+                            std::to_string(s.values.size()) +
+                            " values for " +
+                            std::to_string(spec.x_categories.size()) +
+                            " categories");
+    }
+  }
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const Series& s : spec.series) {
+    for (const double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (spec.y_from_zero) lo = 0.0;
+  if (hi <= lo) hi = lo + 1.0;
+  const double pad = (hi - lo) * 0.08;
+  const double y_lo = spec.y_from_zero ? 0.0 : lo - pad;
+  const double y_hi = hi + pad;
+
+  const double ml = 64.0;
+  const double mr = 150.0;  // legend gutter
+  const double mt = spec.title.empty() ? 20.0 : 44.0;
+  const double mb = 52.0;
+  const double pw = spec.width - ml - mr;
+  const double ph = spec.height - mt - mb;
+
+  Svg svg(spec.width, spec.height);
+  if (!spec.title.empty()) {
+    svg.text(ml + pw / 2.0, 24.0, spec.title, 15.0, "middle");
+  }
+
+  auto x_of = [&](std::size_t i) {
+    const std::size_t n = spec.x_categories.size();
+    if (n == 1) return ml + pw / 2.0;
+    return ml + static_cast<double>(i) / static_cast<double>(n - 1) * pw;
+  };
+  auto y_of = [&](double v) {
+    return mt + ph - (v - y_lo) / (y_hi - y_lo) * ph;
+  };
+
+  // Gridlines + y ticks.
+  const double step = nice_step(y_hi - y_lo);
+  const double first_tick = std::ceil(y_lo / step) * step;
+  for (double t = first_tick; t <= y_hi + 1e-9; t += step) {
+    svg.line(ml, y_of(t), ml + pw, y_of(t), "#e5e5e5");
+    svg.text(ml - 6.0, y_of(t) + 4.0, util::fmt(t, step < 1.0 ? 2 : 0), 10.0,
+             "end", "#555555");
+  }
+  // Axes.
+  svg.line(ml, mt, ml, mt + ph, "#333333", 1.5);
+  svg.line(ml, mt + ph, ml + pw, mt + ph, "#333333", 1.5);
+  // X ticks + labels.
+  for (std::size_t i = 0; i < spec.x_categories.size(); ++i) {
+    svg.line(x_of(i), mt + ph, x_of(i), mt + ph + 4.0, "#333333");
+    svg.text(x_of(i), mt + ph + 18.0, spec.x_categories[i], 10.0, "middle",
+             "#333333");
+  }
+  svg.text(ml + pw / 2.0, spec.height - 10.0, spec.x_label, 12.0, "middle");
+  svg.text(16.0, mt - 6.0, spec.y_label, 12.0, "start");
+
+  // Series.
+  for (std::size_t si = 0; si < spec.series.size(); ++si) {
+    const Series& s = spec.series[si];
+    const std::string& color = palette(si);
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(s.values.size());
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      pts.emplace_back(x_of(i), y_of(s.values[i]));
+    }
+    svg.polyline(pts, color);
+    for (const auto& [x, y] : pts) svg.circle(x, y, 3.0, color);
+    // Legend entry.
+    const double ly = mt + 10.0 + static_cast<double>(si) * 18.0;
+    svg.line(ml + pw + 12.0, ly, ml + pw + 34.0, ly, color, 2.5);
+    svg.text(ml + pw + 40.0, ly + 4.0, s.name, 11.0);
+  }
+  return svg;
+}
+
+void save_line_chart(const std::string& path, const LineChartSpec& spec) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  render_line_chart(spec).write(out);
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace hdlts::report

@@ -1,0 +1,37 @@
+// Paper-style line charts: one series per scheduler over a categorical
+// x-axis (CCR values, task counts, CPU counts), with axes, ticks, markers,
+// and a legend. Used by the bench harness to emit each figure as an SVG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hdlts/report/svg.hpp"
+
+namespace hdlts::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> values;  ///< one per x-axis category
+};
+
+struct LineChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> x_categories;
+  std::vector<Series> series;
+  double width = 720.0;
+  double height = 440.0;
+  /// Force the y-axis to start at zero (efficiency plots); otherwise the
+  /// range is padded around the data (SLR plots).
+  bool y_from_zero = false;
+};
+
+/// Renders the chart; throws InvalidArgument on inconsistent sizes.
+Svg render_line_chart(const LineChartSpec& spec);
+
+/// Renders and writes to a file; throws hdlts::Error on I/O failure.
+void save_line_chart(const std::string& path, const LineChartSpec& spec);
+
+}  // namespace hdlts::report

@@ -1,0 +1,97 @@
+#include "hdlts/report/gantt_svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "hdlts/util/table.hpp"
+
+namespace hdlts::report {
+
+namespace {
+
+/// A "nice" tick step targeting ~8 ticks across `span`.
+double tick_step(double span) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / 8.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (const double mult : {1.0, 2.0, 5.0}) {
+    if (raw <= mult * mag) return mult * mag;
+  }
+  return 10.0 * mag;
+}
+
+}  // namespace
+
+Svg render_gantt(const sim::Schedule& schedule,
+                 const GanttSvgOptions& options) {
+  const double span = std::max(schedule.makespan(), 1e-9);
+  const double margin_left = 64.0;
+  const double margin_top = options.title.empty() ? 16.0 : 40.0;
+  const double margin_bottom = 32.0;
+  const double lane_gap = 6.0;
+  const double plot_w = options.width - margin_left - 16.0;
+  const auto procs = schedule.num_procs();
+  const double height = margin_top + margin_bottom +
+                        static_cast<double>(procs) *
+                            (options.lane_height + lane_gap);
+
+  Svg svg(options.width, height);
+  if (!options.title.empty()) {
+    svg.text(options.width / 2.0, 22.0, options.title, 15.0, "middle");
+  }
+  auto x_of = [&](double t) { return margin_left + t / span * plot_w; };
+  auto y_of = [&](platform::ProcId p) {
+    return margin_top + static_cast<double>(p) *
+                            (options.lane_height + lane_gap);
+  };
+
+  // Lanes and labels.
+  for (platform::ProcId p = 0; p < procs; ++p) {
+    svg.rect(margin_left, y_of(p), plot_w, options.lane_height, "#f4f4f4");
+    svg.text(margin_left - 8.0, y_of(p) + options.lane_height * 0.65,
+             "P" + std::to_string(p + 1), 12.0, "end");
+  }
+
+  // Time axis.
+  const double axis_y = margin_top + static_cast<double>(procs) *
+                                         (options.lane_height + lane_gap);
+  const double step = tick_step(span);
+  for (double t = 0.0; t <= span + 1e-9; t += step) {
+    svg.line(x_of(t), margin_top, x_of(t), axis_y, "#dddddd");
+    svg.text(x_of(t), axis_y + 16.0, util::fmt(t, step < 1.0 ? 1 : 0), 10.0,
+             "middle", "#555555");
+  }
+
+  // Blocks.
+  for (platform::ProcId p = 0; p < procs; ++p) {
+    for (const sim::Placement& pl : schedule.timeline(p)) {
+      const double x = x_of(pl.start);
+      const double w = std::max(x_of(pl.finish) - x, 1.0);
+      const std::string color = palette(pl.task);
+      svg.rect(x, y_of(p) + 2.0, w, options.lane_height - 4.0, color,
+               pl.duplicate ? "#333333" : "none", 1.0,
+               pl.duplicate ? 0.45 : 0.9);
+      std::string label =
+          options.graph != nullptr && options.graph->contains(pl.task)
+              ? options.graph->name(pl.task)
+              : "t" + std::to_string(pl.task);
+      if (pl.duplicate) label += "*";
+      if (w > 18.0) {
+        svg.text(x + w / 2.0, y_of(p) + options.lane_height * 0.65, label,
+                 10.0, "middle", "#ffffff");
+      }
+    }
+  }
+  return svg;
+}
+
+void save_gantt_svg(const std::string& path, const sim::Schedule& schedule,
+                    const GanttSvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  render_gantt(schedule, options).write(out);
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace hdlts::report

@@ -1,0 +1,28 @@
+// SVG Gantt rendering of a schedule: one lane per processor, one block per
+// placement (duplicates hatched by reduced opacity and a dashed border),
+// colored per task, with a time axis.
+#pragma once
+
+#include <string>
+
+#include "hdlts/report/svg.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::report {
+
+struct GanttSvgOptions {
+  double width = 960.0;
+  double lane_height = 36.0;
+  /// Label blocks with task names when the graph is supplied (ids otherwise).
+  const graph::TaskGraph* graph = nullptr;
+  std::string title;
+};
+
+Svg render_gantt(const sim::Schedule& schedule,
+                 const GanttSvgOptions& options = {});
+
+/// Renders and writes to a file; throws hdlts::Error on I/O failure.
+void save_gantt_svg(const std::string& path, const sim::Schedule& schedule,
+                    const GanttSvgOptions& options = {});
+
+}  // namespace hdlts::report

@@ -1,0 +1,127 @@
+#include "hdlts/report/svg.hpp"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::report {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Svg::Svg(double width, double height) : width_(width), height_(height) {
+  if (width <= 0.0 || height <= 0.0) {
+    throw InvalidArgument("SVG dimensions must be positive");
+  }
+}
+
+void Svg::rect(double x, double y, double w, double h, const std::string& fill,
+               const std::string& stroke, double stroke_width,
+               double opacity) {
+  std::ostringstream os;
+  os << "<rect x=\"" << num(x) << "\" y=\"" << num(y) << "\" width=\""
+     << num(w) << "\" height=\"" << num(h) << "\" fill=\"" << fill
+     << "\" stroke=\"" << stroke << "\" stroke-width=\"" << num(stroke_width)
+     << "\"";
+  if (opacity != 1.0) os << " fill-opacity=\"" << num(opacity) << "\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void Svg::line(double x1, double y1, double x2, double y2,
+               const std::string& stroke, double stroke_width, bool dashed) {
+  std::ostringstream os;
+  os << "<line x1=\"" << num(x1) << "\" y1=\"" << num(y1) << "\" x2=\""
+     << num(x2) << "\" y2=\"" << num(y2) << "\" stroke=\"" << stroke
+     << "\" stroke-width=\"" << num(stroke_width) << "\"";
+  if (dashed) os << " stroke-dasharray=\"4 3\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void Svg::polyline(const std::vector<std::pair<double, double>>& points,
+                   const std::string& stroke, double stroke_width) {
+  std::ostringstream os;
+  os << "<polyline fill=\"none\" stroke=\"" << stroke << "\" stroke-width=\""
+     << num(stroke_width) << "\" points=\"";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << num(points[i].first) << ',' << num(points[i].second);
+  }
+  os << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void Svg::circle(double cx, double cy, double r, const std::string& fill) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << num(cx) << "\" cy=\"" << num(cy) << "\" r=\""
+     << num(r) << "\" fill=\"" << fill << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void Svg::text(double x, double y, const std::string& content,
+               double font_size, const std::string& anchor,
+               const std::string& fill) {
+  std::ostringstream os;
+  os << "<text x=\"" << num(x) << "\" y=\"" << num(y) << "\" font-size=\""
+     << num(font_size) << "\" text-anchor=\"" << anchor << "\" fill=\""
+     << fill << "\" font-family=\"sans-serif\">" << escape(content)
+     << "</text>";
+  elements_.push_back(os.str());
+}
+
+void Svg::write(std::ostream& os) const {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << num(width_)
+     << "\" height=\"" << num(height_) << "\" viewBox=\"0 0 " << num(width_)
+     << " " << num(height_) << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << num(width_) << "\" height=\""
+     << num(height_) << "\" fill=\"#ffffff\"/>\n";
+  for (const std::string& e : elements_) os << e << "\n";
+  os << "</svg>\n";
+}
+
+std::string Svg::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+std::string Svg::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const std::string& palette(std::size_t index) {
+  static const std::array<std::string, 10> kColors = {
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+      "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+  return kColors[index % kColors.size()];
+}
+
+}  // namespace hdlts::report

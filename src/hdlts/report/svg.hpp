@@ -1,0 +1,49 @@
+// Minimal SVG document builder — enough to render Gantt charts and the
+// paper-style line charts without external dependencies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdlts::report {
+
+/// Accumulates SVG elements and serializes a standalone document.
+class Svg {
+ public:
+  Svg(double width, double height);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            const std::string& stroke = "none", double stroke_width = 1.0,
+            double opacity = 1.0);
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double stroke_width = 1.0,
+            bool dashed = false);
+  /// Polyline through the given (x, y) points.
+  void polyline(const std::vector<std::pair<double, double>>& points,
+                const std::string& stroke, double stroke_width = 2.0);
+  void circle(double cx, double cy, double r, const std::string& fill);
+  /// anchor: "start", "middle", or "end".
+  void text(double x, double y, const std::string& content,
+            double font_size = 12.0, const std::string& anchor = "start",
+            const std::string& fill = "#222222");
+
+  void write(std::ostream& os) const;
+  std::string str() const;
+
+  /// Escapes &, <, > for text content.
+  static std::string escape(const std::string& s);
+
+ private:
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+/// A categorical palette (10 colors) used for tasks and series.
+const std::string& palette(std::size_t index);
+
+}  // namespace hdlts::report

@@ -1,0 +1,43 @@
+#include "hdlts/sched/baselines.hpp"
+
+#include <vector>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/util/rng.hpp"
+
+namespace hdlts::sched {
+
+sim::Schedule Mct::schedule(const sim::Problem& problem) const {
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  for (const graph::TaskId v : graph::topological_order(problem.graph())) {
+    commit(schedule, v, best_eft(problem, schedule, v, /*insertion=*/true));
+  }
+  return schedule;
+}
+
+sim::Schedule RandomOrder::schedule(const sim::Problem& problem) const {
+  const auto& g = problem.graph();
+  util::Rng rng(seed_);
+  std::vector<std::size_t> pending(g.num_tasks());
+  std::vector<graph::TaskId> ready;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  while (!ready.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ready.size()) - 1));
+    const graph::TaskId v = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    commit(schedule, v, best_eft(problem, schedule, v, /*insertion=*/true));
+    for (const graph::Adjacent& c : g.children(v)) {
+      if (--pending[c.task] == 0) ready.push_back(c.task);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

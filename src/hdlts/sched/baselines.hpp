@@ -1,0 +1,31 @@
+// Simple reference schedulers used by the test suite and as sanity baselines:
+// they bound the quality spectrum (a good heuristic must beat RandomOrder and
+// should rarely lose to Mct by much).
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+/// Minimum Completion Time: tasks in topological (id-stable) order, each on
+/// its min-EFT processor with insertion.
+class Mct final : public Scheduler {
+ public:
+  std::string name() const override { return "mct"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+};
+
+/// Random ready-task order, min-EFT placement; deterministic per seed.
+class RandomOrder final : public Scheduler {
+ public:
+  explicit RandomOrder(std::uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "random"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace hdlts::sched

@@ -1,0 +1,58 @@
+#include "hdlts/sched/batch.hpp"
+
+#include <vector>
+
+#include "hdlts/sched/placement.hpp"
+
+namespace hdlts::sched {
+
+namespace {
+
+/// Shared loop; `take_max` = false for Min-Min, true for Max-Min.
+sim::Schedule batch_schedule(const sim::Problem& problem, bool insertion,
+                             bool take_max) {
+  const auto& g = problem.graph();
+  std::vector<std::size_t> pending(g.num_tasks());
+  std::vector<graph::TaskId> ready;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push_back(v);
+  }
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  while (!ready.empty()) {
+    std::size_t best_idx = 0;
+    PlacementChoice best_choice;
+    bool first = true;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const PlacementChoice c =
+          best_eft(problem, schedule, ready[i], insertion);
+      const bool better =
+          take_max ? c.eft > best_choice.eft : c.eft < best_choice.eft;
+      if (first || better) {
+        first = false;
+        best_idx = i;
+        best_choice = c;
+      }
+    }
+    const graph::TaskId v = ready[best_idx];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    commit(schedule, v, best_choice);
+    for (const graph::Adjacent& c : g.children(v)) {
+      if (--pending[c.task] == 0) ready.push_back(c.task);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+sim::Schedule MinMin::schedule(const sim::Problem& problem) const {
+  return batch_schedule(problem, insertion_, /*take_max=*/false);
+}
+
+sim::Schedule MaxMin::schedule(const sim::Problem& problem) const {
+  return batch_schedule(problem, insertion_, /*take_max=*/true);
+}
+
+}  // namespace hdlts::sched

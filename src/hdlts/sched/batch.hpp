@@ -1,0 +1,33 @@
+// Min-Min and Max-Min, the classic batch-mode heuristics, lifted to DAGs:
+// at every step each ready task is scored by its best (min over processors)
+// EFT; Min-Min schedules the task with the *smallest* best-EFT first (keep
+// machines busy with quick work), Max-Min the *largest* (push long poles
+// early). Extension baselines — like HDLTS they work from a dynamic ready
+// set, so they isolate the value of the PV priority itself.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class MinMin final : public Scheduler {
+ public:
+  explicit MinMin(bool insertion = true) : insertion_(insertion) {}
+  std::string name() const override { return "minmin"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+class MaxMin final : public Scheduler {
+ public:
+  explicit MaxMin(bool insertion = true) : insertion_(insertion) {}
+  std::string name() const override { return "maxmin"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

@@ -1,0 +1,94 @@
+#include "hdlts/sched/cpop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/sched/ranking.hpp"
+
+namespace hdlts::sched {
+
+namespace {
+constexpr double kTieEps = 1e-9;
+}
+
+sim::Schedule Cpop::schedule(const sim::Problem& problem) const {
+  const auto& g = problem.graph();
+  const auto up = upward_rank_mean(problem);
+  const auto down = downward_rank_mean(problem);
+  std::vector<double> priority(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    priority[v] = up[v] + down[v];
+  }
+
+  // Walk the critical path from the highest-priority entry task, always
+  // following a child of (numerically) equal priority.
+  std::vector<bool> on_cp(g.num_tasks(), false);
+  graph::TaskId cursor = graph::kInvalidTask;
+  double cp_len = -1.0;
+  for (const graph::TaskId e : g.entry_tasks()) {
+    if (priority[e] > cp_len) {
+      cp_len = priority[e];
+      cursor = e;
+    }
+  }
+  while (cursor != graph::kInvalidTask) {
+    on_cp[cursor] = true;
+    graph::TaskId next = graph::kInvalidTask;
+    double best = -1.0;
+    for (const graph::Adjacent& c : g.children(cursor)) {
+      if (std::abs(priority[c.task] - cp_len) <= kTieEps * (1.0 + cp_len) &&
+          priority[c.task] > best) {
+        best = priority[c.task];
+        next = c.task;
+      }
+    }
+    cursor = next;
+  }
+
+  // The critical-path processor minimizes the path's total execution time.
+  platform::ProcId cp_proc = platform::kInvalidProc;
+  double cp_cost = 0.0;
+  for (const platform::ProcId p : problem.procs()) {
+    double total = 0.0;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      if (on_cp[v]) total += problem.exec_time(v, p);
+    }
+    if (cp_proc == platform::kInvalidProc || total < cp_cost) {
+      cp_cost = total;
+      cp_proc = p;
+    }
+  }
+
+  // Ready queue ordered by priority (ties: lower id for determinism).
+  auto cmp = [&priority](graph::TaskId a, graph::TaskId b) {
+    if (priority[a] != priority[b]) return priority[a] < priority[b];
+    return a > b;
+  };
+  std::priority_queue<graph::TaskId, std::vector<graph::TaskId>,
+                      decltype(cmp)>
+      ready(cmp);
+  std::vector<std::size_t> pending(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push(v);
+  }
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  while (!ready.empty()) {
+    const graph::TaskId v = ready.top();
+    ready.pop();
+    const PlacementChoice choice =
+        on_cp[v] ? eft_on(problem, schedule, v, cp_proc, insertion_)
+                 : best_eft(problem, schedule, v, insertion_);
+    commit(schedule, v, choice);
+    for (const graph::Adjacent& c : g.children(v)) {
+      if (--pending[c.task] == 0) ready.push(c.task);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

@@ -1,0 +1,25 @@
+// Critical-Path-on-a-Processor (Topcuoglu, Hariri & Wu, TPDS 2002).
+//
+// Task priority is upward + downward rank; the tasks whose priority equals
+// the critical-path length form the critical path, which is pinned to the
+// single processor minimizing its total execution time. Non-critical tasks
+// go to their min-EFT processor. Ready tasks are served highest priority
+// first, with insertion-based placement.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Cpop final : public Scheduler {
+ public:
+  explicit Cpop(bool insertion = true) : insertion_(insertion) {}
+
+  std::string name() const override { return "cpop"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

@@ -1,0 +1,26 @@
+// Duplication-based HEFT (after Zhang, Inoguchi & Shen 2004, cited by the
+// HDLTS paper's §II-B): HEFT's ranking and processor scan, extended so that
+// when a task's start on a candidate processor is dominated by one parent's
+// data arrival, the scheduler tries to *duplicate that critical parent* into
+// an idle slot of the candidate processor; if the duplicate finishes before
+// the network delivery would, the task starts earlier. Duplicates are
+// first-class copies (children of the parent may consume whichever copy is
+// cheapest), matching the paper's general duplication discussion.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Dheft final : public Scheduler {
+ public:
+  explicit Dheft(bool insertion = true) : insertion_(insertion) {}
+
+  std::string name() const override { return "dheft"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

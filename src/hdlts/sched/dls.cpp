@@ -1,0 +1,68 @@
+#include "hdlts/sched/dls.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/placement.hpp"
+
+namespace hdlts::sched {
+
+std::vector<double> static_levels(const sim::Problem& problem) {
+  const auto& g = problem.graph();
+  const auto order = graph::topological_order(g);
+  std::vector<double> sl(g.num_tasks(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const graph::TaskId v = *it;
+    double best = 0.0;
+    for (const graph::Adjacent& c : g.children(v)) {
+      best = std::max(best, sl[c.task]);
+    }
+    sl[v] = problem.costs().mean(v) + best;
+  }
+  return sl;
+}
+
+sim::Schedule Dls::schedule(const sim::Problem& problem) const {
+  const auto& g = problem.graph();
+  const auto sl = static_levels(problem);
+
+  std::vector<std::size_t> pending(g.num_tasks());
+  std::vector<graph::TaskId> ready;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push_back(v);
+  }
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  while (!ready.empty()) {
+    // Exhaustive (ready task, processor) scan; ties go to the lower task id
+    // then lower processor id for determinism.
+    std::size_t best_idx = 0;
+    PlacementChoice best_choice;
+    double best_dl = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const graph::TaskId v = ready[i];
+      const double mean_cost = problem.costs().mean(v);
+      for (const platform::ProcId p : problem.procs()) {
+        const PlacementChoice c = eft_on(problem, schedule, v, p, insertion_);
+        const double delta = mean_cost - problem.exec_time(v, p);
+        const double dl = sl[v] - c.est + delta;
+        if (dl > best_dl) {
+          best_dl = dl;
+          best_idx = i;
+          best_choice = c;
+        }
+      }
+    }
+    const graph::TaskId v = ready[best_idx];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    commit(schedule, v, best_choice);
+    for (const graph::Adjacent& c : g.children(v)) {
+      if (--pending[c.task] == 0) ready.push_back(c.task);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

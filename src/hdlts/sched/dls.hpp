@@ -1,0 +1,30 @@
+// Dynamic Level Scheduling (Sih & Lee, TPDS 1993) — the classic *dynamic*
+// list scheduler: at every step pick the (ready task, processor) pair with
+// the highest dynamic level
+//     DL(v, p) = SL(v) - EST(v, p) + Delta(v, p),
+// where SL is the static level (longest mean-execution path to an exit,
+// communication excluded) and Delta(v, p) = meanW(v) - W(v, p) rewards
+// placing a task on a processor that is fast *for it*. Included as an
+// extension baseline: like HDLTS it re-evaluates priorities dynamically,
+// unlike HDLTS it scores (task, processor) pairs jointly.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Dls final : public Scheduler {
+ public:
+  explicit Dls(bool insertion = false) : insertion_(insertion) {}
+
+  std::string name() const override { return "dls"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+/// Static levels: SL(v) = meanW(v) + max over children SL(c) (no comm).
+std::vector<double> static_levels(const sim::Problem& problem);
+
+}  // namespace hdlts::sched

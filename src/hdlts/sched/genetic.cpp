@@ -1,0 +1,175 @@
+#include "hdlts/sched/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/sched/ranking.hpp"
+#include "hdlts/util/rng.hpp"
+
+namespace hdlts::sched {
+
+void GeneticOptions::validate() const {
+  if (population < 2) throw InvalidArgument("GA population must be >= 2");
+  if (generations == 0) throw InvalidArgument("GA needs >= 1 generation");
+  if (tournament == 0 || tournament > population) {
+    throw InvalidArgument("GA tournament size must be in [1, population]");
+  }
+  if (elites >= population) {
+    throw InvalidArgument("GA elites must be < population");
+  }
+  for (const double rate :
+       {crossover_rate, priority_mutation_rate, proc_mutation_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw InvalidArgument("GA rates must be in [0, 1]");
+    }
+  }
+}
+
+namespace {
+
+struct Chromosome {
+  std::vector<double> priority;          // per task
+  std::vector<platform::ProcId> assign;  // per task
+  double makespan = std::numeric_limits<double>::infinity();
+};
+
+/// Decodes a chromosome into a schedule: ready-list by priority, pinned
+/// processor per task, insertion EST.
+sim::Schedule decode(const sim::Problem& problem, const Chromosome& c) {
+  const auto& g = problem.graph();
+  std::vector<std::size_t> pending(g.num_tasks());
+  std::vector<graph::TaskId> ready;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  while (!ready.empty()) {
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      if (c.priority[ready[i]] > c.priority[ready[pick]] ||
+          (c.priority[ready[i]] == c.priority[ready[pick]] &&
+           ready[i] < ready[pick])) {
+        pick = i;
+      }
+    }
+    const graph::TaskId v = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    commit(schedule, v,
+           eft_on(problem, schedule, v, c.assign[v], /*insertion=*/true));
+    for (const graph::Adjacent& child : g.children(v)) {
+      if (--pending[child.task] == 0) ready.push_back(child.task);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+sim::Schedule Genetic::schedule(const sim::Problem& problem) const {
+  const std::size_t n = problem.num_tasks();
+  const auto& procs = problem.procs();
+  util::Rng rng(options_.seed);
+
+  auto random_proc = [&]() {
+    return procs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(procs.size()) - 1))];
+  };
+  auto evaluate = [&](Chromosome& c) {
+    c.makespan = decode(problem, c).makespan();
+  };
+
+  // Initial population: random chromosomes plus one greedy individual
+  // (every task on its min-mean-cost processor) to anchor quality.
+  std::vector<Chromosome> population(options_.population);
+  for (Chromosome& c : population) {
+    c.priority.resize(n);
+    c.assign.resize(n);
+    for (graph::TaskId v = 0; v < n; ++v) {
+      c.priority[v] = rng.uniform();
+      c.assign[v] = random_proc();
+    }
+    evaluate(c);
+  }
+  {
+    // Greedy individual: every task on its min-cost processor.
+    Chromosome& greedy = population.front();
+    for (graph::TaskId v = 0; v < n; ++v) {
+      platform::ProcId best = procs.front();
+      for (const platform::ProcId p : procs) {
+        if (problem.exec_time(v, p) < problem.exec_time(v, best)) best = p;
+      }
+      greedy.assign[v] = best;
+    }
+    evaluate(greedy);
+  }
+  if (population.size() > 1) {
+    // Memetic seed: HEFT's schedule encoded as a chromosome (priorities from
+    // upward rank, assignments from HEFT's choices). With elitism the GA can
+    // only improve on it.
+    Chromosome& seeded = population[1];
+    const sim::Schedule heft = Heft().schedule(problem);
+    const auto rank = upward_rank_mean(problem);
+    const double top = *std::max_element(rank.begin(), rank.end());
+    for (graph::TaskId v = 0; v < n; ++v) {
+      seeded.priority[v] = top > 0.0 ? rank[v] / top : 0.5;
+      seeded.assign[v] = heft.placement(v).proc;
+    }
+    evaluate(seeded);
+  }
+
+  auto by_fitness = [](const Chromosome& a, const Chromosome& b) {
+    return a.makespan < b.makespan;
+  };
+
+  auto tournament_pick = [&]() -> const Chromosome& {
+    const Chromosome* best = nullptr;
+    for (std::size_t i = 0; i < options_.tournament; ++i) {
+      const Chromosome& c = population[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(population.size()) - 1))];
+      if (best == nullptr || c.makespan < best->makespan) best = &c;
+    }
+    return *best;
+  };
+
+  for (std::size_t gen = 0; gen < options_.generations; ++gen) {
+    std::sort(population.begin(), population.end(), by_fitness);
+    std::vector<Chromosome> next(population.begin(),
+                                 population.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         options_.elites));
+    while (next.size() < options_.population) {
+      Chromosome child = tournament_pick();
+      if (rng.chance(options_.crossover_rate)) {
+        const Chromosome& other = tournament_pick();
+        for (graph::TaskId v = 0; v < n; ++v) {
+          if (rng.chance(0.5)) {
+            child.priority[v] = other.priority[v];
+            child.assign[v] = other.assign[v];
+          }
+        }
+      }
+      for (graph::TaskId v = 0; v < n; ++v) {
+        if (rng.chance(options_.priority_mutation_rate)) {
+          child.priority[v] =
+              std::clamp(child.priority[v] + rng.uniform(-0.25, 0.25), 0.0,
+                         1.0);
+        }
+        if (rng.chance(options_.proc_mutation_rate)) {
+          child.assign[v] = random_proc();
+        }
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  const Chromosome& winner =
+      *std::min_element(population.begin(), population.end(), by_fitness);
+  return decode(problem, winner);
+}
+
+}  // namespace hdlts::sched

@@ -1,0 +1,45 @@
+// Genetic-algorithm scheduler (the paper's §I/§II "genetic-based scheduling
+// heuristics" category: intensive search, good schedules, high cost).
+//
+// Chromosome = (per-task priority vector, per-task processor assignment).
+// Decoding is a list schedule: among ready tasks pick the highest priority,
+// place it on its assigned processor with insertion-based EST — so every
+// chromosome decodes to a *valid* schedule and the search space covers all
+// (topological order × assignment) combinations. Tournament selection,
+// uniform crossover, Gaussian priority mutation + random processor
+// reassignment, elitism. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+struct GeneticOptions {
+  std::size_t population = 40;
+  std::size_t generations = 60;
+  std::size_t tournament = 3;
+  std::size_t elites = 2;
+  double crossover_rate = 0.9;
+  double priority_mutation_rate = 0.15;
+  double proc_mutation_rate = 0.10;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class Genetic final : public Scheduler {
+ public:
+  explicit Genetic(GeneticOptions options = {}) : options_(options) {
+    options_.validate();
+  }
+
+  std::string name() const override { return "genetic"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  GeneticOptions options_;
+};
+
+}  // namespace hdlts::sched

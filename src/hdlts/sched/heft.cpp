@@ -1,0 +1,36 @@
+#include "hdlts/sched/heft.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/sched/ranking.hpp"
+
+namespace hdlts::sched {
+
+sim::Schedule Heft::schedule(const sim::Problem& problem) const {
+  const auto rank = upward_rank_mean(problem);
+  const auto order = graph::topological_order(problem.graph());
+
+  // Position of each task in topological order; used to break rank ties in a
+  // precedence-safe way (zero-weight pseudo tasks can tie with a parent).
+  std::vector<std::size_t> topo_pos(problem.num_tasks());
+  for (std::size_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+
+  std::vector<graph::TaskId> list(problem.num_tasks());
+  std::iota(list.begin(), list.end(), 0);
+  std::sort(list.begin(), list.end(),
+            [&](graph::TaskId a, graph::TaskId b) {
+              if (rank[a] != rank[b]) return rank[a] > rank[b];
+              return topo_pos[a] < topo_pos[b];
+            });
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  for (const graph::TaskId v : list) {
+    commit(schedule, v, best_eft(problem, schedule, v, insertion_));
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

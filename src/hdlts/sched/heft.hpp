@@ -1,0 +1,25 @@
+// Heterogeneous Earliest Finish Time (Topcuoglu, Hariri & Wu, TPDS 2002).
+//
+// Phase 1 ranks tasks by upward rank computed from mean execution and mean
+// communication costs; phase 2 walks the static list in decreasing rank and
+// places each task on the processor minimizing its EFT, using the
+// insertion-based policy. O(V^2 * P).
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Heft final : public Scheduler {
+ public:
+  /// `insertion` toggles the idle-slot insertion policy (on in the paper).
+  explicit Heft(bool insertion = true) : insertion_(insertion) {}
+
+  std::string name() const override { return "heft"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

@@ -1,0 +1,81 @@
+#include "hdlts/sched/lookahead.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/sched/ranking.hpp"
+
+namespace hdlts::sched {
+
+sim::Schedule LookaheadHeft::schedule(const sim::Problem& problem) const {
+  const auto& g = problem.graph();
+  const auto rank = upward_rank_mean(problem);
+  const auto order = graph::topological_order(g);
+  std::vector<std::size_t> topo_pos(problem.num_tasks());
+  for (std::size_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+
+  std::vector<graph::TaskId> list(problem.num_tasks());
+  std::iota(list.begin(), list.end(), 0);
+  std::sort(list.begin(), list.end(), [&](graph::TaskId a, graph::TaskId b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return topo_pos[a] < topo_pos[b];
+  });
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  for (const graph::TaskId v : list) {
+    // Most critical child: the one with the highest upward rank.
+    graph::TaskId crit = graph::kInvalidTask;
+    for (const graph::Adjacent& c : g.children(v)) {
+      if (crit == graph::kInvalidTask || rank[c.task] > rank[crit]) {
+        crit = c.task;
+      }
+    }
+
+    PlacementChoice best;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const platform::ProcId p : problem.procs()) {
+      const PlacementChoice cand =
+          eft_on(problem, schedule, v, p, insertion_);
+      double score = cand.eft;
+      if (crit != graph::kInvalidTask) {
+        // Rollout: if v ran on p, how early could the critical child finish?
+        // Its other parents may be unplaced (they come later in rank order),
+        // so this is an optimistic estimate — exactly the flavour of the
+        // published lookahead.
+        const double crit_data = g.edge_data(v, crit);
+        double child_best = std::numeric_limits<double>::infinity();
+        for (const platform::ProcId q : problem.procs()) {
+          double ready =
+              cand.eft + problem.comm_time_data(crit_data, p, q);
+          for (const graph::Adjacent& parent : g.parents(crit)) {
+            if (parent.task == v || !schedule.is_placed(parent.task)) {
+              continue;
+            }
+            const sim::Placement& pl = schedule.placement(parent.task);
+            ready = std::max(ready, pl.finish + problem.comm_time_data(
+                                                    parent.data, pl.proc, q));
+          }
+          // The child also needs q free; v occupying p is the only change
+          // we can see — approximate with the current timeline plus v.
+          double avail = schedule.proc_available(q);
+          if (q == p) avail = std::max(avail, cand.eft);
+          const double est = std::max(ready, avail);
+          child_best = std::min(est + problem.exec_time(crit, q), child_best);
+        }
+        score = child_best;
+      }
+      if (score < best_score ||
+          (score == best_score && cand.eft < best.eft)) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    commit(schedule, v, best);
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

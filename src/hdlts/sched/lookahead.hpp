@@ -1,0 +1,25 @@
+// Lookahead HEFT (after Bittencourt, Sakellariou & Madeira, PDP 2010):
+// HEFT's ranking, but processor selection minimizes not the task's own EFT
+// but the estimated EFT of its *most critical child* (highest upward rank)
+// if that child were scheduled next — a one-step rollout. Falls back to
+// plain EFT for tasks with no children. Quadratically more expensive than
+// HEFT per decision; included as an extension baseline for the micro
+// benchmark's cost/quality spectrum.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class LookaheadHeft final : public Scheduler {
+ public:
+  explicit LookaheadHeft(bool insertion = true) : insertion_(insertion) {}
+
+  std::string name() const override { return "lookahead"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

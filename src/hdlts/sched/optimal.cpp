@@ -1,0 +1,135 @@
+#include "hdlts/sched/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/sched/placement.hpp"
+
+namespace hdlts::sched {
+
+namespace {
+
+struct SearchState {
+  const sim::Problem* problem = nullptr;
+  bool insertion = true;
+  std::vector<double> cp_below;  ///< min-cost critical path from each task
+  std::vector<std::size_t> pending;
+  std::vector<graph::TaskId> ready;
+  sim::Schedule schedule;
+  double best = std::numeric_limits<double>::infinity();
+  sim::Schedule best_schedule;
+  std::size_t nodes = 0;
+
+  SearchState(const sim::Problem& p, bool ins)
+      : problem(&p),
+        insertion(ins),
+        schedule(p.num_tasks(), p.num_procs()),
+        best_schedule(p.num_tasks(), p.num_procs()) {}
+
+  /// Lower bound on the completion time of any extension of the current
+  /// partial schedule: every unplaced task still needs its min-cost path to
+  /// an exit, starting no earlier than its placed parents finish.
+  double lower_bound() const {
+    const auto& g = problem->graph();
+    double bound = schedule.makespan();
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      if (schedule.is_placed(v)) continue;
+      double start_lb = 0.0;
+      for (const graph::Adjacent& p : g.parents(v)) {
+        if (schedule.is_placed(p.task)) {
+          start_lb = std::max(start_lb, schedule.finish_time(p.task));
+        }
+      }
+      bound = std::max(bound, start_lb + cp_below[v]);
+    }
+    return bound;
+  }
+
+  void dfs() {
+    ++nodes;
+    if (ready.empty()) {
+      const double makespan = schedule.makespan();
+      if (makespan < best) {
+        best = makespan;
+        best_schedule = schedule;
+      }
+      return;
+    }
+    if (lower_bound() >= best) return;  // prune
+
+    const auto& g = problem->graph();
+    // Copy the ready set: we mutate it per branch.
+    const std::vector<graph::TaskId> snapshot = ready;
+    for (const graph::TaskId v : snapshot) {
+      ready.erase(std::find(ready.begin(), ready.end(), v));
+      std::vector<graph::TaskId> unlocked;
+      for (const graph::Adjacent& c : g.children(v)) {
+        if (--pending[c.task] == 0) {
+          unlocked.push_back(c.task);
+          ready.push_back(c.task);
+        }
+      }
+      for (const platform::ProcId p : problem->procs()) {
+        const PlacementChoice choice =
+            eft_on(*problem, schedule, v, p, insertion);
+        // Placing v here already reaches the incumbent; extensions only grow.
+        if (choice.eft >= best) continue;
+        sim::Schedule saved = schedule;
+        schedule.place(v, choice.proc, choice.est, choice.eft);
+        dfs();
+        schedule = std::move(saved);
+      }
+      for (const graph::TaskId u : unlocked) {
+        ready.erase(std::find(ready.begin(), ready.end(), u));
+      }
+      for (const graph::Adjacent& c : g.children(v)) ++pending[c.task];
+      ready.push_back(v);
+    }
+    // Restore the original ordering is unnecessary: ready is a set.
+  }
+};
+
+}  // namespace
+
+sim::Schedule BranchAndBound::schedule(const sim::Problem& problem) const {
+  if (problem.num_tasks() > max_tasks_) {
+    throw InvalidArgument(
+        "branch-and-bound refuses " + std::to_string(problem.num_tasks()) +
+        " tasks (limit " + std::to_string(max_tasks_) +
+        "); it is exponential by design");
+  }
+  SearchState state(problem, insertion_);
+  const auto& g = problem.graph();
+
+  // cp_below via reverse topological order (min execution costs, no comm).
+  state.cp_below.assign(g.num_tasks(), 0.0);
+  const auto order = graph::topological_order(g);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const graph::TaskId v = *it;
+    double best_child = 0.0;
+    for (const graph::Adjacent& c : g.children(v)) {
+      best_child = std::max(best_child, state.cp_below[c.task]);
+    }
+    state.cp_below[v] = problem.costs().min(v) + best_child;
+  }
+
+  state.pending.resize(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    state.pending[v] = g.in_degree(v);
+    if (state.pending[v] == 0) state.ready.push_back(v);
+  }
+
+  // Seed the incumbent with HEFT so pruning bites immediately.
+  const sim::Schedule seed = Heft(insertion_).schedule(problem);
+  state.best = seed.makespan();
+  state.best_schedule = seed;
+
+  state.dfs();
+  nodes_ = state.nodes;
+  HDLTS_ENSURES(state.best_schedule.num_placed() == problem.num_tasks());
+  return state.best_schedule;
+}
+
+}  // namespace hdlts::sched

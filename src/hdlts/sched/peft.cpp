@@ -1,0 +1,54 @@
+#include "hdlts/sched/peft.hpp"
+
+#include <queue>
+
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/sched/ranking.hpp"
+
+namespace hdlts::sched {
+
+sim::Schedule Peft::schedule(const sim::Problem& problem) const {
+  const auto& g = problem.graph();
+  const auto& procs = problem.procs();
+  const std::size_t np = procs.size();
+  const auto oct = oct_table(problem);
+  const auto rank = oct_rank(problem, oct);
+
+  auto cmp = [&rank](graph::TaskId a, graph::TaskId b) {
+    if (rank[a] != rank[b]) return rank[a] < rank[b];
+    return a > b;
+  };
+  std::priority_queue<graph::TaskId, std::vector<graph::TaskId>,
+                      decltype(cmp)>
+      ready(cmp);
+  std::vector<std::size_t> pending(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push(v);
+  }
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  while (!ready.empty()) {
+    const graph::TaskId v = ready.top();
+    ready.pop();
+    // Minimize O_EFT(v,p) = EFT(v,p) + OCT(v,p).
+    PlacementChoice best;
+    double best_oeft = 0.0;
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      const PlacementChoice c =
+          eft_on(problem, schedule, v, procs[pi], insertion_);
+      const double oeft = c.eft + oct[v * np + pi];
+      if (best.proc == platform::kInvalidProc || oeft < best_oeft) {
+        best = c;
+        best_oeft = oeft;
+      }
+    }
+    commit(schedule, v, best);
+    for (const graph::Adjacent& c : g.children(v)) {
+      if (--pending[c.task] == 0) ready.push(c.task);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

@@ -1,0 +1,24 @@
+// Predict Earliest Finish Time (Arabnejad & Barbosa, TPDS 2014).
+//
+// Builds the Optimistic Cost Table (OCT); task priority is the mean OCT row,
+// and processor selection minimizes the *optimistic* EFT, i.e.
+// EFT(v,p) + OCT(v,p) — a one-step lookahead toward the exit task. Ready
+// tasks are served highest rank first with insertion-based placement.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Peft final : public Scheduler {
+ public:
+  explicit Peft(bool insertion = true) : insertion_(insertion) {}
+
+  std::string name() const override { return "peft"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

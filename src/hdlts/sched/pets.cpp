@@ -1,0 +1,37 @@
+#include "hdlts/sched/pets.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/sched/ranking.hpp"
+
+namespace hdlts::sched {
+
+sim::Schedule Pets::schedule(const sim::Problem& problem) const {
+  const auto& g = problem.graph();
+  const auto level = graph::precedence_levels(g);
+  const auto ranks = pets_rank(problem);
+
+  // Level-major order; inside a level sort by decreasing rank, then by
+  // increasing mean cost (favouring the cheaper task, per the PETS paper's
+  // tie rule), then by id for determinism. Level-major order is
+  // precedence-safe because every parent sits on a strictly lower level.
+  std::vector<graph::TaskId> list(g.num_tasks());
+  std::iota(list.begin(), list.end(), 0);
+  std::sort(list.begin(), list.end(), [&](graph::TaskId a, graph::TaskId b) {
+    if (level[a] != level[b]) return level[a] < level[b];
+    if (ranks.rank[a] != ranks.rank[b]) return ranks.rank[a] > ranks.rank[b];
+    if (ranks.acc[a] != ranks.acc[b]) return ranks.acc[a] < ranks.acc[b];
+    return a < b;
+  });
+
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  for (const graph::TaskId v : list) {
+    commit(schedule, v, best_eft(problem, schedule, v, insertion_));
+  }
+  return schedule;
+}
+
+}  // namespace hdlts::sched

@@ -1,0 +1,26 @@
+// Performance Effective Task Scheduling (Ilavarasan, Thambidurai &
+// Mahilmannan, ISPDC 2005).
+//
+// Tasks are grouped into precedence levels; within a level the priority is
+// rank(v) = round(ACC + DTC + RPT) where ACC is the mean execution cost, DTC
+// the total outbound communication cost, and RPT the highest rank among
+// immediate predecessors. Tasks are placed level by level in decreasing rank
+// on their min-EFT processor with the insertion policy.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Pets final : public Scheduler {
+ public:
+  explicit Pets(bool insertion = true) : insertion_(insertion) {}
+
+  std::string name() const override { return "pets"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+};
+
+}  // namespace hdlts::sched

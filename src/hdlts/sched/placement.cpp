@@ -1,0 +1,43 @@
+#include "hdlts/sched/placement.hpp"
+
+namespace hdlts::sched {
+
+PlacementChoice eft_on(const sim::Problem& problem,
+                       const sim::Schedule& schedule, graph::TaskId task,
+                       platform::ProcId proc, bool insertion) {
+  const double ready = schedule.ready_time(problem, task, proc);
+  const double duration = problem.exec_time(task, proc);
+  const double est = schedule.earliest_start(proc, ready, duration, insertion);
+  return {proc, est, est + duration};
+}
+
+std::vector<double> eft_vector(const sim::Problem& problem,
+                               const sim::Schedule& schedule,
+                               graph::TaskId task, bool insertion) {
+  const auto& procs = problem.procs();
+  std::vector<double> out;
+  out.reserve(procs.size());
+  for (const platform::ProcId p : procs) {
+    out.push_back(eft_on(problem, schedule, task, p, insertion).eft);
+  }
+  return out;
+}
+
+PlacementChoice best_eft(const sim::Problem& problem,
+                         const sim::Schedule& schedule, graph::TaskId task,
+                         bool insertion) {
+  PlacementChoice best;
+  for (const platform::ProcId p : problem.procs()) {
+    const PlacementChoice c = eft_on(problem, schedule, task, p, insertion);
+    if (best.proc == platform::kInvalidProc || c.eft < best.eft) best = c;
+  }
+  HDLTS_ENSURES(best.proc != platform::kInvalidProc);
+  return best;
+}
+
+void commit(sim::Schedule& schedule, graph::TaskId task,
+            const PlacementChoice& choice) {
+  schedule.place(task, choice.proc, choice.est, choice.eft);
+}
+
+}  // namespace hdlts::sched

@@ -1,0 +1,38 @@
+// Processor-selection helpers shared by all EFT-based schedulers.
+#pragma once
+
+#include <vector>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::sched {
+
+struct PlacementChoice {
+  platform::ProcId proc = platform::kInvalidProc;
+  double est = 0.0;
+  double eft = 0.0;
+};
+
+/// EST/EFT of `task` on processor `proc` given the current partial schedule
+/// (Definitions 6 and 7). All parents must be placed.
+PlacementChoice eft_on(const sim::Problem& problem,
+                       const sim::Schedule& schedule, graph::TaskId task,
+                       platform::ProcId proc, bool insertion);
+
+/// EFT of `task` on every alive processor, in problem.procs() order. This is
+/// the vector whose sample standard deviation is the HDLTS penalty value.
+std::vector<double> eft_vector(const sim::Problem& problem,
+                               const sim::Schedule& schedule,
+                               graph::TaskId task, bool insertion);
+
+/// The processor minimizing EFT (ties broken toward the lower processor id).
+PlacementChoice best_eft(const sim::Problem& problem,
+                         const sim::Schedule& schedule, graph::TaskId task,
+                         bool insertion);
+
+/// Places `task` at `choice` (primary placement).
+void commit(sim::Schedule& schedule, graph::TaskId task,
+            const PlacementChoice& choice);
+
+}  // namespace hdlts::sched

@@ -1,0 +1,46 @@
+// Task-ranking computations shared by the list schedulers.
+//
+// All ranks use processor-independent mean values (mean execution time and
+// data volume / mean bandwidth), following the conventions of the original
+// publications (HEFT/CPOP: Topcuoglu et al. 2002, PEFT: Arabnejad & Barbosa
+// 2014, PETS: Ilavarasan et al. 2005, SDBATS: Munir et al. 2013).
+#pragma once
+
+#include <vector>
+
+#include "hdlts/sim/problem.hpp"
+
+namespace hdlts::sched {
+
+/// HEFT upward rank: rank_u(v) = mean_W(v) + max over children c of
+/// (mean_comm(v,c) + rank_u(c)); exit tasks have rank_u = mean_W.
+std::vector<double> upward_rank_mean(const sim::Problem& problem);
+
+/// CPOP downward rank: rank_d(v) = max over parents u of
+/// (rank_d(u) + mean_W(u) + mean_comm(u,v)); entry tasks have rank_d = 0.
+std::vector<double> downward_rank_mean(const sim::Problem& problem);
+
+/// SDBATS upward rank: like upward_rank_mean but the task weight is the
+/// sample standard deviation of its execution-time row instead of the mean.
+std::vector<double> upward_rank_stddev(const sim::Problem& problem);
+
+/// PEFT Optimistic Cost Table: OCT(v,p) = max over children c of
+/// min over q of (OCT(c,q) + W(c,q) + [p != q] * mean_comm(v,c));
+/// exit rows are zero. Returned row-major: oct[v * P + p] with P the number
+/// of *alive* processors, indexed by position in problem.procs().
+std::vector<double> oct_table(const sim::Problem& problem);
+
+/// Mean of the OCT row of each task — the PEFT priority (rank_oct).
+std::vector<double> oct_rank(const sim::Problem& problem,
+                             const std::vector<double>& oct);
+
+/// PETS attributes per task.
+struct PetsRank {
+  std::vector<double> acc;   ///< Average computation cost (mean W row).
+  std::vector<double> dtc;   ///< Data transfer cost: sum of out-edge comm.
+  std::vector<double> rpt;   ///< Highest rank among immediate predecessors.
+  std::vector<double> rank;  ///< round(acc + dtc + rpt).
+};
+PetsRank pets_rank(const sim::Problem& problem);
+
+}  // namespace hdlts::sched

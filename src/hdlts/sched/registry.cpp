@@ -1,0 +1,61 @@
+#include "hdlts/sched/registry.hpp"
+
+#include "hdlts/sched/baselines.hpp"
+#include "hdlts/sched/batch.hpp"
+#include "hdlts/sched/cpop.hpp"
+#include "hdlts/sched/dheft.hpp"
+#include "hdlts/sched/dls.hpp"
+#include "hdlts/sched/genetic.hpp"
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/sched/lookahead.hpp"
+#include "hdlts/sched/peft.hpp"
+#include "hdlts/sched/pets.hpp"
+#include "hdlts/sched/sdbats.hpp"
+
+namespace hdlts::sched {
+
+void Registry::add(const std::string& name, Factory factory) {
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw InvalidArgument("scheduler '" + name + "' is already registered");
+  }
+}
+
+bool Registry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+SchedulerPtr Registry::make(const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw InvalidArgument("unknown scheduler '" + name + "'");
+  }
+  return it->second();
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+Registry baseline_registry() {
+  Registry r;
+  r.add("heft", [] { return std::make_unique<Heft>(); });
+  r.add("cpop", [] { return std::make_unique<Cpop>(); });
+  r.add("pets", [] { return std::make_unique<Pets>(); });
+  r.add("peft", [] { return std::make_unique<Peft>(); });
+  r.add("sdbats", [] { return std::make_unique<Sdbats>(); });
+  r.add("mct", [] { return std::make_unique<Mct>(); });
+  r.add("random", [] { return std::make_unique<RandomOrder>(); });
+  // Extension baselines beyond the paper's comparison set.
+  r.add("dls", [] { return std::make_unique<Dls>(); });
+  r.add("minmin", [] { return std::make_unique<MinMin>(); });
+  r.add("maxmin", [] { return std::make_unique<MaxMin>(); });
+  r.add("dheft", [] { return std::make_unique<Dheft>(); });
+  r.add("genetic", [] { return std::make_unique<Genetic>(); });
+  r.add("lookahead", [] { return std::make_unique<LookaheadHeft>(); });
+  return r;
+}
+
+}  // namespace hdlts::sched

@@ -1,0 +1,37 @@
+// Name-indexed scheduler factory. The baseline set registers itself here;
+// hdlts::core::default_registry() adds the HDLTS variants on top.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Registry {
+ public:
+  using Factory = std::function<SchedulerPtr()>;
+
+  /// Registers a factory; throws InvalidArgument on duplicate names.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Creates a scheduler; throws InvalidArgument for unknown names.
+  SchedulerPtr make(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// A registry containing the baseline list schedulers evaluated by the paper
+/// (heft, cpop, pets, peft, sdbats) plus the mct/random sanity baselines.
+Registry baseline_registry();
+
+}  // namespace hdlts::sched

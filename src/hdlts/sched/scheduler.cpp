@@ -1,0 +1,5 @@
+#include "hdlts/sched/scheduler.hpp"
+
+// Interface-only translation unit; anchors the vtable.
+
+namespace hdlts::sched {}  // namespace hdlts::sched

@@ -1,0 +1,27 @@
+// Scheduler interface shared by the HDLTS core and all baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short lower-case identifier ("heft", "hdlts", ...).
+  virtual std::string name() const = 0;
+
+  /// Produces a complete schedule for the problem. Implementations must only
+  /// place work on problem.procs() (alive processors) and must return a
+  /// schedule that passes sim::Schedule::validate.
+  virtual sim::Schedule schedule(const sim::Problem& problem) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+}  // namespace hdlts::sched

@@ -1,0 +1,29 @@
+// Standard-Deviation-Based Algorithm for Task Scheduling (Munir et al.,
+// IPDPSW 2013).
+//
+// Upward ranks are computed with the *standard deviation* of each task's
+// execution-time row as the task weight (instead of HEFT's mean), so tasks
+// whose cost varies most across the heterogeneous machines are prioritized.
+// The entry task is duplicated on every processor at time zero (SDBATS's
+// entry-duplication optimization), and the remaining tasks are placed in
+// decreasing rank order on their min-EFT processor with insertion.
+#pragma once
+
+#include "hdlts/sched/scheduler.hpp"
+
+namespace hdlts::sched {
+
+class Sdbats final : public Scheduler {
+ public:
+  explicit Sdbats(bool insertion = true, bool entry_duplication = true)
+      : insertion_(insertion), entry_duplication_(entry_duplication) {}
+
+  std::string name() const override { return "sdbats"; }
+  sim::Schedule schedule(const sim::Problem& problem) const override;
+
+ private:
+  bool insertion_;
+  bool entry_duplication_;
+};
+
+}  // namespace hdlts::sched

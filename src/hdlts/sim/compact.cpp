@@ -1,0 +1,39 @@
+#include "hdlts/sim/compact.hpp"
+
+#include <algorithm>
+
+namespace hdlts::sim {
+
+Schedule compact(const Problem& problem, const Schedule& schedule) {
+  const EngineResult replayed = replay(problem, schedule);
+  if (replayed.deadlocked) {
+    throw InvalidArgument(
+        "cannot compact: schedule deadlocks under replay (processor order "
+        "contradicts precedence)");
+  }
+  // Re-place blocks at their actual times, in start order so the timeline
+  // insertion never sees a transient overlap.
+  std::vector<const ExecutedBlock*> blocks;
+  blocks.reserve(replayed.blocks.size());
+  for (const ExecutedBlock& b : replayed.blocks) blocks.push_back(&b);
+  std::sort(blocks.begin(), blocks.end(),
+            [](const ExecutedBlock* a, const ExecutedBlock* b) {
+              if (a->actual_start != b->actual_start) {
+                return a->actual_start < b->actual_start;
+              }
+              return a->scheduled.task < b->scheduled.task;
+            });
+  Schedule out(schedule.num_tasks(), schedule.num_procs());
+  for (const ExecutedBlock* b : blocks) {
+    if (b->scheduled.duplicate) {
+      out.place_duplicate(b->scheduled.task, b->scheduled.proc,
+                          b->actual_start, b->actual_finish);
+    } else {
+      out.place(b->scheduled.task, b->scheduled.proc, b->actual_start,
+                b->actual_finish);
+    }
+  }
+  return out;
+}
+
+}  // namespace hdlts::sim

@@ -1,0 +1,17 @@
+// Schedule compaction: left-shifts every block to its earliest physically
+// feasible time by replaying the schedule in the discrete-event engine and
+// re-anchoring blocks at their actual times. Preserves processor
+// assignments, per-processor order, and duplicate structure. Never
+// increases the makespan of a contract-valid schedule, and is idempotent.
+#pragma once
+
+#include "hdlts/sim/engine.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::sim {
+
+/// Throws InvalidArgument when the schedule deadlocks under replay (its
+/// processor order contradicts precedence).
+Schedule compact(const Problem& problem, const Schedule& schedule);
+
+}  // namespace hdlts::sim

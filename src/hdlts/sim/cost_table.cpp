@@ -1,0 +1,51 @@
+#include "hdlts/sim/cost_table.hpp"
+
+#include <algorithm>
+
+#include "hdlts/util/stats.hpp"
+
+namespace hdlts::sim {
+
+CostTable::CostTable(std::size_t num_tasks, std::size_t num_procs)
+    : num_tasks_(num_tasks),
+      num_procs_(num_procs),
+      cost_(num_tasks * num_procs, 0.0) {
+  if (num_procs == 0) throw InvalidArgument("cost table needs >= 1 processor");
+}
+
+void CostTable::set(graph::TaskId v, platform::ProcId p, double cost) {
+  if (cost < 0.0) throw InvalidArgument("execution cost must be non-negative");
+  cost_[index(v, p)] = cost;
+}
+
+std::span<const double> CostTable::row(graph::TaskId v) const {
+  return {cost_.data() + index(v, 0), num_procs_};
+}
+
+double CostTable::mean(graph::TaskId v) const { return util::mean(row(v)); }
+
+double CostTable::min(graph::TaskId v) const {
+  const auto r = row(v);
+  return *std::min_element(r.begin(), r.end());
+}
+
+double CostTable::stddev_sample(graph::TaskId v) const {
+  return util::stddev_sample(row(v));
+}
+
+CostTable CostTable::from_speeds(const graph::TaskGraph& g,
+                                 std::span<const double> speeds) {
+  if (speeds.empty()) throw InvalidArgument("need >= 1 processor speed");
+  for (const double s : speeds) {
+    if (s <= 0.0) throw InvalidArgument("processor speeds must be positive");
+  }
+  CostTable table(g.num_tasks(), speeds.size());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (platform::ProcId p = 0; p < speeds.size(); ++p) {
+      table.set(v, p, g.work(v) / speeds[p]);
+    }
+  }
+  return table;
+}
+
+}  // namespace hdlts::sim

@@ -1,0 +1,51 @@
+// The W matrix (paper Definition 1): execution time of each task on each
+// processor, plus the per-task summaries the schedulers rank with.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hdlts/graph/task_graph.hpp"
+#include "hdlts/platform/platform.hpp"
+
+namespace hdlts::sim {
+
+class CostTable {
+ public:
+  /// An n×p table initialized to zero.
+  CostTable(std::size_t num_tasks, std::size_t num_procs);
+
+  std::size_t num_tasks() const { return num_tasks_; }
+  std::size_t num_procs() const { return num_procs_; }
+
+  double operator()(graph::TaskId v, platform::ProcId p) const {
+    return cost_[index(v, p)];
+  }
+  void set(graph::TaskId v, platform::ProcId p, double cost);
+
+  /// Execution times of task v on all processors.
+  std::span<const double> row(graph::TaskId v) const;
+
+  /// Mean execution time over all processors (paper Eq. 1).
+  double mean(graph::TaskId v) const;
+  /// Minimum execution time over all processors (SLR denominator, Eq. 10).
+  double min(graph::TaskId v) const;
+  /// Sample standard deviation of the row (SDBATS rank weight).
+  double stddev_sample(graph::TaskId v) const;
+
+  /// Derives W from task work and processor speeds: W(v,p) = work(v)/speed.
+  static CostTable from_speeds(const graph::TaskGraph& g,
+                               std::span<const double> speeds);
+
+ private:
+  std::size_t index(graph::TaskId v, platform::ProcId p) const {
+    HDLTS_EXPECTS(v < num_tasks_ && p < num_procs_);
+    return static_cast<std::size_t>(v) * num_procs_ + p;
+  }
+
+  std::size_t num_tasks_;
+  std::size_t num_procs_;
+  std::vector<double> cost_;
+};
+
+}  // namespace hdlts::sim

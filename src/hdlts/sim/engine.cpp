@@ -1,0 +1,172 @@
+#include "hdlts/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace hdlts::sim {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Block {
+  Placement scheduled;
+  double actual_start = -1.0;
+  double actual_finish = -1.0;
+  bool started = false;
+  bool finished = false;
+};
+
+struct Completion {
+  double time;
+  std::size_t block;
+  bool operator>(const Completion& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+EngineResult replay(const Problem& problem, const Schedule& schedule) {
+  const std::size_t n = problem.num_tasks();
+  for (graph::TaskId v = 0; v < n; ++v) {
+    if (!schedule.is_placed(v)) {
+      throw InvalidArgument("replay requires a fully placed schedule; task " +
+                            std::to_string(v) + " is missing");
+    }
+  }
+
+  // Collect all blocks per processor in timeline order. Zero-duration
+  // blocks (pseudo entry/exit tasks) occupy no processor time: they are
+  // exempt from the FIFO and run the moment their data is ready (at their
+  // scheduled time when feasible).
+  std::vector<Block> blocks;
+  std::vector<std::vector<std::size_t>> proc_queue(schedule.num_procs());
+  std::vector<std::size_t> free_blocks;
+  constexpr double kZero = 1e-9;
+  for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    for (const Placement& pl : schedule.timeline(p)) {
+      if (pl.finish - pl.start <= kZero) {
+        free_blocks.push_back(blocks.size());
+      } else {
+        proc_queue[p].push_back(blocks.size());
+      }
+      blocks.push_back(Block{pl, -1.0, -1.0, false, false});
+    }
+  }
+
+  // Completed copies of each task: (processor, actual finish).
+  std::vector<std::vector<std::pair<platform::ProcId, double>>> copies(n);
+  std::vector<std::size_t> head(schedule.num_procs(), 0);
+  std::vector<double> proc_free(schedule.num_procs(), 0.0);
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      events;
+  std::size_t remaining = blocks.size();
+
+  // Earliest physical arrival of task v's output on processor k, given the
+  // copies completed so far; +inf when no copy of some parent is done.
+  auto ready_time = [&](graph::TaskId v, platform::ProcId k) {
+    double ready = 0.0;
+    for (const graph::Adjacent& parent : problem.graph().parents(v)) {
+      double arrival = kInf;
+      for (const auto& [q, finish] : copies[parent.task]) {
+        arrival = std::min(
+            arrival, finish + problem.comm_time_data(parent.data, q, k));
+      }
+      ready = std::max(ready, arrival);
+      if (ready == kInf) break;
+    }
+    return ready;
+  };
+
+  while (remaining > 0) {
+    // Best startable block: the head of any processor queue, or any
+    // zero-duration block whose data is ready (those run at their scheduled
+    // time when feasible, without holding the processor).
+    double best_start = kInf;
+    std::size_t best_block = static_cast<std::size_t>(-1);
+    bool best_is_free = false;
+    for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
+      if (head[p] >= proc_queue[p].size()) continue;
+      const Block& b = blocks[proc_queue[p][head[p]]];
+      if (b.started) continue;
+      const double ready = ready_time(b.scheduled.task, p);
+      if (ready == kInf) continue;
+      const double start = std::max(ready, proc_free[p]);
+      if (start < best_start) {
+        best_start = start;
+        best_block = proc_queue[p][head[p]];
+        best_is_free = false;
+      }
+    }
+    for (const std::size_t bi : free_blocks) {
+      const Block& b = blocks[bi];
+      if (b.started) continue;
+      const double ready = ready_time(b.scheduled.task, b.scheduled.proc);
+      if (ready == kInf) continue;
+      const double start = std::max(ready, b.scheduled.start);
+      if (start < best_start) {
+        best_start = start;
+        best_block = bi;
+        best_is_free = true;
+      }
+    }
+    const double next_event = events.empty() ? kInf : events.top().time;
+
+    if (best_start <= next_event && best_start != kInf) {
+      // Commit the start: no pending completion can deliver data earlier
+      // than best_start, because a copy finishing at t delivers at >= t.
+      Block& b = blocks[best_block];
+      b.started = true;
+      b.actual_start = best_start;
+      b.actual_finish =
+          best_start + problem.exec_time(b.scheduled.task, b.scheduled.proc);
+      if (!best_is_free) proc_free[b.scheduled.proc] = b.actual_finish;
+      events.push(Completion{b.actual_finish, best_block});
+      continue;
+    }
+
+    if (next_event == kInf) {
+      // Nothing startable and nothing in flight: the schedule's processor
+      // order contradicts task precedence.
+      EngineResult result;
+      for (const Block& b : blocks) {
+        result.blocks.push_back({b.scheduled, b.actual_start, b.actual_finish});
+      }
+      result.deadlocked = true;
+      return result;
+    }
+
+    const Completion ev = events.top();
+    events.pop();
+    Block& b = blocks[ev.block];
+    b.finished = true;
+    copies[b.scheduled.task].emplace_back(b.scheduled.proc, b.actual_finish);
+    for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
+      if (head[p] < proc_queue[p].size() &&
+          proc_queue[p][head[p]] == ev.block) {
+        ++head[p];
+      }
+    }
+    --remaining;
+  }
+
+  EngineResult result;
+  result.matches_schedule = true;
+  result.exact_times = true;
+  for (const Block& b : blocks) {
+    result.blocks.push_back({b.scheduled, b.actual_start, b.actual_finish});
+    result.makespan = std::max(result.makespan, b.actual_finish);
+    if (b.actual_finish > b.scheduled.finish + kEps) {
+      result.matches_schedule = false;
+    }
+    if (std::abs(b.actual_start - b.scheduled.start) > kEps ||
+        std::abs(b.actual_finish - b.scheduled.finish) > kEps) {
+      result.exact_times = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace hdlts::sim

@@ -1,0 +1,44 @@
+// Discrete-event execution engine.
+//
+// Replays a schedule against the platform with true message semantics: each
+// processor executes its placements in timeline order, a block starts when
+// the processor is free and every input has physically arrived (earliest
+// copy of each parent, per-edge communication delay), and completions drive
+// data-arrival updates. For a valid analytic schedule the replayed times
+// coincide with the scheduled ones — an independent cross-check used by the
+// test suite. For an infeasible schedule the replay either slips (actual
+// times exceed scheduled) or deadlocks (processor order contradicts
+// precedence), both of which are reported.
+#pragma once
+
+#include <vector>
+
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::sim {
+
+struct ExecutedBlock {
+  Placement scheduled;
+  double actual_start = 0.0;
+  double actual_finish = 0.0;
+};
+
+struct EngineResult {
+  std::vector<ExecutedBlock> blocks;
+  double makespan = 0.0;
+  /// True when no block finished *later* than its scheduled time: the
+  /// schedule is an executable contract. Blocks may legitimately finish
+  /// early — a duplicate placed while scheduling a later task can deliver
+  /// data sooner than the remote arrival an earlier task was quoted.
+  bool matches_schedule = false;
+  /// Stricter: every block ran exactly at its scheduled time (within eps).
+  bool exact_times = false;
+  /// True when the replay could not make progress (invalid schedule).
+  bool deadlocked = false;
+};
+
+/// Replays `schedule` on `problem`'s platform. Requires a fully placed
+/// schedule (every task has a primary placement).
+EngineResult replay(const Problem& problem, const Schedule& schedule);
+
+}  // namespace hdlts::sim

@@ -1,0 +1,55 @@
+#include "hdlts/sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace hdlts::sim {
+
+void write_gantt(std::ostream& os, const Schedule& schedule,
+                 const GanttOptions& options) {
+  const double span = schedule.makespan();
+  const std::size_t width = std::max<std::size_t>(options.width, 16);
+  const double scale =
+      span > 0.0 ? static_cast<double>(width) / span : 1.0;
+  os << "makespan = " << span << "\n";
+  for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    std::string row(width, '.');
+    for (const Placement& pl : schedule.timeline(p)) {
+      auto begin = static_cast<std::size_t>(std::floor(pl.start * scale));
+      auto end = static_cast<std::size_t>(std::ceil(pl.finish * scale));
+      begin = std::min(begin, width - 1);
+      end = std::clamp(end, begin + 1, width);
+      std::string label = (pl.duplicate ? "*" : "") + std::to_string(pl.task);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t k = i - begin;
+        row[i] = k < label.size() ? label[k] : '=';
+      }
+    }
+    os << "P" << (p + 1) << " |" << row << "|\n";
+  }
+}
+
+std::string to_gantt(const Schedule& schedule, const GanttOptions& options) {
+  std::ostringstream os;
+  write_gantt(os, schedule, options);
+  return os.str();
+}
+
+void write_placements_csv(std::ostream& os, const Schedule& schedule,
+                          const graph::TaskGraph* graph) {
+  os << "task,name,proc,start,finish,duplicate\n";
+  auto emit = [&](const Placement& pl) {
+    os << pl.task << ','
+       << (graph != nullptr ? graph->name(pl.task) : std::to_string(pl.task))
+       << ',' << pl.proc << ',' << pl.start << ',' << pl.finish << ','
+       << (pl.duplicate ? 1 : 0) << '\n';
+  };
+  for (graph::TaskId v = 0; v < schedule.num_tasks(); ++v) {
+    if (schedule.is_placed(v)) emit(schedule.placement(v));
+    for (const Placement& d : schedule.duplicates(v)) emit(d);
+  }
+}
+
+}  // namespace hdlts::sim

@@ -1,0 +1,37 @@
+#include "hdlts/sim/problem.hpp"
+
+#include "hdlts/graph/algorithms.hpp"
+
+namespace hdlts::sim {
+
+void Workload::validate() const {
+  if (graph.num_tasks() != costs.num_tasks()) {
+    throw InvalidArgument("cost table has " +
+                          std::to_string(costs.num_tasks()) +
+                          " tasks but graph has " +
+                          std::to_string(graph.num_tasks()));
+  }
+  if (platform.num_procs() != costs.num_procs()) {
+    throw InvalidArgument("cost table has " +
+                          std::to_string(costs.num_procs()) +
+                          " processors but platform has " +
+                          std::to_string(platform.num_procs()));
+  }
+  if (!graph::is_acyclic(graph)) {
+    throw InvalidArgument("workflow graph contains a cycle");
+  }
+}
+
+Problem::Problem(const Workload& w)
+    : graph_(&w.graph),
+      costs_(&w.costs),
+      platform_(&w.platform),
+      procs_(w.platform.alive_procs()),
+      mean_bandwidth_(w.platform.mean_bandwidth()) {
+  w.validate();
+  if (procs_.empty()) {
+    throw InvalidArgument("no alive processors to schedule on");
+  }
+}
+
+}  // namespace hdlts::sim

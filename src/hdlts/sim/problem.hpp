@@ -1,0 +1,81 @@
+// The scheduling problem bundle: a workflow graph, its W cost table, and the
+// platform it is mapped onto (paper §III: G = (V, E, W, C) plus the HCE).
+#pragma once
+
+#include <vector>
+
+#include "hdlts/graph/task_graph.hpp"
+#include "hdlts/platform/platform.hpp"
+#include "hdlts/sim/cost_table.hpp"
+
+namespace hdlts::sim {
+
+/// Owning bundle produced by the workload generators.
+struct Workload {
+  graph::TaskGraph graph;
+  CostTable costs;
+  platform::Platform platform;
+
+  /// Throws InvalidArgument when dimensions disagree or the graph is cyclic.
+  void validate() const;
+};
+
+/// Non-owning, cheap-to-copy view of a Workload with the cost queries every
+/// scheduler needs. The Workload must outlive the Problem.
+class Problem {
+ public:
+  explicit Problem(const Workload& w);
+
+  const graph::TaskGraph& graph() const { return *graph_; }
+  const CostTable& costs() const { return *costs_; }
+  const platform::Platform& platform() const { return *platform_; }
+
+  std::size_t num_tasks() const { return graph_->num_tasks(); }
+  std::size_t num_procs() const { return platform_->num_procs(); }
+
+  /// W(v, p) — execution time of task v on processor p (Definition 1).
+  double exec_time(graph::TaskId v, platform::ProcId p) const {
+    return (*costs_)(v, p);
+  }
+
+  /// Data volume on edge u -> v; throws if the edge does not exist.
+  double data(graph::TaskId u, graph::TaskId v) const {
+    return graph_->edge_data(u, v);
+  }
+
+  /// Communication time for edge u -> v when u runs on pu and v on pv
+  /// (Definition 2); zero on the same processor.
+  double comm_time(graph::TaskId u, graph::TaskId v, platform::ProcId pu,
+                   platform::ProcId pv) const {
+    if (pu == pv) return 0.0;
+    return graph_->edge_data(u, v) / platform_->bandwidth(pu, pv);
+  }
+
+  /// Same as comm_time but with a pre-fetched data volume (hot path: callers
+  /// iterate adjacency lists that already carry the volume).
+  double comm_time_data(double data, platform::ProcId pu,
+                        platform::ProcId pv) const {
+    if (pu == pv) return 0.0;
+    return data / platform_->bandwidth(pu, pv);
+  }
+
+  /// Processor-independent mean communication time of edge u -> v, used by
+  /// rank computations (HEFT-style): data / mean bandwidth.
+  double mean_comm(graph::TaskId u, graph::TaskId v) const {
+    return graph_->edge_data(u, v) / mean_bandwidth_;
+  }
+  double mean_comm_data(double data) const { return data / mean_bandwidth_; }
+
+  /// Alive processors, in increasing id order (schedulers must only place
+  /// work here; the failure extension kills processors between runs).
+  const std::vector<platform::ProcId>& procs() const { return procs_; }
+
+ private:
+  const graph::TaskGraph* graph_;
+  const CostTable* costs_;
+  const platform::Platform* platform_;
+  std::vector<platform::ProcId> procs_;
+  double mean_bandwidth_;
+};
+
+}  // namespace hdlts::sim

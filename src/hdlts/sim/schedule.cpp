@@ -1,0 +1,222 @@
+#include "hdlts/sim/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdlts::sim {
+
+namespace {
+constexpr double kEps = 1e-7;
+}
+
+Schedule::Schedule(std::size_t num_tasks, std::size_t num_procs)
+    : primary_(num_tasks), dup_(num_tasks), timeline_(num_procs) {
+  if (num_procs == 0) throw InvalidArgument("schedule needs >= 1 processor");
+}
+
+void Schedule::place(graph::TaskId task, platform::ProcId proc, double start,
+                     double finish) {
+  if (task >= num_tasks()) {
+    throw InvalidArgument("unknown task id " + std::to_string(task));
+  }
+  if (is_placed(task)) {
+    throw InvalidArgument("task " + std::to_string(task) + " already placed");
+  }
+  const Placement pl{task, proc, start, finish, /*duplicate=*/false};
+  insert_into_timeline(pl);  // throws on overlap before mutating primary_
+  primary_[task] = pl;
+  ++num_placed_;
+}
+
+void Schedule::place_duplicate(graph::TaskId task, platform::ProcId proc,
+                               double start, double finish) {
+  if (task >= num_tasks()) {
+    throw InvalidArgument("unknown task id " + std::to_string(task));
+  }
+  const Placement pl{task, proc, start, finish, /*duplicate=*/true};
+  insert_into_timeline(pl);
+  dup_[task].push_back(pl);
+}
+
+void Schedule::insert_into_timeline(const Placement& pl) {
+  if (pl.proc >= num_procs()) {
+    throw InvalidArgument("unknown processor id " + std::to_string(pl.proc));
+  }
+  if (pl.start < 0.0 || pl.finish < pl.start) {
+    throw InvalidArgument("placement interval is malformed");
+  }
+  auto& line = timeline_[pl.proc];
+  const auto pos = std::lower_bound(
+      line.begin(), line.end(), pl,
+      [](const Placement& a, const Placement& b) { return a.start < b.start; });
+  // Zero-duration placements (pseudo entry/exit tasks) occupy no time and
+  // conflict with nothing; a real placement must not overlap its nearest
+  // positive-length neighbours (zero-length records in between are skipped).
+  if (pl.finish - pl.start > kEps) {
+    for (auto it = pos; it != line.end(); ++it) {
+      if (it->finish - it->start <= kEps) continue;
+      if (pl.finish > it->start + kEps) {
+        throw InvalidArgument("placement overlaps successor on processor " +
+                              std::to_string(pl.proc));
+      }
+      break;
+    }
+    for (auto it = pos; it != line.begin();) {
+      --it;
+      if (it->finish - it->start <= kEps) continue;
+      if (it->finish > pl.start + kEps) {
+        throw InvalidArgument("placement overlaps predecessor on processor " +
+                              std::to_string(pl.proc));
+      }
+      break;
+    }
+  }
+  line.insert(pos, pl);
+}
+
+bool Schedule::is_placed(graph::TaskId task) const {
+  return task < num_tasks() && primary_[task].task != graph::kInvalidTask;
+}
+
+const Placement& Schedule::placement(graph::TaskId task) const {
+  if (!is_placed(task)) {
+    throw InvalidArgument("task " + std::to_string(task) + " is not placed");
+  }
+  return primary_[task];
+}
+
+std::span<const Placement> Schedule::duplicates(graph::TaskId task) const {
+  if (task >= num_tasks()) {
+    throw InvalidArgument("unknown task id " + std::to_string(task));
+  }
+  return dup_[task];
+}
+
+double Schedule::finish_time(graph::TaskId task) const {
+  return placement(task).finish;
+}
+
+double Schedule::ready_time(const Problem& problem, graph::TaskId v,
+                            platform::ProcId proc) const {
+  double ready = 0.0;
+  for (const graph::Adjacent& parent : problem.graph().parents(v)) {
+    const Placement& pl = placement(parent.task);
+    double arrival =
+        pl.finish + problem.comm_time_data(parent.data, pl.proc, proc);
+    for (const Placement& d : dup_[parent.task]) {
+      arrival = std::min(
+          arrival, d.finish + problem.comm_time_data(parent.data, d.proc, proc));
+    }
+    ready = std::max(ready, arrival);
+  }
+  return ready;
+}
+
+std::span<const Placement> Schedule::timeline(platform::ProcId proc) const {
+  if (proc >= num_procs()) {
+    throw InvalidArgument("unknown processor id " + std::to_string(proc));
+  }
+  return timeline_[proc];
+}
+
+double Schedule::proc_available(platform::ProcId proc) const {
+  // Zero-length records may sit anywhere in the timeline, so the last entry
+  // by start is not necessarily the latest finish.
+  double avail = 0.0;
+  for (const Placement& pl : timeline(proc)) {
+    avail = std::max(avail, pl.finish);
+  }
+  return avail;
+}
+
+double Schedule::earliest_start(platform::ProcId proc, double ready,
+                                double duration, bool insertion) const {
+  const auto line = timeline(proc);
+  if (!insertion) return std::max(ready, proc_available(proc));
+  // A zero-duration block (pseudo task) occupies no time and conflicts with
+  // nothing, so it can run the moment its data is ready.
+  if (duration <= kEps) return ready;
+  // Scan idle gaps in chronological order; the first gap that can hold
+  // [start, start + duration) with start >= ready wins (HEFT insertion).
+  // Zero-duration records occupy no time and never close a gap.
+  double cursor = ready;
+  for (const Placement& pl : line) {
+    if (pl.finish - pl.start <= kEps) continue;
+    if (pl.start >= cursor + duration - kEps) break;  // gap before pl fits
+    cursor = std::max(cursor, pl.finish);
+  }
+  return cursor;
+}
+
+double Schedule::makespan() const {
+  double span = 0.0;
+  for (const auto& line : timeline_) {
+    if (!line.empty()) span = std::max(span, line.back().finish);
+  }
+  return span;
+}
+
+std::vector<std::string> Schedule::validate(const Problem& problem) const {
+  std::vector<std::string> violations;
+  auto complain = [&violations](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+
+  if (num_tasks() != problem.num_tasks() ||
+      num_procs() != problem.num_procs()) {
+    complain("schedule dimensions do not match the problem");
+    return violations;
+  }
+
+  const auto& alive = problem.procs();
+  auto proc_is_alive = [&alive](platform::ProcId p) {
+    return std::binary_search(alive.begin(), alive.end(), p);
+  };
+
+  auto check_placement = [&](const Placement& pl, const char* kind) {
+    if (!proc_is_alive(pl.proc)) {
+      complain(std::string(kind) + " of task " + std::to_string(pl.task) +
+               " uses dead processor " + std::to_string(pl.proc));
+    }
+    const double expected = problem.exec_time(pl.task, pl.proc);
+    if (std::abs((pl.finish - pl.start) - expected) > kEps) {
+      complain(std::string(kind) + " of task " + std::to_string(pl.task) +
+               " has duration " + std::to_string(pl.finish - pl.start) +
+               " but W(v,p) = " + std::to_string(expected));
+    }
+    const double ready = ready_time(problem, pl.task, pl.proc);
+    if (pl.start + kEps < ready) {
+      complain(std::string(kind) + " of task " + std::to_string(pl.task) +
+               " starts at " + std::to_string(pl.start) +
+               " before its data is ready at " + std::to_string(ready));
+    }
+  };
+
+  for (graph::TaskId v = 0; v < num_tasks(); ++v) {
+    if (!is_placed(v)) {
+      complain("task " + std::to_string(v) + " is not placed");
+      continue;
+    }
+    check_placement(primary_[v], "placement");
+    for (const Placement& d : dup_[v]) check_placement(d, "duplicate");
+  }
+
+  for (platform::ProcId p = 0; p < num_procs(); ++p) {
+    const auto line = timeline(p);
+    // Compare consecutive positive-length blocks; zero-duration records
+    // (pseudo tasks) occupy no time and cannot overlap anything.
+    const Placement* prev = nullptr;
+    for (const Placement& pl : line) {
+      if (pl.finish - pl.start <= kEps) continue;
+      if (prev != nullptr && prev->finish > pl.start + kEps) {
+        complain("overlap on processor " + std::to_string(p) + " between " +
+                 std::to_string(prev->task) + " and " +
+                 std::to_string(pl.task));
+      }
+      prev = &pl;
+    }
+  }
+  return violations;
+}
+
+}  // namespace hdlts::sim

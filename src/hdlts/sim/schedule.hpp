@@ -1,0 +1,93 @@
+// A schedule: the mapping of every task to a (processor, start, finish)
+// triple, plus optional duplicate placements (entry-task duplication,
+// paper Algorithm 1). Maintains per-processor timelines and answers the
+// placement queries list schedulers need (end-of-queue and insertion-based).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdlts/sim/problem.hpp"
+
+namespace hdlts::sim {
+
+struct Placement {
+  graph::TaskId task = graph::kInvalidTask;
+  platform::ProcId proc = platform::kInvalidProc;
+  double start = 0.0;
+  double finish = 0.0;
+  bool duplicate = false;
+};
+
+class Schedule {
+ public:
+  explicit Schedule(std::size_t num_tasks, std::size_t num_procs);
+
+  std::size_t num_tasks() const { return primary_.size(); }
+  std::size_t num_procs() const { return timeline_.size(); }
+
+  /// Records the primary execution of `task`. Throws InvalidArgument if the
+  /// task is already placed or the interval overlaps the processor timeline.
+  void place(graph::TaskId task, platform::ProcId proc, double start,
+             double finish);
+
+  /// Records a duplicate execution (redundant copy whose output children may
+  /// consume). A task may have any number of duplicates but they may not
+  /// overlap other work on the target processor.
+  void place_duplicate(graph::TaskId task, platform::ProcId proc, double start,
+                       double finish);
+
+  bool is_placed(graph::TaskId task) const;
+  /// Primary placement; throws InvalidArgument when not placed.
+  const Placement& placement(graph::TaskId task) const;
+  /// Duplicate placements of the task (possibly empty).
+  std::span<const Placement> duplicates(graph::TaskId task) const;
+
+  /// AFT of the task (primary placement finish), Definition 4.
+  double finish_time(graph::TaskId task) const;
+
+  /// Ready time of `v` on `proc` (Definition 5): max over parents of the
+  /// earliest arrival of each parent's output on `proc`, taking the cheapest
+  /// source among the parent's primary placement and all duplicates (comm = 0
+  /// when a copy is on `proc` itself, Definition 2). All parents must already
+  /// be placed. Entry tasks are ready at 0.
+  double ready_time(const Problem& problem, graph::TaskId v,
+                    platform::ProcId proc) const;
+
+  /// Chronological placements on a processor.
+  std::span<const Placement> timeline(platform::ProcId proc) const;
+
+  /// Time the processor becomes free after its last placement (Definition 3);
+  /// 0 for an idle processor.
+  double proc_available(platform::ProcId proc) const;
+
+  /// Earliest start >= ready for a block of `duration`. With insertion, idle
+  /// gaps between existing placements are considered (HEFT-style insertion
+  /// policy); otherwise the block goes after the last placement.
+  double earliest_start(platform::ProcId proc, double ready, double duration,
+                        bool insertion) const;
+
+  /// Number of tasks with a primary placement.
+  std::size_t num_placed() const { return num_placed_; }
+
+  /// Overall completion time: max finish over all placements (equals
+  /// AFT(v_exit) for a fully placed single-exit workflow, Definition 9).
+  double makespan() const;
+
+  /// Full validation against the problem: every task placed, finish = start +
+  /// W(v,p), no timeline overlap, every placement's start respects its data
+  /// ready time, and only alive processors are used. Returns human-readable
+  /// violations; empty means the schedule is valid.
+  std::vector<std::string> validate(const Problem& problem) const;
+
+ private:
+  void insert_into_timeline(const Placement& pl);
+
+  std::vector<Placement> primary_;               // by task id
+  std::vector<std::vector<Placement>> dup_;      // by task id
+  std::vector<std::vector<Placement>> timeline_; // by proc id, sorted by start
+  std::size_t num_placed_ = 0;
+};
+
+}  // namespace hdlts::sim

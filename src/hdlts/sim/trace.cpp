@@ -1,0 +1,104 @@
+#include "hdlts/sim/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hdlts::sim {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_block(std::ostream& os, const Placement& pl,
+                 const graph::TaskGraph* graph) {
+  os << "{\"task\":" << pl.task;
+  if (graph != nullptr && graph->contains(pl.task)) {
+    os << ",\"name\":\"" << json_escape(graph->name(pl.task)) << "\"";
+  }
+  os << ",\"proc\":" << pl.proc << ",\"start\":" << pl.start
+     << ",\"finish\":" << pl.finish
+     << ",\"duplicate\":" << (pl.duplicate ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+void write_schedule_json(std::ostream& os, const Schedule& schedule,
+                         const graph::TaskGraph* graph) {
+  os.precision(15);
+  os << "{\"makespan\":" << schedule.makespan()
+     << ",\"processors\":" << schedule.num_procs() << ",\"blocks\":[";
+  bool first = true;
+  for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    for (const Placement& pl : schedule.timeline(p)) {
+      if (!first) os << ",";
+      first = false;
+      write_block(os, pl, graph);
+    }
+  }
+  os << "]}";
+}
+
+std::string schedule_json(const Schedule& schedule,
+                          const graph::TaskGraph* graph) {
+  std::ostringstream os;
+  write_schedule_json(os, schedule, graph);
+  return os.str();
+}
+
+void write_replay_json(std::ostream& os, const EngineResult& result) {
+  os.precision(15);
+  os << "{\"makespan\":" << result.makespan << ",\"matches_schedule\":"
+     << (result.matches_schedule ? "true" : "false") << ",\"exact_times\":"
+     << (result.exact_times ? "true" : "false") << ",\"deadlocked\":"
+     << (result.deadlocked ? "true" : "false") << ",\"blocks\":[";
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    const ExecutedBlock& b = result.blocks[i];
+    if (i > 0) os << ",";
+    os << "{\"task\":" << b.scheduled.task << ",\"proc\":" << b.scheduled.proc
+       << ",\"duplicate\":" << (b.scheduled.duplicate ? "true" : "false")
+       << ",\"scheduled\":[" << b.scheduled.start << "," << b.scheduled.finish
+       << "],\"actual\":[" << b.actual_start << "," << b.actual_finish
+       << "]}";
+  }
+  os << "]}";
+}
+
+std::string replay_json(const EngineResult& result) {
+  std::ostringstream os;
+  write_replay_json(os, result);
+  return os.str();
+}
+
+}  // namespace hdlts::sim

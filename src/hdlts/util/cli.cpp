@@ -1,0 +1,68 @@
+#include "hdlts/util/cli.hpp"
+
+#include <cstdlib>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  HDLTS_EXPECTS(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + " expects an integer, got '" +
+                          it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("option --" + key + " expects a boolean, got '" + v +
+                        "'");
+}
+
+}  // namespace hdlts::util

@@ -1,0 +1,34 @@
+// Minimal command-line parsing for examples and bench harnesses.
+// Supports --key=value and boolean --flag forms (the space-separated
+// "--key value" form is deliberately unsupported: it is ambiguous with
+// boolean flags followed by positional arguments).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hdlts::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Non-option arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hdlts::util

@@ -1,0 +1,16 @@
+// Environment-variable helpers. Bench harnesses read HDLTS_REPS etc. so that
+// the paper-scale sweeps can be re-run without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hdlts::util {
+
+/// Returns the value of `name` or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns the integer value of `name`, or `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+}  // namespace hdlts::util

@@ -1,0 +1,53 @@
+// Error handling primitives shared across the library.
+//
+// Construction-time validation throws hdlts::Error; internal invariants use
+// HDLTS_EXPECTS / HDLTS_ENSURES, which throw ContractViolation so that tests
+// can assert on them without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hdlts {
+
+/// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user input (graph, parameters, files) is malformed.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal precondition/postcondition is violated.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace hdlts
+
+#define HDLTS_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::hdlts::detail::contract_failure("precondition", #cond, __FILE__,     \
+                                        __LINE__);                           \
+  } while (false)
+
+#define HDLTS_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::hdlts::detail::contract_failure("postcondition", #cond, __FILE__,    \
+                                        __LINE__);                           \
+  } while (false)

@@ -1,0 +1,11 @@
+#include "hdlts/util/rng.hpp"
+
+// Header-only implementation; this translation unit pins the module into the
+// static library and provides a home for future out-of-line helpers.
+
+namespace hdlts::util {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == 0xffffffffffffffffULL);
+
+}  // namespace hdlts::util

@@ -1,0 +1,103 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Experiments must be reproducible regardless of thread scheduling, so every
+// sweep cell derives its own Rng from (base seed, cell index, repetition)
+// through derive_seed(). The generator is xoshiro256** seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::util {
+
+/// SplitMix64 step; used for seeding and for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes additional words into a seed; order-sensitive, collision-resistant
+/// enough for experiment-cell derivation.
+constexpr std::uint64_t derive_seed(std::uint64_t base) { return base; }
+
+template <typename... Rest>
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t next,
+                                    Rest... rest) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL + (base << 6) + (base >> 2));
+  s ^= splitmix64(next);
+  return derive_seed(s, static_cast<std::uint64_t>(rest)...);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) {
+    // Seed the full 256-bit state from SplitMix64 so that similar seeds do
+    // not yield correlated streams.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    HDLTS_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HDLTS_EXPECTS(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % range);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Forks an independent generator; deterministic given this Rng's state.
+  Rng split() { return Rng(derive_seed((*this)(), (*this)())); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace hdlts::util

@@ -1,0 +1,52 @@
+// Streaming statistics (Welford) used by the experiment harness and by the
+// schedulers themselves (the HDLTS penalty value is a standard deviation).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdlts::util {
+
+/// Numerically stable running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance_population() const;
+  /// Sample variance (divide by n-1); 0 when fewer than two samples.
+  double variance_sample() const;
+  double stddev_population() const;
+  double stddev_sample() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sequence; 0 for an empty sequence.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation (divide by n); 0 for an empty sequence.
+double stddev_population(std::span<const double> xs);
+
+/// Sample standard deviation (divide by n-1); 0 for fewer than two values.
+/// This is the estimator behind the HDLTS penalty value (paper Eq. 8) — the
+/// Table I trace only reproduces with the n-1 denominator.
+double stddev_sample(std::span<const double> xs);
+
+/// max - min; 0 for an empty sequence. Offered as a PV ablation variant.
+double range(std::span<const double> xs);
+
+}  // namespace hdlts::util

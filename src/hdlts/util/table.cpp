@@ -1,0 +1,93 @@
+#include "hdlts/util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HDLTS_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw InvalidArgument("Table row width " + std::to_string(cells.size()) +
+                          " does not match header width " +
+                          std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(cells[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  write_csv_row(os, header_);
+  for (const auto& row : rows_) write_csv_row(os, row);
+}
+
+void Table::write_markdown(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c]
+         << std::string(width[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  write_csv(out);
+  if (!out) throw Error("write failed: " + path);
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+}  // namespace hdlts::util

@@ -1,0 +1,40 @@
+// Tabular output: CSV files for plotting and aligned markdown tables for the
+// bench harness stdout (the "same rows the paper reports").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdlts::util {
+
+/// Collects rows of string cells and renders them as CSV or markdown.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders "a,b,c" lines with minimal quoting (fields containing comma,
+  /// quote or newline are double-quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Renders a GitHub-style pipe table with aligned columns.
+  void write_markdown(std::ostream& os) const;
+
+  /// Convenience: write_csv to a file; throws hdlts::Error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places (fixed notation).
+std::string fmt(double value, int digits = 2);
+
+}  // namespace hdlts::util

@@ -1,0 +1,45 @@
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::workload {
+
+sim::Workload classic_workload() {
+  graph::TaskGraph g;
+  // W matrix (rows T1..T10, columns P1..P3) from the HEFT paper.
+  constexpr double kW[10][3] = {
+      {14, 16, 9},  {13, 19, 18}, {11, 13, 19}, {13, 8, 17},  {12, 13, 10},
+      {13, 16, 9},  {7, 15, 11},  {5, 11, 14},  {18, 12, 20}, {21, 7, 16},
+  };
+  for (int i = 0; i < 10; ++i) {
+    g.add_task("T" + std::to_string(i + 1), /*work=*/0.0);
+  }
+  // Edges with their data volumes (== communication times at bandwidth 1).
+  constexpr struct {
+    int src, dst;
+    double data;
+  } kEdges[] = {
+      {0, 1, 18}, {0, 2, 12}, {0, 3, 9},  {0, 4, 11}, {0, 5, 14},
+      {1, 7, 19}, {1, 8, 16}, {2, 6, 23}, {3, 7, 27}, {3, 8, 23},
+      {4, 8, 13}, {5, 7, 15}, {6, 9, 17}, {7, 9, 11}, {8, 9, 13},
+  };
+  for (const auto& e : kEdges) {
+    g.add_edge(static_cast<graph::TaskId>(e.src),
+               static_cast<graph::TaskId>(e.dst), e.data);
+  }
+
+  sim::CostTable costs(10, 3);
+  for (graph::TaskId v = 0; v < 10; ++v) {
+    double mean = 0.0;
+    for (platform::ProcId p = 0; p < 3; ++p) {
+      costs.set(v, p, kW[v][p]);
+      mean += kW[v][p];
+    }
+    g.set_work(v, mean / 3.0);
+  }
+
+  sim::Workload w{std::move(g), std::move(costs),
+                  platform::Platform(3, /*bandwidth=*/1.0)};
+  w.validate();
+  return w;
+}
+
+}  // namespace hdlts::workload

@@ -1,0 +1,17 @@
+// The worked example of the paper's Fig. 1 / Table I: the classic 10-task
+// workflow from the HEFT paper (Topcuoglu, Hariri & Wu, TPDS 2002, Fig. 2),
+// on 3 processors. Reverse-engineering the Table I arithmetic shows the
+// HDLTS paper reuses this exact graph, W matrix, and edge weights (see
+// DESIGN.md). Known makespans on it: HDLTS = 73, HEFT = 80, CPOP = 86.
+#pragma once
+
+#include "hdlts/sim/problem.hpp"
+
+namespace hdlts::workload {
+
+/// The 10-task / 3-processor benchmark workload. Task ids 0..9 correspond to
+/// the paper's T1..T10; edge data volumes equal communication times
+/// (bandwidth 1).
+sim::Workload classic_workload();
+
+}  // namespace hdlts::workload

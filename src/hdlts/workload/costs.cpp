@@ -1,0 +1,75 @@
+#include "hdlts/workload/costs.hpp"
+
+#include <algorithm>
+
+namespace hdlts::workload {
+
+void CostParams::validate() const {
+  if (num_procs == 0) throw InvalidArgument("num_procs must be >= 1");
+  if (wdag <= 0.0) throw InvalidArgument("wdag must be positive");
+  if (beta < 0.0 || beta > 2.0) {
+    throw InvalidArgument("beta must be in [0, 2] (costs stay non-negative)");
+  }
+  if (ccr < 0.0) throw InvalidArgument("ccr must be non-negative");
+}
+
+sim::Workload make_workload(graph::TaskGraph structure,
+                            const CostParams& params, util::Rng& rng) {
+  params.validate();
+  auto normalized = normalize_single_entry_exit(structure);
+  graph::TaskGraph& g = normalized.graph;
+  const std::size_t n = g.num_tasks();
+
+  sim::CostTable costs(n, params.num_procs);
+  for (graph::TaskId v = 0; v < n; ++v) {
+    // Pseudo tasks (work == 0) are free; every real task draws its mean
+    // computation cost from U[0, 2*Wdag] so the DAG-wide mean is Wdag.
+    const double wbar =
+        g.work(v) == 0.0 ? 0.0 : rng.uniform(0.0, 2.0 * params.wdag);
+    g.set_work(v, wbar);
+    for (platform::ProcId p = 0; p < params.num_procs; ++p) {
+      const double lo = wbar * (1.0 - params.beta / 2.0);
+      const double hi = wbar * (1.0 + params.beta / 2.0);
+      costs.set(v, p, lo >= hi ? lo : rng.uniform(lo, hi));
+    }
+  }
+  for (graph::TaskId v = 0; v < n; ++v) {
+    // Copy the adjacency first: set_edge_data mutates what children() views.
+    const std::vector<graph::Adjacent> kids(g.children(v).begin(),
+                                            g.children(v).end());
+    for (const graph::Adjacent& c : kids) {
+      g.set_edge_data(v, c.task, g.work(v) * params.ccr);
+    }
+  }
+
+  sim::Workload w{std::move(g), std::move(costs),
+                  platform::Platform(params.num_procs, /*bandwidth=*/1.0)};
+  w.validate();
+  return w;
+}
+
+sim::Workload make_workload(graph::TaskGraph structure,
+                            const CostParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return make_workload(std::move(structure), params, rng);
+}
+
+void randomize_bandwidths(sim::Workload& workload, double gamma,
+                          double mean_bandwidth, util::Rng& rng) {
+  if (gamma < 0.0 || gamma >= 2.0) {
+    throw InvalidArgument("bandwidth heterogeneity gamma must be in [0, 2)");
+  }
+  if (mean_bandwidth <= 0.0) {
+    throw InvalidArgument("mean bandwidth must be positive");
+  }
+  auto& platform = workload.platform;
+  for (platform::ProcId a = 0; a < platform.num_procs(); ++a) {
+    for (platform::ProcId b = a + 1; b < platform.num_procs(); ++b) {
+      const double lo = mean_bandwidth * (1.0 - gamma / 2.0);
+      const double hi = mean_bandwidth * (1.0 + gamma / 2.0);
+      platform.set_bandwidth(a, b, lo >= hi ? lo : rng.uniform(lo, hi));
+    }
+  }
+}
+
+}  // namespace hdlts::workload

@@ -1,0 +1,45 @@
+// Cost assignment shared by every workload generator (paper §V-B).
+//
+// Given a task-graph structure, draws the mean computation cost of each task
+// uniformly from [0, 2*Wdag], spreads it across processors with the
+// heterogeneity factor beta (Eq. 13), and sets each edge's data volume to
+// w_src * CCR (Eq. 14; link bandwidth is uniformly 1, so communication time
+// equals data volume). Tasks with work == 0 (the pseudo entry/exit tasks
+// added by normalization) keep zero-cost rows and zero-data edges.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/util/rng.hpp"
+
+namespace hdlts::workload {
+
+struct CostParams {
+  std::size_t num_procs = 4;
+  double wdag = 50.0;  ///< mean computation cost of the DAG (W_dag)
+  double beta = 0.8;   ///< processor heterogeneity factor
+  double ccr = 1.0;    ///< communication-to-computation ratio
+
+  /// Throws InvalidArgument when out of the generator's domain.
+  void validate() const;
+};
+
+/// Normalizes `structure` to a single entry/exit (pseudo tasks) and assigns
+/// execution and communication costs. The task `work` fields are overwritten
+/// with the drawn mean computation costs.
+sim::Workload make_workload(graph::TaskGraph structure,
+                            const CostParams& params, util::Rng& rng);
+
+/// Seed-based convenience overload.
+sim::Workload make_workload(graph::TaskGraph structure,
+                            const CostParams& params, std::uint64_t seed);
+
+/// Network-heterogeneity extension: redraws every link bandwidth uniformly
+/// from [mean*(1 - gamma/2), mean*(1 + gamma/2)] (gamma in [0, 2)), so
+/// communication time depends on *which* processors talk — the "uncertain
+/// network conditions" direction of the paper's §VI. gamma = 0 is a no-op.
+void randomize_bandwidths(sim::Workload& workload, double gamma,
+                          double mean_bandwidth, util::Rng& rng);
+
+}  // namespace hdlts::workload

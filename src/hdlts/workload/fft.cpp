@@ -1,0 +1,68 @@
+#include "hdlts/workload/fft.hpp"
+
+#include <bit>
+
+namespace hdlts::workload {
+
+void FftParams::validate() const {
+  if (points < 2 || !std::has_single_bit(points)) {
+    throw InvalidArgument("FFT points must be a power of two >= 2");
+  }
+  costs.validate();
+}
+
+std::size_t fft_task_count(std::size_t points) {
+  const auto log2m = static_cast<std::size_t>(std::bit_width(points) - 1);
+  return 2 * (points - 1) + 1 + points * log2m;
+}
+
+graph::TaskGraph fft_structure(std::size_t points) {
+  if (points < 2 || !std::has_single_bit(points)) {
+    throw InvalidArgument("FFT points must be a power of two >= 2");
+  }
+  const std::size_t m = points;
+  const auto log2m = static_cast<std::size_t>(std::bit_width(m) - 1);
+  graph::TaskGraph g;
+
+  // Recursive part: a full binary tree with m leaves (2m-1 nodes), data
+  // flowing from the root (the entry task) down to the leaves.
+  std::vector<std::vector<graph::TaskId>> tree(log2m + 1);
+  for (std::size_t depth = 0; depth <= log2m; ++depth) {
+    const std::size_t count = std::size_t{1} << depth;
+    for (std::size_t i = 0; i < count; ++i) {
+      tree[depth].push_back(
+          g.add_task("rec_" + std::to_string(depth) + "_" + std::to_string(i)));
+      if (depth > 0) {
+        g.add_edge(tree[depth - 1][i / 2], tree[depth][i], 0.0);
+      }
+    }
+  }
+
+  // Butterfly part: log2(m) stages of m tasks; stage s task i consumes
+  // stage s-1 tasks i and i XOR 2^(s-1) (stage 0 consumes the tree leaves).
+  std::vector<graph::TaskId> prev = tree[log2m];
+  for (std::size_t s = 0; s < log2m; ++s) {
+    std::vector<graph::TaskId> stage;
+    stage.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      stage.push_back(
+          g.add_task("bfly_" + std::to_string(s) + "_" + std::to_string(i)));
+    }
+    const std::size_t stride = std::size_t{1} << s;
+    for (std::size_t i = 0; i < m; ++i) {
+      g.add_edge(prev[i], stage[i], 0.0);
+      g.add_edge(prev[i ^ stride], stage[i], 0.0);
+    }
+    prev = std::move(stage);
+  }
+
+  HDLTS_ENSURES(g.num_tasks() == fft_task_count(points));
+  return g;
+}
+
+sim::Workload fft_workload(const FftParams& params, std::uint64_t seed) {
+  params.validate();
+  return make_workload(fft_structure(params.points), params.costs, seed);
+}
+
+}  // namespace hdlts::workload

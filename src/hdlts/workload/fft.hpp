@@ -1,0 +1,31 @@
+// Fast Fourier Transform application workflow (paper §V-C1, after the HEFT
+// paper): a recursive-call binary tree of 2(m-1)+1 tasks whose m leaves feed
+// a butterfly network of m*log2(m) tasks. m = 4..32 yields 15..223 tasks,
+// matching the paper's range.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct FftParams {
+  std::size_t points = 8;  ///< m; must be a power of two >= 2
+  CostParams costs;
+
+  void validate() const;
+};
+
+/// Number of tasks an m-point FFT workflow contains (before normalization):
+/// 2(m-1)+1 recursive + m*log2(m) butterfly.
+std::size_t fft_task_count(std::size_t points);
+
+/// Structure only. Single entry (tree root); the m butterfly outputs form
+/// multiple exits, normalized later by make_workload.
+graph::TaskGraph fft_structure(std::size_t points);
+
+sim::Workload fft_workload(const FftParams& params, std::uint64_t seed);
+
+}  // namespace hdlts::workload

@@ -1,0 +1,42 @@
+#include "hdlts/workload/forkjoin.hpp"
+
+namespace hdlts::workload {
+
+void ForkJoinParams::validate() const {
+  if (chains == 0) throw InvalidArgument("forkjoin needs >= 1 chain");
+  if (length == 0) throw InvalidArgument("forkjoin needs chain length >= 1");
+  costs.validate();
+}
+
+graph::TaskGraph forkjoin_structure(std::size_t chains, std::size_t length) {
+  if (chains == 0 || length == 0) {
+    throw InvalidArgument("forkjoin needs >= 1 chain of length >= 1");
+  }
+  graph::TaskGraph g;
+  const graph::TaskId entry = g.add_task("fork");
+  std::vector<graph::TaskId> tails;
+  tails.reserve(chains);
+  for (std::size_t c = 0; c < chains; ++c) {
+    graph::TaskId prev = entry;
+    for (std::size_t s = 0; s < length; ++s) {
+      const graph::TaskId t = g.add_task(
+          "chain_" + std::to_string(c) + "_" + std::to_string(s));
+      g.add_edge(prev, t, 0.0);
+      prev = t;
+    }
+    tails.push_back(prev);
+  }
+  const graph::TaskId exit = g.add_task("join");
+  for (const graph::TaskId t : tails) g.add_edge(t, exit, 0.0);
+  HDLTS_ENSURES(g.num_tasks() == 2 + chains * length);
+  return g;
+}
+
+sim::Workload forkjoin_workload(const ForkJoinParams& params,
+                                std::uint64_t seed) {
+  params.validate();
+  return make_workload(forkjoin_structure(params.chains, params.length),
+                       params.costs, seed);
+}
+
+}  // namespace hdlts::workload

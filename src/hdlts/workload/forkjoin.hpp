@@ -1,0 +1,28 @@
+// Fork-join pipeline workflow (extension workload): an entry task fans out
+// into `chains` independent pipelines of `length` tasks each, joined by an
+// exit task. The pattern that stresses entry-task duplication hardest: the
+// entry's output must reach every chain.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct ForkJoinParams {
+  std::size_t chains = 4;
+  std::size_t length = 5;
+  CostParams costs;
+
+  void validate() const;
+};
+
+/// 2 + chains * length tasks; single entry and exit by construction.
+graph::TaskGraph forkjoin_structure(std::size_t chains, std::size_t length);
+
+sim::Workload forkjoin_workload(const ForkJoinParams& params,
+                                std::uint64_t seed);
+
+}  // namespace hdlts::workload

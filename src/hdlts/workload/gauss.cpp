@@ -1,0 +1,48 @@
+#include "hdlts/workload/gauss.hpp"
+
+namespace hdlts::workload {
+
+void GaussParams::validate() const {
+  if (matrix_size < 2) throw InvalidArgument("gauss needs matrix size >= 2");
+  costs.validate();
+}
+
+std::size_t gauss_task_count(std::size_t matrix_size) {
+  return (matrix_size - 1) + matrix_size * (matrix_size - 1) / 2;
+}
+
+graph::TaskGraph gauss_structure(std::size_t matrix_size) {
+  if (matrix_size < 2) throw InvalidArgument("gauss needs matrix size >= 2");
+  const std::size_t m = matrix_size;
+  graph::TaskGraph g;
+  // update[j] holds the most recent task that produced column j.
+  std::vector<graph::TaskId> update(m, graph::kInvalidTask);
+  graph::TaskId prev_pivot = graph::kInvalidTask;
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    const graph::TaskId pivot = g.add_task("piv_" + std::to_string(k));
+    if (k > 0) {
+      // The pivot consumes the column k update from the previous step.
+      g.add_edge(update[k], pivot, 0.0);
+    }
+    (void)prev_pivot;
+    for (std::size_t j = k + 1; j < m; ++j) {
+      const graph::TaskId u =
+          g.add_task("upd_" + std::to_string(k) + "_" + std::to_string(j));
+      g.add_edge(pivot, u, 0.0);
+      if (k > 0) g.add_edge(update[j], u, 0.0);
+      update[j] = u;
+    }
+    prev_pivot = pivot;
+  }
+  HDLTS_ENSURES(g.num_tasks() == gauss_task_count(matrix_size));
+  HDLTS_ENSURES(g.entry_tasks().size() == 1 && g.exit_tasks().size() == 1);
+  return g;
+}
+
+sim::Workload gauss_workload(const GaussParams& params, std::uint64_t seed) {
+  params.validate();
+  return make_workload(gauss_structure(params.matrix_size), params.costs,
+                       seed);
+}
+
+}  // namespace hdlts::workload

@@ -1,0 +1,28 @@
+// Gaussian-elimination workflow (a standard structured benchmark in the
+// HEFT/PEFT literature; included as an extension workload): for an m×m
+// matrix, each elimination step k contributes one pivot task feeding m-1-k
+// update tasks, which feed the next step. (m-1) + m(m-1)/2 tasks total,
+// single entry and exit.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct GaussParams {
+  std::size_t matrix_size = 5;  ///< m >= 2
+  CostParams costs;
+
+  void validate() const;
+};
+
+std::size_t gauss_task_count(std::size_t matrix_size);
+
+graph::TaskGraph gauss_structure(std::size_t matrix_size);
+
+sim::Workload gauss_workload(const GaussParams& params, std::uint64_t seed);
+
+}  // namespace hdlts::workload

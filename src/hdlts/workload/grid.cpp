@@ -1,0 +1,72 @@
+#include "hdlts/workload/grid.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hdlts::workload {
+
+ParameterGrid ParameterGrid::paper() {
+  ParameterGrid g;
+  g.tasks = {100, 200, 300, 400, 500, 1000, 5000, 10000};
+  g.alpha = {0.5, 1.0, 1.5, 2.0, 2.5};
+  g.density = {1, 2, 3, 4, 5};
+  g.ccr = {1.0, 2.0, 3.0, 4.0, 5.0};
+  g.procs = {2, 4, 6, 8, 10};
+  g.wdag = {50, 60, 70, 80, 90, 100};
+  g.beta = {0.4, 0.8, 1.2, 1.6, 2.0};
+  return g;
+}
+
+std::size_t ParameterGrid::size() const {
+  return tasks.size() * alpha.size() * density.size() * ccr.size() *
+         procs.size() * wdag.size() * beta.size();
+}
+
+RandomDagParams ParameterGrid::at(std::size_t index) const {
+  if (tasks.empty() || alpha.empty() || density.empty() || ccr.empty() ||
+      procs.empty() || wdag.empty() || beta.empty()) {
+    throw InvalidArgument("parameter grid has an empty axis");
+  }
+  if (index >= size()) {
+    throw InvalidArgument("grid index " + std::to_string(index) +
+                          " out of range (size " + std::to_string(size()) +
+                          ")");
+  }
+  auto take = [&index](const auto& axis) {
+    const std::size_t i = index % axis.size();
+    index /= axis.size();
+    return axis[i];
+  };
+  // beta fastest, tasks slowest — matches the documented mixed radix.
+  RandomDagParams p;
+  p.costs.beta = take(beta);
+  p.costs.wdag = take(wdag);
+  p.costs.num_procs = take(procs);
+  p.costs.ccr = take(ccr);
+  p.density = take(density);
+  p.alpha = take(alpha);
+  p.num_tasks = take(tasks);
+  return p;
+}
+
+std::vector<std::size_t> ParameterGrid::sample(std::size_t count,
+                                               std::uint64_t seed) const {
+  const std::size_t n = size();
+  if (count > n) {
+    throw InvalidArgument("cannot sample " + std::to_string(count) +
+                          " from a grid of " + std::to_string(n));
+  }
+  util::Rng rng(seed);
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (seen.insert(i).second) out.push_back(i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hdlts::workload

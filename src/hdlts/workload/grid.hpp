@@ -1,0 +1,41 @@
+// The paper's Table II parameter grid as a first-class object: every
+// combination of V, alpha, density, CCR, CPU count, Wdag and beta,
+// addressable by a mixed-radix index — so sweeps can enumerate or sample
+// the whole space deterministically (the paper reports "125K unique
+// application workflow graphs"; the literal product of Table II is
+// 8*5*5*5*5*6*5 = 150,000 combinations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::workload {
+
+struct ParameterGrid {
+  std::vector<std::size_t> tasks;
+  std::vector<double> alpha;
+  std::vector<std::size_t> density;
+  std::vector<double> ccr;
+  std::vector<std::size_t> procs;
+  std::vector<double> wdag;
+  std::vector<double> beta;
+
+  /// The paper's Table II values.
+  static ParameterGrid paper();
+
+  /// Number of combinations (product of the axis sizes).
+  std::size_t size() const;
+
+  /// The index-th combination (mixed-radix decode, tasks slowest).
+  /// Throws InvalidArgument when out of range or any axis is empty.
+  RandomDagParams at(std::size_t index) const;
+
+  /// `count` distinct combination indices drawn without replacement,
+  /// deterministic per seed; count must not exceed size().
+  std::vector<std::size_t> sample(std::size_t count,
+                                  std::uint64_t seed) const;
+};
+
+}  // namespace hdlts::workload

@@ -1,0 +1,54 @@
+#include "hdlts/workload/laplace.hpp"
+
+#include <algorithm>
+
+namespace hdlts::workload {
+
+void LaplaceParams::validate() const {
+  if (size < 2) throw InvalidArgument("laplace needs size >= 2");
+  costs.validate();
+}
+
+graph::TaskGraph laplace_structure(std::size_t size) {
+  if (size < 2) throw InvalidArgument("laplace needs size >= 2");
+  const std::size_t m = size;
+  const std::size_t levels = 2 * m - 1;
+  auto width = [m, levels](std::size_t l) {
+    return std::min(l + 1, levels - l);
+  };
+
+  graph::TaskGraph g;
+  std::vector<std::vector<graph::TaskId>> level(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    for (std::size_t i = 0; i < width(l); ++i) {
+      level[l].push_back(
+          g.add_task("lap_" + std::to_string(l) + "_" + std::to_string(i)));
+    }
+  }
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    const std::size_t w = width(l);
+    const std::size_t wn = width(l + 1);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (wn > w) {
+        // Expanding half: (l, i) feeds (l+1, i) and (l+1, i+1).
+        g.add_edge(level[l][i], level[l + 1][i], 0.0);
+        g.add_edge(level[l][i], level[l + 1][i + 1], 0.0);
+      } else {
+        // Contracting half: (l, i) feeds (l+1, i-1) and (l+1, i).
+        if (i >= 1) g.add_edge(level[l][i], level[l + 1][i - 1], 0.0);
+        if (i + 1 <= wn) g.add_edge(level[l][i], level[l + 1][i], 0.0);
+      }
+    }
+  }
+  HDLTS_ENSURES(g.num_tasks() == m * m);
+  HDLTS_ENSURES(g.entry_tasks().size() == 1 && g.exit_tasks().size() == 1);
+  return g;
+}
+
+sim::Workload laplace_workload(const LaplaceParams& params,
+                               std::uint64_t seed) {
+  params.validate();
+  return make_workload(laplace_structure(params.size), params.costs, seed);
+}
+
+}  // namespace hdlts::workload

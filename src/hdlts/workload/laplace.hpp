@@ -1,0 +1,26 @@
+// Laplace-equation solver workflow (a standard structured benchmark in the
+// SDBATS/HEFT literature; extension workload): an m×m diamond lattice —
+// widths 1, 2, ..., m, ..., 2, 1 — where each task feeds its one or two
+// neighbours on the next level. m^2 tasks, single entry and exit.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct LaplaceParams {
+  std::size_t size = 5;  ///< m >= 2; the workflow has m*m tasks
+  CostParams costs;
+
+  void validate() const;
+};
+
+graph::TaskGraph laplace_structure(std::size_t size);
+
+sim::Workload laplace_workload(const LaplaceParams& params,
+                               std::uint64_t seed);
+
+}  // namespace hdlts::workload

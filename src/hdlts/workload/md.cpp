@@ -1,0 +1,45 @@
+#include "hdlts/workload/md.hpp"
+
+namespace hdlts::workload {
+
+graph::TaskGraph md_structure() {
+  graph::TaskGraph g;
+  for (int i = 0; i < 41; ++i) g.add_task("md" + std::to_string(i));
+  // Levels: {0}, {1..6}, {7..13}, {14..20}, {21..26}, {27..31}, {32..35},
+  // {36..38}, {39}, {40}; a handful of edges skip a level, as in the
+  // original figure.
+  constexpr struct {
+    int src, dst;
+  } kEdges[] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},
+      {1, 7},   {1, 8},   {2, 8},   {2, 9},   {3, 9},   {3, 10},
+      {3, 11},  {4, 11},  {4, 12},  {5, 12},  {5, 13},  {6, 13},
+      {6, 7},   {1, 14},  // level skip
+      {7, 14},  {7, 15},  {8, 15},  {8, 16},  {9, 16},  {9, 17},
+      {10, 17}, {10, 18}, {11, 18}, {12, 19}, {13, 20}, {9, 20},
+      {14, 21}, {15, 21}, {15, 22}, {16, 22}, {16, 23}, {17, 23},
+      {17, 24}, {18, 24}, {18, 25}, {19, 25}, {19, 26}, {20, 26},
+      {7, 21},  // level skip
+      {21, 27}, {22, 27}, {22, 28}, {23, 28}, {23, 29}, {24, 29},
+      {24, 30}, {25, 30}, {25, 31}, {26, 31},
+      {16, 30}, // level skip
+      {27, 32}, {28, 32}, {28, 33}, {29, 33}, {29, 34}, {30, 34},
+      {30, 35}, {31, 35},
+      {32, 36}, {33, 36}, {33, 37}, {34, 37}, {34, 38}, {35, 38},
+      {36, 39}, {37, 39}, {38, 39},
+      {39, 40},
+  };
+  for (const auto& e : kEdges) {
+    g.add_edge(static_cast<graph::TaskId>(e.src),
+               static_cast<graph::TaskId>(e.dst), 0.0);
+  }
+  HDLTS_ENSURES(g.entry_tasks().size() == 1 && g.exit_tasks().size() == 1);
+  return g;
+}
+
+sim::Workload md_workload(const MdParams& params, std::uint64_t seed) {
+  params.validate();
+  return make_workload(md_structure(), params.costs, seed);
+}
+
+}  // namespace hdlts::workload

@@ -1,0 +1,28 @@
+// Modified molecular-dynamics code workflow (paper §V-C3, after the HEFT
+// paper's Fig. 11, originally Kim & Browne 1988): a fixed 41-task irregular
+// DAG. The paper's figure is not machine-readable in our source, so the
+// edge list below is a structural facsimile — 41 tasks over 10 precedence
+// levels with the characteristic irregular fan-in/fan-out and level-skipping
+// edges — with costs randomized by the same CCR/beta machinery the paper
+// sweeps (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct MdParams {
+  CostParams costs;
+
+  void validate() const { costs.validate(); }
+};
+
+/// The fixed 41-task structure (single entry, single exit).
+graph::TaskGraph md_structure();
+
+sim::Workload md_workload(const MdParams& params, std::uint64_t seed);
+
+}  // namespace hdlts::workload

@@ -1,0 +1,82 @@
+#include "hdlts/workload/montage.hpp"
+
+#include <algorithm>
+
+namespace hdlts::workload {
+
+void MontageParams::validate() const {
+  if (num_nodes < 13) {
+    throw InvalidArgument("montage needs >= 13 nodes (2 images)");
+  }
+  costs.validate();
+}
+
+graph::TaskGraph montage_structure(const MontageParams& params,
+                                   util::Rng& rng) {
+  params.validate();
+  // Fixed singleton stages: mConcatFit, mBgModel, mImgtbl, mAdd, mShrink,
+  // mJPEG (6 tasks). The rest splits into k mProjectPP + k mBackground +
+  // (budget - 6 - 2k) mDiffFit, aiming at the canonical 3k/2 mDiffFit.
+  const std::size_t budget = params.num_nodes - 6;
+  const std::size_t k = std::max<std::size_t>(2, (budget * 2) / 7);
+  const std::size_t diffs = budget - 2 * k;
+
+  graph::TaskGraph g;
+  std::vector<graph::TaskId> project(k), background(k), diff(diffs);
+  for (std::size_t i = 0; i < k; ++i) {
+    project[i] = g.add_task("mProjectPP_" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < diffs; ++i) {
+    diff[i] = g.add_task("mDiffFit_" + std::to_string(i));
+  }
+  const graph::TaskId concat = g.add_task("mConcatFit");
+  const graph::TaskId bgmodel = g.add_task("mBgModel");
+  for (std::size_t i = 0; i < k; ++i) {
+    background[i] = g.add_task("mBackground_" + std::to_string(i));
+  }
+  const graph::TaskId imgtbl = g.add_task("mImgtbl");
+  const graph::TaskId add = g.add_task("mAdd");
+  const graph::TaskId shrink = g.add_task("mShrink");
+  const graph::TaskId jpeg = g.add_task("mJPEG");
+
+  // Each mDiffFit compares two projected images: the first k-1 take the
+  // adjacent chain (i, i+1); extras draw random distinct pairs.
+  for (std::size_t i = 0; i < diffs; ++i) {
+    std::size_t a;
+    std::size_t b;
+    if (i + 1 < k) {
+      a = i;
+      b = i + 1;
+    } else {
+      a = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 2));
+      if (b >= a) ++b;
+    }
+    if (!g.has_edge(project[a], diff[i])) g.add_edge(project[a], diff[i], 0.0);
+    if (!g.has_edge(project[b], diff[i])) g.add_edge(project[b], diff[i], 0.0);
+  }
+  for (std::size_t i = 0; i < diffs; ++i) g.add_edge(diff[i], concat, 0.0);
+  g.add_edge(concat, bgmodel, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    g.add_edge(bgmodel, background[i], 0.0);
+    g.add_edge(project[i], background[i], 0.0);
+    g.add_edge(background[i], imgtbl, 0.0);
+  }
+  g.add_edge(imgtbl, add, 0.0);
+  g.add_edge(add, shrink, 0.0);
+  g.add_edge(shrink, jpeg, 0.0);
+
+  HDLTS_ENSURES(g.num_tasks() == params.num_nodes);
+  return g;
+}
+
+sim::Workload montage_workload(const MontageParams& params,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::TaskGraph structure = montage_structure(params, rng);
+  return make_workload(std::move(structure), params.costs, rng);
+}
+
+}  // namespace hdlts::workload

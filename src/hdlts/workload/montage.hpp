@@ -1,0 +1,32 @@
+// Montage astronomical-mosaic workflow (paper §V-C2; Deelman et al.,
+// Pegasus). The classic level structure is
+//   mProjectPP(k) -> mDiffFit(~3k/2) -> mConcatFit(1) -> mBgModel(1)
+//   -> mBackground(k) -> mImgtbl(1) -> mAdd(1) -> mShrink(1) -> mJPEG(1),
+// which gives the well-known 20-node sample at k = 4 and scales to the 50-
+// and 100-node workflows the paper sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct MontageParams {
+  std::size_t num_nodes = 50;  ///< total task budget (>= 13, i.e. k >= 2)
+  CostParams costs;
+
+  void validate() const;
+};
+
+/// Structure only; mDiffFit pairings beyond the adjacent-image chain are
+/// drawn from `rng`. Multiple mProjectPP entries (normalized later).
+graph::TaskGraph montage_structure(const MontageParams& params,
+                                   util::Rng& rng);
+
+sim::Workload montage_workload(const MontageParams& params,
+                               std::uint64_t seed);
+
+}  // namespace hdlts::workload

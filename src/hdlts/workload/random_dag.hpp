@@ -1,0 +1,34 @@
+// Synthetic random task-graph generator (paper §V-B), following the
+// parameterization of Topcuoglu et al.: V tasks arranged into about
+// sqrt(V)/alpha precedence levels of mean width alpha*sqrt(V); each task
+// feeds `density` (on average) tasks on later levels. The generator can emit
+// multiple entry/exit tasks, which make_workload() normalizes with pseudo
+// tasks exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/costs.hpp"
+
+namespace hdlts::workload {
+
+struct RandomDagParams {
+  std::size_t num_tasks = 100;  ///< V (before pseudo-task normalization)
+  double alpha = 1.0;           ///< shape: height ~ sqrt(V)/alpha
+  std::size_t density = 3;      ///< mean out-degree toward later levels
+  CostParams costs;             ///< processors, Wdag, beta, CCR
+
+  void validate() const;
+};
+
+/// Structure only (no costs); deterministic for a given rng state.
+graph::TaskGraph random_structure(const RandomDagParams& params,
+                                  util::Rng& rng);
+
+/// Complete workload: structure + normalization + costs, from one seed.
+sim::Workload random_workload(const RandomDagParams& params,
+                              std::uint64_t seed);
+
+}  // namespace hdlts::workload

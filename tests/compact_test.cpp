@@ -1,0 +1,80 @@
+// Schedule compaction tests.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/compact.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::sim {
+namespace {
+
+TEST(Compact, LeftShiftsPaddedSchedule) {
+  // Chain 0 -> 1 on one processor with gratuitous idle gaps.
+  graph::TaskGraph g;
+  g.add_task();
+  g.add_task();
+  g.add_edge(0, 1, 0.0);
+  CostTable costs(2, 1);
+  costs.set(0, 0, 5);
+  costs.set(1, 0, 5);
+  const Workload w{std::move(g), std::move(costs), platform::Platform(1)};
+  const Problem p(w);
+  Schedule padded(2, 1);
+  padded.place(0, 0, 10.0, 15.0);
+  padded.place(1, 0, 40.0, 45.0);
+  const Schedule tight = compact(p, padded);
+  EXPECT_DOUBLE_EQ(tight.placement(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(tight.placement(1).start, 5.0);
+  EXPECT_DOUBLE_EQ(tight.makespan(), 10.0);
+  EXPECT_TRUE(tight.validate(p).empty());
+}
+
+TEST(Compact, IdempotentOnHeuristicSchedules) {
+  workload::RandomDagParams params;
+  params.num_tasks = 50;
+  params.costs.num_procs = 4;
+  params.costs.ccr = 2.0;
+  const Workload w = workload::random_workload(params, 13);
+  const Problem p(w);
+  for (auto& scheduler : core::paper_schedulers()) {
+    const Schedule s = scheduler->schedule(p);
+    const Schedule c1 = compact(p, s);
+    const Schedule c2 = compact(p, c1);
+    EXPECT_LE(c1.makespan(), s.makespan() + 1e-9) << scheduler->name();
+    EXPECT_TRUE(c1.validate(p).empty()) << scheduler->name();
+    EXPECT_DOUBLE_EQ(c1.makespan(), c2.makespan()) << scheduler->name();
+    for (graph::TaskId v = 0; v < p.num_tasks(); ++v) {
+      EXPECT_EQ(c1.placement(v).proc, s.placement(v).proc);
+      EXPECT_DOUBLE_EQ(c1.placement(v).start, c2.placement(v).start);
+    }
+  }
+}
+
+TEST(Compact, PreservesDuplicates) {
+  const Workload w = workload::classic_workload();
+  const Problem p(w);
+  const Schedule s = core::Hdlts().schedule(p);
+  const Schedule c = compact(p, s);
+  EXPECT_EQ(c.duplicates(0).size(), s.duplicates(0).size());
+  EXPECT_DOUBLE_EQ(c.makespan(), 73.0);  // already tight
+}
+
+TEST(Compact, ThrowsOnDeadlockedSchedule) {
+  graph::TaskGraph g;
+  g.add_task();
+  g.add_task();
+  g.add_edge(0, 1, 0.0);
+  CostTable costs(2, 1);
+  costs.set(0, 0, 5);
+  costs.set(1, 0, 5);
+  const Workload w{std::move(g), std::move(costs), platform::Platform(1)};
+  const Problem p(w);
+  Schedule bad(2, 1);
+  bad.place(1, 0, 0.0, 5.0);  // child queued before parent
+  bad.place(0, 0, 5.0, 10.0);
+  EXPECT_THROW(compact(p, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdlts::sim

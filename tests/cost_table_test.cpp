@@ -1,0 +1,99 @@
+// Unit tests for hdlts/sim CostTable, Workload, and Problem views.
+#include <gtest/gtest.h>
+
+#include "hdlts/sim/cost_table.hpp"
+#include "hdlts/sim/problem.hpp"
+
+namespace hdlts::sim {
+namespace {
+
+TEST(CostTable, SetGetAndSummaries) {
+  CostTable w(2, 3);
+  w.set(0, 0, 14);
+  w.set(0, 1, 16);
+  w.set(0, 2, 9);
+  EXPECT_DOUBLE_EQ(w(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(w.mean(0), 13.0);
+  EXPECT_DOUBLE_EQ(w.min(0), 9.0);
+  EXPECT_NEAR(w.stddev_sample(0), 3.6056, 1e-3);
+  // Untouched rows are zero.
+  EXPECT_DOUBLE_EQ(w.mean(1), 0.0);
+}
+
+TEST(CostTable, RejectsNegativeCostAndBadDims) {
+  CostTable w(1, 2);
+  EXPECT_THROW(w.set(0, 0, -1.0), InvalidArgument);
+  EXPECT_THROW(CostTable(3, 0), InvalidArgument);
+  EXPECT_THROW(w(0, 5), ContractViolation);
+}
+
+TEST(CostTable, FromSpeeds) {
+  graph::TaskGraph g;
+  g.add_task("a", 10.0);
+  g.add_task("b", 20.0);
+  const std::vector<double> speeds{1.0, 2.0};
+  const CostTable w = CostTable::from_speeds(g, speeds);
+  EXPECT_DOUBLE_EQ(w(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(w(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(w(1, 1), 10.0);
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(CostTable::from_speeds(g, bad), InvalidArgument);
+}
+
+Workload tiny_workload() {
+  graph::TaskGraph g;
+  g.add_task();
+  g.add_task();
+  g.add_edge(0, 1, 12.0);
+  CostTable w(2, 2);
+  w.set(0, 0, 3);
+  w.set(0, 1, 5);
+  w.set(1, 0, 4);
+  w.set(1, 1, 2);
+  return Workload{std::move(g), std::move(w), platform::Platform(2, 4.0)};
+}
+
+TEST(Workload, ValidateCatchesDimensionMismatch) {
+  Workload w = tiny_workload();
+  EXPECT_NO_THROW(w.validate());
+  Workload bad_procs{w.graph, CostTable(2, 3), platform::Platform(2)};
+  EXPECT_THROW(bad_procs.validate(), InvalidArgument);
+  Workload bad_tasks{w.graph, CostTable(5, 2), platform::Platform(2)};
+  EXPECT_THROW(bad_tasks.validate(), InvalidArgument);
+}
+
+TEST(Workload, ValidateCatchesCycle) {
+  Workload w = tiny_workload();
+  w.graph.add_edge(1, 0, 1.0);
+  EXPECT_THROW(w.validate(), InvalidArgument);
+}
+
+TEST(Problem, CostQueries) {
+  const Workload w = tiny_workload();
+  const Problem p(w);
+  EXPECT_EQ(p.num_tasks(), 2u);
+  EXPECT_EQ(p.num_procs(), 2u);
+  EXPECT_DOUBLE_EQ(p.exec_time(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p.data(0, 1), 12.0);
+  // Same processor: zero; different: data / bandwidth = 12 / 4.
+  EXPECT_DOUBLE_EQ(p.comm_time(0, 1, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(0, 1, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.mean_comm(0, 1), 3.0);
+}
+
+TEST(Problem, ProcsExcludeDeadProcessors) {
+  Workload w = tiny_workload();
+  w.platform.set_alive(0, false);
+  const Problem p(w);
+  EXPECT_EQ(p.procs(), (std::vector<platform::ProcId>{1}));
+}
+
+TEST(Problem, ThrowsWhenNoAliveProcessor) {
+  Workload w = tiny_workload();
+  w.platform.set_alive(0, false);
+  w.platform.set_alive(1, false);
+  EXPECT_THROW(Problem{w}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdlts::sim

@@ -1,0 +1,126 @@
+// Parameterized generator-fidelity sweep: for every workload family and
+// every (CCR, beta) combination, the paper's cost-model identities must
+// hold on the generated instance:
+//   Eq. 13: wbar*(1 - beta/2) <= W(i,j) <= wbar*(1 + beta/2)
+//   Eq. 14: data(u, v) = wbar_u * CCR   (0 on pseudo-task edges)
+// plus: pseudo tasks are free, and the W-matrix dimensions match.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/gauss.hpp"
+#include "hdlts/workload/laplace.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::workload {
+namespace {
+
+using Case = std::tuple<std::string, double /*ccr*/, double /*beta*/>;
+
+sim::Workload make(const std::string& family, const CostParams& costs,
+                   std::uint64_t seed) {
+  if (family == "random") {
+    RandomDagParams p;
+    p.num_tasks = 60;
+    p.costs = costs;
+    return random_workload(p, seed);
+  }
+  if (family == "fft") {
+    FftParams p;
+    p.points = 8;
+    p.costs = costs;
+    return fft_workload(p, seed);
+  }
+  if (family == "montage") {
+    MontageParams p;
+    p.num_nodes = 50;
+    p.costs = costs;
+    return montage_workload(p, seed);
+  }
+  if (family == "md") {
+    MdParams p;
+    p.costs = costs;
+    return md_workload(p, seed);
+  }
+  if (family == "gauss") {
+    GaussParams p;
+    p.matrix_size = 7;
+    p.costs = costs;
+    return gauss_workload(p, seed);
+  }
+  if (family == "laplace") {
+    LaplaceParams p;
+    p.size = 6;
+    p.costs = costs;
+    return laplace_workload(p, seed);
+  }
+  ForkJoinParams p;
+  p.costs = costs;
+  return forkjoin_workload(p, seed);
+}
+
+class CostModelProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CostModelProperty, GeneratorObeysCostModel) {
+  const auto& [family, ccr, beta] = GetParam();
+  CostParams costs;
+  costs.num_procs = 4;
+  costs.wdag = 60.0;
+  costs.ccr = ccr;
+  costs.beta = beta;
+  for (const std::uint64_t seed : {11ULL, 12ULL}) {
+    const sim::Workload w = make(family, costs, seed);
+    ASSERT_EQ(w.costs.num_tasks(), w.graph.num_tasks());
+    ASSERT_EQ(w.costs.num_procs(), 4u);
+    for (graph::TaskId v = 0; v < w.graph.num_tasks(); ++v) {
+      const double wbar = w.graph.work(v);
+      ASSERT_GE(wbar, 0.0);
+      ASSERT_LE(wbar, 2.0 * costs.wdag + 1e-9);
+      for (platform::ProcId p = 0; p < 4; ++p) {
+        // Eq. 13 band; degenerate band (beta = 0) collapses to wbar.
+        EXPECT_GE(w.costs(v, p), wbar * (1.0 - beta / 2.0) - 1e-9);
+        EXPECT_LE(w.costs(v, p), wbar * (1.0 + beta / 2.0) + 1e-9);
+      }
+      if (wbar == 0.0) {
+        // Pseudo task: free everywhere, zero-data out-edges.
+        for (platform::ProcId p = 0; p < 4; ++p) {
+          EXPECT_DOUBLE_EQ(w.costs(v, p), 0.0);
+        }
+      }
+      for (const graph::Adjacent& c : w.graph.children(v)) {
+        // Eq. 14.
+        EXPECT_NEAR(c.data, wbar * ccr, 1e-9);
+      }
+    }
+  }
+}
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (const char* family :
+       {"random", "fft", "montage", "md", "gauss", "laplace", "forkjoin"}) {
+    for (const double ccr : {0.0, 1.0, 5.0}) {
+      for (const double beta : {0.0, 0.8, 2.0}) {
+        out.emplace_back(family, ccr, beta);
+      }
+    }
+  }
+  return out;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& [family, ccr, beta] = info.param;
+  return family + "_ccr" + std::to_string(static_cast<int>(ccr * 10)) +
+         "_beta" + std::to_string(static_cast<int>(beta * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CostModelProperty,
+                         ::testing::ValuesIn(cases()), case_name);
+
+}  // namespace
+}  // namespace hdlts::workload

@@ -1,0 +1,56 @@
+// CPOP regression and behaviour tests.
+#include <gtest/gtest.h>
+
+#include "hdlts/sched/cpop.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/gauss.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+TEST(Cpop, ClassicGraphMakespanIs86) {
+  // Published result of the HEFT paper's CPOP on the same example graph.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Cpop().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 86.0);
+}
+
+TEST(Cpop, CriticalPathTasksShareOneProcessor) {
+  // T1, T2, T9, T10 form the critical path (priority 108); the CP processor
+  // minimizing their total cost is P2 (54 vs 66/63).
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Cpop().schedule(p);
+  EXPECT_EQ(s.placement(0).proc, 1u);
+  EXPECT_EQ(s.placement(1).proc, 1u);
+  EXPECT_EQ(s.placement(8).proc, 1u);
+  EXPECT_EQ(s.placement(9).proc, 1u);
+}
+
+TEST(Cpop, ValidOnStructuredWorkflow) {
+  workload::GaussParams params;
+  params.matrix_size = 8;
+  params.costs.num_procs = 4;
+  const sim::Workload w = workload::gauss_workload(params, 11);
+  const sim::Problem p(w);
+  const sim::Schedule s = Cpop().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+}
+
+TEST(Cpop, HonoursDeadProcessors) {
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_alive(1, false);  // kill the preferred CP processor
+  const sim::Problem p(w);
+  const sim::Schedule s = Cpop().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  for (graph::TaskId v = 0; v < 10; ++v) {
+    EXPECT_NE(s.placement(v).proc, 1u);
+  }
+}
+
+TEST(Cpop, Name) { EXPECT_EQ(Cpop().name(), "cpop"); }
+
+}  // namespace
+}  // namespace hdlts::sched

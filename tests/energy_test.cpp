@@ -1,0 +1,95 @@
+// Energy model tests, including the §II-B duplication/energy trade-off.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/energy.hpp"
+#include "hdlts/sched/sdbats.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::metrics {
+namespace {
+
+TEST(PlatformPower, DefaultsAndValidation) {
+  platform::Platform p(2);
+  EXPECT_DOUBLE_EQ(p.busy_power(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.idle_power(0), 0.1);
+  p.set_power(1, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.busy_power(1), 3.0);
+  EXPECT_DOUBLE_EQ(p.idle_power(1), 0.5);
+  EXPECT_THROW(p.set_power(0, -1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(p.set_power(0, 1.0, 2.0), InvalidArgument);  // idle > busy
+  EXPECT_THROW(p.set_power(9, 1.0, 0.1), InvalidArgument);
+}
+
+TEST(Energy, HandComputedOnTinySchedule) {
+  graph::TaskGraph g;
+  g.add_task();
+  g.add_task();
+  g.add_edge(0, 1, 0.0);
+  sim::CostTable costs(2, 2);
+  costs.set(0, 0, 10);
+  costs.set(0, 1, 10);
+  costs.set(1, 0, 10);
+  costs.set(1, 1, 10);
+  sim::Workload w{std::move(g), std::move(costs), platform::Platform(2)};
+  w.platform.set_power(0, 2.0, 0.5);
+  w.platform.set_power(1, 4.0, 1.0);
+  const sim::Problem p(w);
+  sim::Schedule s(2, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 1, 10.0, 20.0);
+  const EnergyBreakdown e = energy(p, s);
+  // Busy: 10*2 on P1 + 10*4 on P2 = 60. Idle: P1 idles 10 at 0.5 = 5,
+  // P2 idles 10 at 1.0 = 10.
+  EXPECT_DOUBLE_EQ(e.busy, 60.0);
+  EXPECT_DOUBLE_EQ(e.idle, 15.0);
+  EXPECT_DOUBLE_EQ(e.duplicate, 0.0);
+  EXPECT_DOUBLE_EQ(e.total(), 75.0);
+}
+
+TEST(Energy, DuplicateEnergyIsAttributed) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  const EnergyBreakdown e = energy(p, s);
+  // HDLTS duplicates the entry on P1 [0,14] and P2 [0,16] at busy power 1.
+  EXPECT_DOUBLE_EQ(e.duplicate, 30.0);
+  EXPECT_GT(e.busy, e.duplicate);
+}
+
+TEST(Energy, DuplicationTradesEnergyForMakespan) {
+  // §II-B quantified: on the worked example, HDLTS-with-duplication is
+  // faster but burns more busy energy than HDLTS-without.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  core::HdltsOptions nodup;
+  nodup.duplication = core::DuplicationRule::kOff;
+  const sim::Schedule with = core::Hdlts().schedule(p);
+  const sim::Schedule without = core::Hdlts(nodup).schedule(p);
+  EXPECT_LT(with.makespan(), without.makespan());
+  EXPECT_GT(energy(p, with).busy, energy(p, without).busy);
+}
+
+TEST(Energy, SdbatsFullDuplicationCostsMoreThanHdltsSelective) {
+  // SDBATS duplicates the entry on every processor unconditionally; HDLTS
+  // only where Algorithm 1 pays. On the classic graph both end up with two
+  // extra copies, so compare busy energy against plain HEFT instead.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const double sdbats_busy =
+      energy(p, sched::Sdbats().schedule(p)).busy;
+  const double plain_busy =
+      energy(p, sched::Sdbats(true, false).schedule(p)).busy;
+  EXPECT_GT(sdbats_busy, plain_busy);
+}
+
+TEST(Energy, EmptyScheduleIsFree) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s(p.num_tasks(), p.num_procs());
+  const EnergyBreakdown e = energy(p, s);
+  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace hdlts::metrics

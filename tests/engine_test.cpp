@@ -1,0 +1,120 @@
+// Unit tests for the discrete-event replay engine.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/sim/engine.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::sim {
+namespace {
+
+Workload fork_workload() {
+  // 0 -> {1, 2} -> 3 on two processors, data 6, W = 10 everywhere.
+  graph::TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task();
+  g.add_edge(0, 1, 6);
+  g.add_edge(0, 2, 6);
+  g.add_edge(1, 3, 6);
+  g.add_edge(2, 3, 6);
+  CostTable w(4, 2);
+  for (graph::TaskId v = 0; v < 4; ++v) {
+    w.set(v, 0, 10);
+    w.set(v, 1, 10);
+  }
+  return Workload{std::move(g), std::move(w), platform::Platform(2)};
+}
+
+TEST(Engine, ReplayMatchesAnalyticSchedule) {
+  const Workload w = fork_workload();
+  const Problem p(w);
+  Schedule s(4, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 10.0, 20.0);
+  s.place(2, 1, 16.0, 26.0);
+  s.place(3, 0, 32.0, 42.0);  // waits for 2's data: 26 + 6
+  ASSERT_TRUE(s.validate(p).empty());
+  const EngineResult r = replay(p, s);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.matches_schedule);
+  EXPECT_TRUE(r.exact_times);
+  EXPECT_DOUBLE_EQ(r.makespan, 42.0);
+}
+
+TEST(Engine, ReplaySlipsWhenScheduleIsOptimistic) {
+  const Workload w = fork_workload();
+  const Problem p(w);
+  Schedule s(4, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 10.0, 20.0);
+  s.place(2, 1, 16.0, 26.0);
+  s.place(3, 1, 26.0, 36.0);  // claims 3 can start at 26 — really 1's data
+                              // lands on proc 1 at 20 + 6 = 26; feasible!
+  const EngineResult r = replay(p, s);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.matches_schedule);
+
+  // Now an infeasible claim: 3 on proc 0 at 20 needs 2's data at 32.
+  Schedule bad(4, 2);
+  bad.place(0, 0, 0.0, 10.0);
+  bad.place(1, 0, 10.0, 20.0);
+  bad.place(2, 1, 16.0, 26.0);
+  bad.place(3, 0, 20.0, 30.0);
+  const EngineResult rb = replay(p, bad);
+  EXPECT_FALSE(rb.deadlocked);
+  EXPECT_FALSE(rb.matches_schedule);  // task 3 finishes later than claimed
+  EXPECT_FALSE(rb.exact_times);
+  EXPECT_DOUBLE_EQ(rb.makespan, 42.0);  // true completion slips to 32 + 10
+}
+
+TEST(Engine, DetectsDeadlock) {
+  // Processor order contradicting precedence: child queued before parent on
+  // the same processor.
+  const Workload w = fork_workload();
+  const Problem p(w);
+  Schedule s(4, 2);
+  s.place(1, 0, 0.0, 10.0);   // child of 0 first on proc 0
+  s.place(0, 0, 10.0, 20.0);  // parent after it
+  s.place(2, 1, 26.0, 36.0);
+  s.place(3, 1, 52.0, 62.0);
+  const EngineResult r = replay(p, s);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(Engine, RequiresFullyPlacedSchedule) {
+  const Workload w = fork_workload();
+  const Problem p(w);
+  Schedule s(4, 2);
+  s.place(0, 0, 0.0, 10.0);
+  EXPECT_THROW(replay(p, s), InvalidArgument);
+}
+
+TEST(Engine, DuplicateCopiesDeliverDataEarly) {
+  const Workload w = fork_workload();
+  const Problem p(w);
+  Schedule s(4, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place_duplicate(0, 1, 0.0, 10.0);
+  s.place(1, 0, 10.0, 20.0);
+  s.place(2, 1, 10.0, 20.0);  // local duplicate: no 6-unit comm wait
+  s.place(3, 1, 26.0, 36.0);
+  ASSERT_TRUE(s.validate(p).empty());
+  const EngineResult r = replay(p, s);
+  EXPECT_TRUE(r.matches_schedule);
+  EXPECT_DOUBLE_EQ(r.makespan, 36.0);
+}
+
+TEST(Engine, ReplaysEverySchedulerOnClassicGraph) {
+  const Workload w = workload::classic_workload();
+  const Problem p(w);
+  for (auto& scheduler : core::paper_schedulers()) {
+    const Schedule s = scheduler->schedule(p);
+    const EngineResult r = replay(p, s);
+    EXPECT_FALSE(r.deadlocked) << scheduler->name();
+    EXPECT_TRUE(r.matches_schedule) << scheduler->name();
+    EXPECT_DOUBLE_EQ(r.makespan, s.makespan()) << scheduler->name();
+  }
+}
+
+}  // namespace
+}  // namespace hdlts::sim

@@ -1,0 +1,122 @@
+// Tests for the extension schedulers beyond the paper's comparison set:
+// DLS, Min-Min, Max-Min, and duplication-based HEFT.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sched/batch.hpp"
+#include "hdlts/sched/dheft.hpp"
+#include "hdlts/sched/dls.hpp"
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/util/stats.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+class ExtensionClassic : public ::testing::Test {
+ protected:
+  ExtensionClassic() : workload_(workload::classic_workload()),
+                       problem_(workload_) {}
+  sim::Workload workload_;
+  sim::Problem problem_;
+};
+
+TEST_F(ExtensionClassic, RegressionMakespans) {
+  EXPECT_DOUBLE_EQ(Dls().schedule(problem_).makespan(), 91.0);
+  EXPECT_DOUBLE_EQ(MinMin().schedule(problem_).makespan(), 76.0);
+  EXPECT_DOUBLE_EQ(MaxMin().schedule(problem_).makespan(), 97.0);
+  EXPECT_DOUBLE_EQ(Dheft().schedule(problem_).makespan(), 73.0);
+}
+
+TEST_F(ExtensionClassic, AllProduceValidSchedules) {
+  for (const char* name : {"dls", "minmin", "maxmin", "dheft"}) {
+    const auto s = core::default_registry().make(name)->schedule(problem_);
+    EXPECT_TRUE(s.validate(problem_).empty()) << name;
+  }
+}
+
+TEST_F(ExtensionClassic, DheftDuplicatesCriticalParents) {
+  const sim::Schedule s = Dheft().schedule(problem_);
+  std::size_t dups = 0;
+  for (graph::TaskId v = 0; v < problem_.num_tasks(); ++v) {
+    dups += s.duplicates(v).size();
+  }
+  EXPECT_GT(dups, 0u);
+  // On the worked example duplication closes the HEFT -> HDLTS gap exactly.
+  EXPECT_LT(s.makespan(), Heft().schedule(problem_).makespan());
+}
+
+TEST_F(ExtensionClassic, DheftNeverWorseThanHeftHere) {
+  EXPECT_LE(Dheft().schedule(problem_).makespan(),
+            Heft().schedule(problem_).makespan());
+}
+
+TEST_F(ExtensionClassic, StaticLevelsAreCommFreeUpwardRanks) {
+  const auto sl = static_levels(problem_);
+  // SL(T10) = meanW(T10); SL decreases along edges by at least the child's
+  // weight; entry has the largest SL.
+  EXPECT_NEAR(sl[9], problem_.costs().mean(9), 1e-9);
+  for (graph::TaskId v = 0; v < 10; ++v) {
+    EXPECT_LE(sl[v], sl[0] + 1e-9);
+    for (const graph::Adjacent& c : problem_.graph().children(v)) {
+      EXPECT_GT(sl[v], sl[c.task]);
+    }
+  }
+  // Hand value: SL(T1) = 13 + max-path mean costs = 13+16.67+16.67+14.67.
+  EXPECT_NEAR(sl[0], 61.0, 0.05);
+}
+
+TEST_F(ExtensionClassic, MinMinAndMaxMinDiffer) {
+  EXPECT_NE(MinMin().schedule(problem_).makespan(),
+            MaxMin().schedule(problem_).makespan());
+}
+
+TEST(ExtensionSched, NamesMatchRegistry) {
+  EXPECT_EQ(Dls().name(), "dls");
+  EXPECT_EQ(MinMin().name(), "minmin");
+  EXPECT_EQ(MaxMin().name(), "maxmin");
+  EXPECT_EQ(Dheft().name(), "dheft");
+  const auto reg = core::default_registry();
+  for (const char* n : {"dls", "minmin", "maxmin", "dheft"}) {
+    EXPECT_TRUE(reg.contains(n)) << n;
+  }
+}
+
+TEST(ExtensionSched, DheftDuplicationHelpsOnForkJoin) {
+  // Fork-join with heavy communication is the best case for duplicating the
+  // fork task: every chain wants a local copy.
+  workload::ForkJoinParams p;
+  p.chains = 6;
+  p.length = 3;
+  p.costs.num_procs = 3;
+  p.costs.ccr = 5.0;
+  util::RunningStats wins;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::Workload w = workload::forkjoin_workload(p, seed);
+    const sim::Problem problem(w);
+    const double dheft = Dheft().schedule(problem).makespan();
+    const double heft = Heft().schedule(problem).makespan();
+    EXPECT_LE(dheft, heft + 1e-9) << "seed " << seed;
+    wins.add(heft - dheft);
+  }
+  EXPECT_GT(wins.max(), 0.0);  // strictly better at least once
+}
+
+TEST(ExtensionSched, ValidOnRandomGraphsWithDeadProcessor) {
+  workload::RandomDagParams p;
+  p.num_tasks = 60;
+  p.costs.num_procs = 4;
+  p.costs.ccr = 2.0;
+  sim::Workload w = workload::random_workload(p, 31);
+  w.platform.set_alive(1, false);
+  const sim::Problem problem(w);
+  for (const char* name : {"dls", "minmin", "maxmin", "dheft"}) {
+    const auto s = core::default_registry().make(name)->schedule(problem);
+    EXPECT_TRUE(s.validate(problem).empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hdlts::sched

@@ -1,0 +1,142 @@
+// Tests for the extension workloads (Laplace, fork-join) and the
+// network-heterogeneity machinery.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/laplace.hpp"
+
+namespace hdlts::workload {
+namespace {
+
+TEST(Laplace, StructureIsDiamond) {
+  const graph::TaskGraph g = laplace_structure(4);
+  EXPECT_EQ(g.num_tasks(), 16u);
+  EXPECT_TRUE(graph::is_acyclic(g));
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(graph::num_levels(g), 7u);  // 2m - 1
+  EXPECT_EQ(graph::level_widths(g),
+            (std::vector<std::size_t>{1, 2, 3, 4, 3, 2, 1}));
+}
+
+TEST(Laplace, EveryTaskOnEntryExitPath) {
+  const graph::TaskGraph g = laplace_structure(5);
+  EXPECT_EQ(graph::descendants(g, g.single_entry()).size(), 24u);
+  EXPECT_EQ(graph::ancestors(g, g.single_exit()).size(), 24u);
+}
+
+TEST(Laplace, RejectsTinySizes) {
+  EXPECT_THROW(laplace_structure(1), InvalidArgument);
+  LaplaceParams p;
+  p.size = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(Laplace, WorkloadSchedulesValidly) {
+  LaplaceParams p;
+  p.size = 6;
+  p.costs.num_procs = 4;
+  p.costs.ccr = 3.0;
+  const sim::Workload w = laplace_workload(p, 3);
+  const sim::Problem problem(w);
+  const auto s = core::Hdlts().schedule(problem);
+  EXPECT_TRUE(s.validate(problem).empty());
+}
+
+TEST(ForkJoin, StructureCounts) {
+  const graph::TaskGraph g = forkjoin_structure(4, 5);
+  EXPECT_EQ(g.num_tasks(), 22u);
+  EXPECT_EQ(g.out_degree(g.single_entry()), 4u);
+  EXPECT_EQ(g.in_degree(g.single_exit()), 4u);
+  EXPECT_EQ(graph::num_levels(g), 7u);  // fork + 5 + join
+}
+
+TEST(ForkJoin, SingleChainIsAPath) {
+  const graph::TaskGraph g = forkjoin_structure(1, 3);
+  EXPECT_EQ(g.num_tasks(), 5u);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_LE(g.out_degree(v), 1u);
+  }
+}
+
+TEST(ForkJoin, RejectsDegenerateParams) {
+  EXPECT_THROW(forkjoin_structure(0, 3), InvalidArgument);
+  EXPECT_THROW(forkjoin_structure(3, 0), InvalidArgument);
+}
+
+TEST(ForkJoin, EntryDuplicationShinesHere) {
+  // With heavy communication, HDLTS's entry duplication must beat the same
+  // algorithm without duplication on fork-join workloads.
+  ForkJoinParams p;
+  p.chains = 6;
+  p.length = 2;
+  p.costs.num_procs = 3;
+  p.costs.ccr = 5.0;
+  core::HdltsOptions nodup;
+  nodup.duplication = core::DuplicationRule::kOff;
+  double total_with = 0.0;
+  double total_without = 0.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const sim::Workload w = forkjoin_workload(p, seed);
+    const sim::Problem problem(w);
+    total_with += core::Hdlts().schedule(problem).makespan();
+    total_without += core::Hdlts(nodup).schedule(problem).makespan();
+  }
+  EXPECT_LT(total_with, total_without);
+}
+
+TEST(Network, RandomizeBandwidthsRespectsBand) {
+  ForkJoinParams p;
+  p.costs.num_procs = 5;
+  sim::Workload w = forkjoin_workload(p, 2);
+  util::Rng rng(9);
+  randomize_bandwidths(w, /*gamma=*/1.0, /*mean=*/2.0, rng);
+  for (platform::ProcId a = 0; a < 5; ++a) {
+    for (platform::ProcId b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(w.platform.bandwidth(a, b), 1.0 - 1e-9);
+      EXPECT_LE(w.platform.bandwidth(a, b), 3.0 + 1e-9);
+      EXPECT_DOUBLE_EQ(w.platform.bandwidth(a, b),
+                       w.platform.bandwidth(b, a));
+    }
+  }
+}
+
+TEST(Network, GammaZeroIsUniform) {
+  ForkJoinParams p;
+  p.costs.num_procs = 3;
+  sim::Workload w = forkjoin_workload(p, 2);
+  util::Rng rng(9);
+  randomize_bandwidths(w, 0.0, 4.0, rng);
+  EXPECT_DOUBLE_EQ(w.platform.bandwidth(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(w.platform.mean_bandwidth(), 4.0);
+}
+
+TEST(Network, RejectsBadParameters) {
+  ForkJoinParams p;
+  sim::Workload w = forkjoin_workload(p, 1);
+  util::Rng rng(1);
+  EXPECT_THROW(randomize_bandwidths(w, 2.0, 1.0, rng), InvalidArgument);
+  EXPECT_THROW(randomize_bandwidths(w, -0.1, 1.0, rng), InvalidArgument);
+  EXPECT_THROW(randomize_bandwidths(w, 0.5, 0.0, rng), InvalidArgument);
+}
+
+TEST(Network, HeterogeneousLinksStillScheduleValidly) {
+  LaplaceParams p;
+  p.size = 5;
+  p.costs.num_procs = 4;
+  p.costs.ccr = 3.0;
+  sim::Workload w = laplace_workload(p, 7);
+  util::Rng rng(7);
+  randomize_bandwidths(w, 1.5, 1.0, rng);
+  const sim::Problem problem(w);
+  for (auto& scheduler : core::paper_schedulers()) {
+    const auto s = scheduler->schedule(problem);
+    EXPECT_TRUE(s.validate(problem).empty()) << scheduler->name();
+  }
+}
+
+}  // namespace
+}  // namespace hdlts::workload

@@ -1,0 +1,141 @@
+// Mutation testing of Schedule::validate: take a correct schedule, break it
+// in a specific way, and require a complaint. If validate were too lax,
+// every property test in the suite would silently weaken — this file guards
+// the guard.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/schedule.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::sim {
+namespace {
+
+/// Rebuilds `s` with one block's interval replaced.
+Schedule rebuild_with(const Problem& problem, const Schedule& s,
+                      graph::TaskId victim, double new_start,
+                      double new_finish) {
+  Schedule out(s.num_tasks(), s.num_procs());
+  for (graph::TaskId v = 0; v < s.num_tasks(); ++v) {
+    const Placement& pl = s.placement(v);
+    if (v == victim) {
+      out.place(v, pl.proc, new_start, new_finish);
+    } else {
+      out.place(v, pl.proc, pl.start, pl.finish);
+    }
+    for (const Placement& d : s.duplicates(v)) {
+      out.place_duplicate(v, d.proc, d.start, d.finish);
+    }
+  }
+  (void)problem;
+  return out;
+}
+
+struct Fixture {
+  sim::Workload workload;
+  Problem problem;
+  Schedule schedule;
+
+  explicit Fixture(std::uint64_t seed)
+      : workload(make(seed)), problem(workload),
+        schedule(core::Hdlts().schedule(problem)) {}
+
+  static sim::Workload make(std::uint64_t seed) {
+    workload::RandomDagParams p;
+    p.num_tasks = 30;
+    p.costs.num_procs = 3;
+    p.costs.ccr = 2.0;
+    return workload::random_workload(p, seed);
+  }
+};
+
+TEST(FuzzValidate, BaselineSchedulesAreClean) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Fixture f(seed);
+    EXPECT_TRUE(f.schedule.validate(f.problem).empty()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidate, StartingBeforeReadyIsCaught) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Fixture f(seed);
+    // Find a task with meaningful ready time on its processor.
+    for (graph::TaskId v = 0; v < f.problem.num_tasks(); ++v) {
+      const Placement& pl = f.schedule.placement(v);
+      const double ready = f.schedule.ready_time(f.problem, v, pl.proc);
+      if (ready < 1.0) continue;
+      const double dur = pl.finish - pl.start;
+      // Move the block to start strictly before its inputs arrive. The
+      // rebuild may legitimately throw (overlap with an earlier block),
+      // which is also a correct rejection.
+      try {
+        const Schedule broken = rebuild_with(f.problem, f.schedule, v,
+                                             ready - 0.5, ready - 0.5 + dur);
+        const auto violations = broken.validate(f.problem);
+        EXPECT_FALSE(violations.empty()) << "seed " << seed << " task " << v;
+      } catch (const InvalidArgument&) {
+        SUCCEED();
+      }
+      break;
+    }
+  }
+}
+
+TEST(FuzzValidate, WrongDurationIsCaught) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Fixture f(seed);
+    util::Rng rng(seed);
+    const auto v = static_cast<graph::TaskId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(f.problem.num_tasks()) - 1));
+    const Placement& pl = f.schedule.placement(v);
+    if (pl.finish - pl.start < 0.2) continue;
+    const Schedule broken =
+        rebuild_with(f.problem, f.schedule, v, pl.start, pl.finish - 0.1);
+    bool duration_flagged = false;
+    for (const auto& msg : broken.validate(f.problem)) {
+      if (msg.find("duration") != std::string::npos) duration_flagged = true;
+    }
+    EXPECT_TRUE(duration_flagged) << "seed " << seed << " task " << v;
+  }
+}
+
+TEST(FuzzValidate, MissingTaskIsCaught) {
+  Fixture f(3);
+  Schedule partial(f.schedule.num_tasks(), f.schedule.num_procs());
+  for (graph::TaskId v = 0; v + 1 < f.schedule.num_tasks(); ++v) {
+    const Placement& pl = f.schedule.placement(v);
+    partial.place(v, pl.proc, pl.start, pl.finish);
+  }
+  EXPECT_FALSE(partial.validate(f.problem).empty());
+}
+
+TEST(FuzzValidate, MovingToSlowerProcessorIsCaught) {
+  // Keeping the interval but switching the processor breaks the duration
+  // invariant whenever W differs across machines.
+  Fixture f(4);
+  for (graph::TaskId v = 0; v < f.problem.num_tasks(); ++v) {
+    const Placement& pl = f.schedule.placement(v);
+    const platform::ProcId other = pl.proc == 0 ? 1 : 0;
+    if (std::abs(f.problem.exec_time(v, pl.proc) -
+                 f.problem.exec_time(v, other)) < 0.1) {
+      continue;
+    }
+    Schedule broken(f.schedule.num_tasks(), f.schedule.num_procs());
+    for (graph::TaskId u = 0; u < f.schedule.num_tasks(); ++u) {
+      const Placement& q = f.schedule.placement(u);
+      try {
+        broken.place(u, u == v ? other : q.proc, q.start, q.finish);
+      } catch (const InvalidArgument&) {
+        SUCCEED();  // overlap on the new processor: also a rejection
+        return;
+      }
+    }
+    EXPECT_FALSE(broken.validate(f.problem).empty());
+    return;
+  }
+}
+
+}  // namespace
+}  // namespace hdlts::sim

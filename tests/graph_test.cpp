@@ -1,0 +1,254 @@
+// Unit tests for hdlts/graph: construction, algorithms, DOT, serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/graph/dot.hpp"
+#include "hdlts/graph/serialize.hpp"
+#include "hdlts/graph/task_graph.hpp"
+
+namespace hdlts::graph {
+namespace {
+
+/// Diamond: 0 -> {1, 2} -> 3.
+TaskGraph diamond() {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task();
+  g.add_edge(0, 1, 10);
+  g.add_edge(0, 2, 20);
+  g.add_edge(1, 3, 30);
+  g.add_edge(2, 3, 40);
+  return g;
+}
+
+TEST(TaskGraph, AddTaskAssignsDenseIdsAndDefaultNames) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(), 0u);
+  EXPECT_EQ(g.add_task("custom", 2.5), 1u);
+  EXPECT_EQ(g.name(0), "t0");
+  EXPECT_EQ(g.name(1), "custom");
+  EXPECT_DOUBLE_EQ(g.work(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.work(1), 2.5);
+}
+
+TEST(TaskGraph, RejectsNegativeWork) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task("x", -1.0), InvalidArgument);
+  g.add_task();
+  EXPECT_THROW(g.set_work(0, -0.5), InvalidArgument);
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  TaskGraph g;
+  g.add_task();
+  g.add_task();
+  EXPECT_THROW(g.add_edge(0, 0, 1), InvalidArgument);   // self loop
+  EXPECT_THROW(g.add_edge(0, 7, 1), InvalidArgument);   // unknown dst
+  EXPECT_THROW(g.add_edge(7, 0, 1), InvalidArgument);   // unknown src
+  EXPECT_THROW(g.add_edge(0, 1, -2), InvalidArgument);  // negative data
+  g.add_edge(0, 1, 5);
+  EXPECT_THROW(g.add_edge(0, 1, 5), InvalidArgument);  // duplicate
+}
+
+TEST(TaskGraph, AdjacencyViews) {
+  const TaskGraph g = diamond();
+  ASSERT_EQ(g.children(0).size(), 2u);
+  EXPECT_EQ(g.children(0)[0].task, 1u);
+  EXPECT_DOUBLE_EQ(g.children(0)[1].data, 20.0);
+  ASSERT_EQ(g.parents(3).size(), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(TaskGraph, EdgeDataQueriesAndUpdates) {
+  TaskGraph g = diamond();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.edge_data(2, 3), 40.0);
+  EXPECT_THROW(g.edge_data(3, 0), InvalidArgument);
+  g.set_edge_data(0, 1, 99.0);
+  EXPECT_DOUBLE_EQ(g.edge_data(0, 1), 99.0);
+  // Parent-side view must agree after the update.
+  EXPECT_DOUBLE_EQ(g.parents(1)[0].data, 99.0);
+  EXPECT_THROW(g.set_edge_data(1, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(g.set_edge_data(0, 1, -1.0), InvalidArgument);
+}
+
+TEST(TaskGraph, EntryAndExitQueries) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.entry_tasks(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.exit_tasks(), std::vector<TaskId>{3});
+  EXPECT_EQ(g.single_entry(), 0u);
+  EXPECT_EQ(g.single_exit(), 3u);
+}
+
+TEST(TaskGraph, SingleEntryThrowsOnMultiple) {
+  TaskGraph g;
+  g.add_task();
+  g.add_task();
+  g.add_task();
+  g.add_edge(0, 2, 0);
+  g.add_edge(1, 2, 0);
+  EXPECT_EQ(g.entry_tasks().size(), 2u);
+  EXPECT_THROW(g.single_entry(), InvalidArgument);
+  EXPECT_EQ(g.single_exit(), 2u);
+}
+
+TEST(Normalize, NoopOnSingleEntryExit) {
+  const auto n = normalize_single_entry_exit(diamond());
+  EXPECT_FALSE(n.pseudo_entry.has_value());
+  EXPECT_FALSE(n.pseudo_exit.has_value());
+  EXPECT_EQ(n.graph.num_tasks(), 4u);
+}
+
+TEST(Normalize, AddsPseudoTasksWithZeroCosts) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task();
+  g.add_edge(0, 2, 3);
+  g.add_edge(1, 3, 4);
+  const auto n = normalize_single_entry_exit(g);
+  ASSERT_TRUE(n.pseudo_entry.has_value());
+  ASSERT_TRUE(n.pseudo_exit.has_value());
+  EXPECT_EQ(n.graph.num_tasks(), 6u);
+  EXPECT_DOUBLE_EQ(n.graph.work(*n.pseudo_entry), 0.0);
+  EXPECT_EQ(n.graph.single_entry(), *n.pseudo_entry);
+  EXPECT_EQ(n.graph.single_exit(), *n.pseudo_exit);
+  // Pseudo edges carry zero data.
+  for (const Adjacent& c : n.graph.children(*n.pseudo_entry)) {
+    EXPECT_DOUBLE_EQ(c.data, 0.0);
+  }
+  // Original ids are preserved.
+  EXPECT_TRUE(n.graph.has_edge(0, 2));
+  EXPECT_TRUE(n.graph.has_edge(1, 3));
+}
+
+TEST(Normalize, ThrowsOnGraphWithNoEntry) {
+  TaskGraph g;
+  g.add_task();
+  g.add_task();
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 0, 0);  // cycle: no entry, no exit
+  EXPECT_THROW(normalize_single_entry_exit(g), InvalidArgument);
+}
+
+TEST(Algorithms, AcyclicityDetection) {
+  TaskGraph g = diamond();
+  EXPECT_TRUE(is_acyclic(g));
+  g.add_edge(3, 0, 0);
+  EXPECT_FALSE(is_acyclic(g));
+  EXPECT_THROW(topological_order(g), InvalidArgument);
+}
+
+TEST(Algorithms, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const Adjacent& c : g.children(v)) {
+      EXPECT_LT(pos[v], pos[c.task]);
+    }
+  }
+}
+
+TEST(Algorithms, TopologicalOrderIsStable) {
+  // Ready tasks must come out in id order.
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i) g.add_task();
+  g.add_edge(4, 1, 0);
+  const auto order = topological_order(g);
+  EXPECT_EQ(order, (std::vector<TaskId>{0, 2, 3, 4, 1}));
+}
+
+TEST(Algorithms, PrecedenceLevels) {
+  const TaskGraph g = diamond();
+  const auto level = precedence_levels(g);
+  EXPECT_EQ(level, (std::vector<std::size_t>{0, 1, 1, 2}));
+  EXPECT_EQ(num_levels(g), 3u);
+  EXPECT_EQ(level_widths(g), (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Algorithms, LevelsUseLongestPath) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task();
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(0, 2, 0);  // shortcut must not lower 2's level
+  g.add_edge(2, 3, 0);
+  EXPECT_EQ(precedence_levels(g), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Algorithms, DescendantsAndAncestors) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(descendants(g, 0), (std::vector<TaskId>{1, 2, 3}));
+  EXPECT_EQ(descendants(g, 1), (std::vector<TaskId>{3}));
+  EXPECT_EQ(descendants(g, 3), (std::vector<TaskId>{}));
+  EXPECT_EQ(ancestors(g, 3), (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(ancestors(g, 0), (std::vector<TaskId>{}));
+}
+
+TEST(Algorithms, EmptyGraph) {
+  TaskGraph g;
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(num_levels(g), 0u);
+  EXPECT_TRUE(topological_order(g).empty());
+}
+
+TEST(Dot, ContainsNodesAndLabeledEdges) {
+  const std::string dot = to_dot(diamond());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"40\""), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  TaskGraph g;
+  g.add_task("weird\"name");
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("weird\\\"name"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  TaskGraph g = diamond();
+  g.set_work(2, 7.25);
+  std::stringstream ss;
+  write_text(ss, g);
+  const TaskGraph back = read_text(ss);
+  ASSERT_EQ(back.num_tasks(), g.num_tasks());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(back.name(v), g.name(v));
+    EXPECT_DOUBLE_EQ(back.work(v), g.work(v));
+  }
+  EXPECT_DOUBLE_EQ(back.edge_data(2, 3), 40.0);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return read_text(is);
+  };
+  EXPECT_THROW(parse(""), InvalidArgument);                 // no header
+  EXPECT_THROW(parse("workflow 1\n"), InvalidArgument);     // missing task
+  EXPECT_THROW(parse("workflow 1\ntask 5 a 1\n"), InvalidArgument);  // gap id
+  EXPECT_THROW(parse("workflow 1\ntask 0 a 1\nedge 0 3 1\n"),
+               InvalidArgument);  // unknown edge target
+  EXPECT_THROW(parse("workflow 1\ntask 0 a 1\nbogus\n"), InvalidArgument);
+  EXPECT_THROW(parse("workflow 1\nworkflow 1\ntask 0 a 1\n"),
+               InvalidArgument);  // duplicate header
+}
+
+TEST(Serialize, IgnoresCommentsAndBlankLines) {
+  std::istringstream is(
+      "# leading comment\n\nworkflow 2\ntask 0 a 1 # trailing\ntask 1 b 2\n"
+      "edge 0 1 3.5\n");
+  const TaskGraph g = read_text(is);
+  EXPECT_EQ(g.num_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_data(0, 1), 3.5);
+}
+
+}  // namespace
+}  // namespace hdlts::graph

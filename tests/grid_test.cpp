@@ -1,0 +1,97 @@
+// Parameter-grid (paper Table II) tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hdlts/workload/grid.hpp"
+
+namespace hdlts::workload {
+namespace {
+
+TEST(Grid, PaperGridSize) {
+  const ParameterGrid g = ParameterGrid::paper();
+  // 8 * 5 * 5 * 5 * 5 * 6 * 5 — the paper rounds this to "125K".
+  EXPECT_EQ(g.size(), 150000u);
+}
+
+TEST(Grid, MixedRadixDecodeCoversAxes) {
+  const ParameterGrid g = ParameterGrid::paper();
+  // Index 0 is the first value on every axis.
+  const RandomDagParams first = g.at(0);
+  EXPECT_EQ(first.num_tasks, 100u);
+  EXPECT_DOUBLE_EQ(first.alpha, 0.5);
+  EXPECT_EQ(first.density, 1u);
+  EXPECT_DOUBLE_EQ(first.costs.ccr, 1.0);
+  EXPECT_EQ(first.costs.num_procs, 2u);
+  EXPECT_DOUBLE_EQ(first.costs.wdag, 50.0);
+  EXPECT_DOUBLE_EQ(first.costs.beta, 0.4);
+  // The last index is the last value on every axis.
+  const RandomDagParams last = g.at(g.size() - 1);
+  EXPECT_EQ(last.num_tasks, 10000u);
+  EXPECT_DOUBLE_EQ(last.alpha, 2.5);
+  EXPECT_EQ(last.density, 5u);
+  EXPECT_DOUBLE_EQ(last.costs.ccr, 5.0);
+  EXPECT_EQ(last.costs.num_procs, 10u);
+  EXPECT_DOUBLE_EQ(last.costs.wdag, 100.0);
+  EXPECT_DOUBLE_EQ(last.costs.beta, 2.0);
+  // Index 1 only advances the fastest axis (beta).
+  const RandomDagParams second = g.at(1);
+  EXPECT_DOUBLE_EQ(second.costs.beta, 0.8);
+  EXPECT_DOUBLE_EQ(second.costs.wdag, 50.0);
+}
+
+TEST(Grid, DistinctIndicesGiveDistinctParams) {
+  const ParameterGrid g = ParameterGrid::paper();
+  std::set<std::tuple<std::size_t, double, std::size_t, double, std::size_t,
+                      double, double>>
+      seen;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const RandomDagParams p = g.at(i * 37);
+    seen.insert({p.num_tasks, p.alpha, p.density, p.costs.ccr,
+                 p.costs.num_procs, p.costs.wdag, p.costs.beta});
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(Grid, AtValidatesRange) {
+  const ParameterGrid g = ParameterGrid::paper();
+  EXPECT_THROW(g.at(g.size()), InvalidArgument);
+  ParameterGrid empty;
+  EXPECT_THROW(empty.at(0), InvalidArgument);
+}
+
+TEST(Grid, SampleIsDeterministicAndDistinct) {
+  const ParameterGrid g = ParameterGrid::paper();
+  const auto a = g.sample(100, 7);
+  const auto b = g.sample(100, 7);
+  const auto c = g.sample(100, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const std::set<std::size_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const std::size_t i : a) EXPECT_LT(i, g.size());
+}
+
+TEST(Grid, SampleRejectsOversizedRequests) {
+  ParameterGrid g = ParameterGrid::paper();
+  g.tasks = {100};
+  g.alpha = {1.0};
+  g.density = {1};
+  g.ccr = {1.0};
+  g.procs = {2};
+  g.wdag = {50};
+  g.beta = {0.4};
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_THROW(g.sample(2, 1), InvalidArgument);
+  EXPECT_EQ(g.sample(1, 1).size(), 1u);
+}
+
+TEST(Grid, SampledParamsValidate) {
+  const ParameterGrid g = ParameterGrid::paper();
+  for (const std::size_t i : g.sample(20, 3)) {
+    EXPECT_NO_THROW(g.at(i).validate());
+  }
+}
+
+}  // namespace
+}  // namespace hdlts::workload

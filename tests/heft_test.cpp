@@ -1,0 +1,77 @@
+// HEFT regression and behaviour tests.
+#include <gtest/gtest.h>
+
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+TEST(Heft, ClassicGraphMakespanIs80) {
+  // Published result of the HEFT paper on its own example graph; the HDLTS
+  // paper reports the same value in §IV.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Heft().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 80.0);
+}
+
+TEST(Heft, ClassicGraphKeyPlacements) {
+  // In the published HEFT schedule the entry task runs on P3 and the exit
+  // task finishes at 80 on P2.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Heft().schedule(p);
+  EXPECT_EQ(s.placement(0).proc, 2u);
+  EXPECT_DOUBLE_EQ(s.placement(0).finish, 9.0);
+  EXPECT_DOUBLE_EQ(s.placement(9).finish, 80.0);
+  EXPECT_EQ(s.placement(9).proc, 1u);
+}
+
+TEST(Heft, InsertionNeverHurtsOnClassicGraph) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const double with = Heft(true).schedule(p).makespan();
+  const double without = Heft(false).schedule(p).makespan();
+  EXPECT_LE(with, without);
+}
+
+TEST(Heft, SingleProcessorSerializesEverything) {
+  workload::RandomDagParams params;
+  params.num_tasks = 40;
+  params.costs.num_procs = 1;
+  const sim::Workload w = workload::random_workload(params, 7);
+  const sim::Problem p(w);
+  const sim::Schedule s = Heft().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  // With one processor there is no comm; makespan = total work.
+  double total = 0.0;
+  for (graph::TaskId v = 0; v < p.num_tasks(); ++v) {
+    total += p.exec_time(v, 0);
+  }
+  EXPECT_NEAR(s.makespan(), total, 1e-6);
+}
+
+TEST(Heft, SchedulesOnlyAliveProcessors) {
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_alive(2, false);
+  const sim::Problem p(w);
+  const sim::Schedule s = Heft().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  for (graph::TaskId v = 0; v < 10; ++v) {
+    EXPECT_NE(s.placement(v).proc, 2u);
+  }
+}
+
+TEST(Heft, NameAndDeterminism) {
+  const Heft h;
+  EXPECT_EQ(h.name(), "heft");
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  EXPECT_DOUBLE_EQ(h.schedule(p).makespan(), h.schedule(p).makespan());
+}
+
+}  // namespace
+}  // namespace hdlts::sched

@@ -1,0 +1,123 @@
+// Parameterized IO round-trip: every workload family (including
+// heterogeneous-bandwidth platforms) must survive save -> load with
+// bit-identical costs, edges, and bandwidths, and schedule identically
+// afterwards.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/io/workload_io.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/gauss.hpp"
+#include "hdlts/workload/laplace.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::io {
+namespace {
+
+sim::Workload make(const std::string& family, std::uint64_t seed) {
+  workload::CostParams costs;
+  costs.num_procs = 3;
+  costs.ccr = 2.0;
+  if (family == "random") {
+    workload::RandomDagParams p;
+    p.num_tasks = 40;
+    p.costs = costs;
+    return workload::random_workload(p, seed);
+  }
+  if (family == "fft") {
+    workload::FftParams p;
+    p.points = 8;
+    p.costs = costs;
+    return workload::fft_workload(p, seed);
+  }
+  if (family == "montage") {
+    workload::MontageParams p;
+    p.num_nodes = 30;
+    p.costs = costs;
+    return workload::montage_workload(p, seed);
+  }
+  if (family == "md") {
+    workload::MdParams p;
+    p.costs = costs;
+    return workload::md_workload(p, seed);
+  }
+  if (family == "gauss") {
+    workload::GaussParams p;
+    p.matrix_size = 6;
+    p.costs = costs;
+    return workload::gauss_workload(p, seed);
+  }
+  if (family == "laplace") {
+    workload::LaplaceParams p;
+    p.size = 5;
+    p.costs = costs;
+    return workload::laplace_workload(p, seed);
+  }
+  if (family == "hetnet") {
+    workload::RandomDagParams p;
+    p.num_tasks = 40;
+    p.costs = costs;
+    sim::Workload w = workload::random_workload(p, seed);
+    util::Rng rng(seed);
+    workload::randomize_bandwidths(w, 1.2, 1.0, rng);
+    return w;
+  }
+  workload::ForkJoinParams p;
+  p.costs = costs;
+  return workload::forkjoin_workload(p, seed);
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IoRoundTrip, BitExactAndSchedulesIdentically) {
+  const sim::Workload original = make(GetParam(), 99);
+  std::stringstream ss;
+  write_workload(ss, original);
+  const sim::Workload restored = read_workload(ss);
+
+  ASSERT_EQ(restored.graph.num_tasks(), original.graph.num_tasks());
+  ASSERT_EQ(restored.graph.num_edges(), original.graph.num_edges());
+  for (graph::TaskId v = 0; v < original.graph.num_tasks(); ++v) {
+    EXPECT_EQ(restored.graph.name(v), original.graph.name(v));
+    for (platform::ProcId p = 0; p < 3; ++p) {
+      EXPECT_EQ(restored.costs(v, p), original.costs(v, p));
+    }
+    for (const graph::Adjacent& c : original.graph.children(v)) {
+      EXPECT_EQ(restored.graph.edge_data(v, c.task), c.data);
+    }
+  }
+  for (platform::ProcId a = 0; a < 3; ++a) {
+    for (platform::ProcId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(restored.platform.bandwidth(a, b),
+                original.platform.bandwidth(a, b));
+    }
+  }
+
+  const sim::Problem po(original);
+  const sim::Problem pr(restored);
+  const sim::Schedule so = core::Hdlts().schedule(po);
+  const sim::Schedule sr = core::Hdlts().schedule(pr);
+  EXPECT_EQ(so.makespan(), sr.makespan());
+  for (graph::TaskId v = 0; v < po.num_tasks(); ++v) {
+    EXPECT_EQ(so.placement(v).proc, sr.placement(v).proc);
+    EXPECT_EQ(so.placement(v).start, sr.placement(v).start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, IoRoundTrip,
+    ::testing::Values("random", "fft", "montage", "md", "gauss", "laplace",
+                      "forkjoin", "hetnet"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace hdlts::io

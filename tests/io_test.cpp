@@ -1,0 +1,91 @@
+// Workload serialization round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "hdlts/io/workload_io.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::io {
+namespace {
+
+TEST(WorkloadIo, RoundTripClassic) {
+  const sim::Workload w = workload::classic_workload();
+  std::stringstream ss;
+  write_workload(ss, w);
+  const sim::Workload back = read_workload(ss);
+  ASSERT_EQ(back.graph.num_tasks(), w.graph.num_tasks());
+  ASSERT_EQ(back.graph.num_edges(), w.graph.num_edges());
+  ASSERT_EQ(back.platform.num_procs(), w.platform.num_procs());
+  for (graph::TaskId v = 0; v < w.graph.num_tasks(); ++v) {
+    for (platform::ProcId p = 0; p < w.platform.num_procs(); ++p) {
+      EXPECT_DOUBLE_EQ(back.costs(v, p), w.costs(v, p));
+    }
+  }
+  EXPECT_DOUBLE_EQ(back.graph.edge_data(8, 9), 13.0);
+}
+
+TEST(WorkloadIo, RoundTripPreservesBandwidthOverrides) {
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_bandwidth(0, 2, 2.5);
+  std::stringstream ss;
+  write_workload(ss, w);
+  const sim::Workload back = read_workload(ss);
+  EXPECT_DOUBLE_EQ(back.platform.bandwidth(0, 2), 2.5);
+  EXPECT_DOUBLE_EQ(back.platform.bandwidth(2, 0), 2.5);
+  EXPECT_DOUBLE_EQ(back.platform.bandwidth(0, 1), 1.0);
+}
+
+TEST(WorkloadIo, RoundTripRandomWorkloadBitExact) {
+  workload::RandomDagParams params;
+  params.num_tasks = 60;
+  params.costs.num_procs = 4;
+  const sim::Workload w = workload::random_workload(params, 77);
+  std::stringstream ss;
+  write_workload(ss, w);
+  const sim::Workload back = read_workload(ss);
+  for (graph::TaskId v = 0; v < w.graph.num_tasks(); ++v) {
+    for (platform::ProcId p = 0; p < 4; ++p) {
+      EXPECT_EQ(back.costs(v, p), w.costs(v, p));  // exact, 17 digits
+    }
+  }
+}
+
+TEST(WorkloadIo, FileRoundTrip) {
+  const sim::Workload w = workload::classic_workload();
+  const std::string path = ::testing::TempDir() + "/hdlts_io_test.wl";
+  save_workload(path, w);
+  const sim::Workload back = load_workload(path);
+  EXPECT_EQ(back.graph.num_tasks(), 10u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_workload("/nonexistent/dir/x.wl"), Error);
+}
+
+TEST(WorkloadIo, RejectsMissingPlatform) {
+  std::istringstream is("workflow 1\ntask 0 a 1\ncost 0 5\n");
+  EXPECT_THROW(read_workload(is), InvalidArgument);
+}
+
+TEST(WorkloadIo, RejectsMissingCostRow) {
+  std::istringstream is(
+      "workflow 2\ntask 0 a 1\ntask 1 b 1\nedge 0 1 2\nplatform 1\n"
+      "cost 0 5\n");
+  EXPECT_THROW(read_workload(is), InvalidArgument);
+}
+
+TEST(WorkloadIo, RejectsShortCostRow) {
+  std::istringstream is(
+      "workflow 1\ntask 0 a 1\nplatform 2\ncost 0 5\n");
+  EXPECT_THROW(read_workload(is), InvalidArgument);
+}
+
+TEST(WorkloadIo, RejectsBadBandwidthLine) {
+  std::istringstream is(
+      "workflow 1\ntask 0 a 1\nplatform 2\nbandwidth 0 junk\ncost 0 5 5\n");
+  EXPECT_THROW(read_workload(is), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdlts::io

@@ -1,0 +1,91 @@
+// Metrics tests (paper Eqs. 9–12) with hand-computed anchors.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/metrics.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::metrics {
+namespace {
+
+TEST(Metrics, MinCostCriticalPathOnClassicGraph) {
+  // Per-task minimum costs: T1=9, T2=13, T3=11, T4=8, T5=10, T6=9, T7=7,
+  // T8=5, T9=12, T10=7. The heaviest chain under min costs is
+  // T1-T2-T9-T10 = 9+13+12+7 = 41.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  EXPECT_DOUBLE_EQ(min_cost_critical_path(p), 41.0);
+}
+
+TEST(Metrics, SlrSpeedupEfficiencyOnClassicHdlts) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  EXPECT_DOUBLE_EQ(s.makespan(), 73.0);
+  EXPECT_NEAR(slr(p, s), 73.0 / 41.0, 1e-12);
+  // Sequential times: P1 = 127, P2 = 130, P3 = 143 -> best 127.
+  EXPECT_DOUBLE_EQ(best_sequential_time(p), 127.0);
+  EXPECT_NEAR(speedup(p, s), 127.0 / 73.0, 1e-12);
+  EXPECT_NEAR(efficiency(p, s), 127.0 / 73.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, SlrIsAtLeastOneForValidSchedules) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  for (auto& scheduler : core::paper_schedulers()) {
+    const sim::Schedule s = scheduler->schedule(p);
+    EXPECT_GE(slr(p, s), 1.0) << scheduler->name();
+  }
+}
+
+TEST(Metrics, SlrThrowsOnZeroCostCriticalPath) {
+  graph::TaskGraph g;
+  g.add_task("free", 0.0);
+  sim::CostTable costs(1, 1);  // all-zero costs
+  const sim::Workload w{std::move(g), std::move(costs),
+                        platform::Platform(1)};
+  const sim::Problem p(w);
+  sim::Schedule s(1, 1);
+  s.place(0, 0, 0.0, 0.0);
+  EXPECT_THROW(slr(p, s), InvalidArgument);
+  EXPECT_THROW(speedup(p, s), InvalidArgument);
+}
+
+TEST(Metrics, EfficiencyUsesAliveProcessorCount) {
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_alive(0, false);
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  EXPECT_NEAR(efficiency(p, s) * 2.0, speedup(p, s), 1e-12);
+}
+
+TEST(Metrics, MakespanLowerBound) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  // CP bound = 41; work bound = sum of min costs / 3 = (9+13+11+8+10+9+7+
+  // 5+12+7)/3 = 91/3 = 30.33 -> CP binds.
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(p), 41.0);
+  // On a wide independent graph the work bound binds instead.
+  graph::TaskGraph g;
+  for (int i = 0; i < 8; ++i) g.add_task();
+  sim::CostTable costs(8, 2);
+  for (graph::TaskId v = 0; v < 8; ++v) {
+    costs.set(v, 0, 10);
+    costs.set(v, 1, 10);
+  }
+  const sim::Workload wide{std::move(g), std::move(costs),
+                           platform::Platform(2)};
+  const sim::Problem pw(wide);
+  EXPECT_DOUBLE_EQ(min_cost_critical_path(pw), 10.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(pw), 40.0);  // 80 work / 2 procs
+}
+
+TEST(Metrics, SequentialTimeExcludesDeadProcessors) {
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_alive(0, false);  // P1 had the best total (127)
+  const sim::Problem p(w);
+  EXPECT_DOUBLE_EQ(best_sequential_time(p), 130.0);  // now P2
+}
+
+}  // namespace
+}  // namespace hdlts::metrics

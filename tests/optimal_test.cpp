@@ -1,0 +1,145 @@
+// Branch-and-bound and genetic-algorithm scheduler tests. The B&B optimum
+// anchors heuristic quality: on small graphs every list heuristic must be
+// >= optimal, and optimal must be >= the critical-path lower bound.
+#include <gtest/gtest.h>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/metrics.hpp"
+#include "hdlts/sched/genetic.hpp"
+#include "hdlts/sched/optimal.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+TEST(BranchAndBound, RefusesLargeInstances) {
+  workload::RandomDagParams p;
+  p.num_tasks = 50;
+  const sim::Workload w = workload::random_workload(p, 1);
+  const sim::Problem problem(w);
+  EXPECT_THROW(BranchAndBound(13).schedule(problem), InvalidArgument);
+}
+
+TEST(BranchAndBound, OptimalOnClassicGraph) {
+  // The classic 10-task graph is small enough to solve exactly. HDLTS's 73
+  // already ties the best duplication-free eager schedule... or beats it —
+  // B&B does not duplicate, so it may land above 73 but must be <= HEFT.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem problem(w);
+  BranchAndBound bnb(10);
+  const sim::Schedule s = bnb.schedule(problem);
+  EXPECT_TRUE(s.validate(problem).empty());
+  EXPECT_GT(bnb.nodes_explored(), 0u);
+  EXPECT_LE(s.makespan(), 80.0);  // no worse than its HEFT seed
+  EXPECT_GE(s.makespan(), metrics::min_cost_critical_path(problem));
+}
+
+TEST(BranchAndBound, MatchesBruteForceIntuitionOnChain) {
+  // A chain must be scheduled sequentially on the fastest path; optimum is
+  // easy to state: stay on one processor (no comm) choosing min cost per
+  // task is NOT always allowed (comm), but with zero comm it is.
+  graph::TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task();
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 3, 0);
+  sim::CostTable costs(4, 2);
+  const double w[4][2] = {{4, 6}, {7, 3}, {5, 5}, {2, 9}};
+  for (graph::TaskId v = 0; v < 4; ++v) {
+    costs.set(v, 0, w[v][0]);
+    costs.set(v, 1, w[v][1]);
+  }
+  const sim::Workload wl{std::move(g), std::move(costs),
+                         platform::Platform(2)};
+  const sim::Problem problem(wl);
+  const sim::Schedule s = BranchAndBound(6).schedule(problem);
+  // Zero comm: optimum = sum of min costs = 4 + 3 + 5 + 2 = 14.
+  EXPECT_DOUBLE_EQ(s.makespan(), 14.0);
+}
+
+TEST(BranchAndBound, LowerBoundsEveryHeuristicOnSmallGraphs) {
+  const sched::Registry reg = core::default_registry();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::RandomDagParams p;
+    p.num_tasks = 9;
+    p.costs.num_procs = 3;
+    p.costs.ccr = 2.0;
+    const sim::Workload w = workload::random_workload(p, seed);
+    const sim::Problem problem(w);
+    const double optimum = BranchAndBound(12).schedule(problem).makespan();
+    EXPECT_GE(optimum, metrics::min_cost_critical_path(problem) - 1e-9);
+    // Duplication-free heuristics cannot beat the duplication-free optimum.
+    for (const char* name : {"heft", "cpop", "pets", "peft", "dls", "minmin",
+                             "maxmin", "mct", "random", "hdlts-nodup"}) {
+      const double h = reg.make(name)->schedule(problem).makespan();
+      EXPECT_GE(h, optimum - 1e-6) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Genetic, OptionsValidation) {
+  GeneticOptions o;
+  o.population = 1;
+  EXPECT_THROW(Genetic{o}, InvalidArgument);
+  o = GeneticOptions{};
+  o.tournament = 0;
+  EXPECT_THROW(Genetic{o}, InvalidArgument);
+  o = GeneticOptions{};
+  o.elites = o.population;
+  EXPECT_THROW(Genetic{o}, InvalidArgument);
+  o = GeneticOptions{};
+  o.crossover_rate = 1.5;
+  EXPECT_THROW(Genetic{o}, InvalidArgument);
+}
+
+TEST(Genetic, ValidAndDeterministicPerSeed) {
+  workload::RandomDagParams p;
+  p.num_tasks = 30;
+  p.costs.num_procs = 3;
+  const sim::Workload w = workload::random_workload(p, 5);
+  const sim::Problem problem(w);
+  GeneticOptions o;
+  o.generations = 10;
+  const sim::Schedule a = Genetic(o).schedule(problem);
+  const sim::Schedule b = Genetic(o).schedule(problem);
+  EXPECT_TRUE(a.validate(problem).empty());
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+  o.seed = 2;
+  const sim::Schedule c = Genetic(o).schedule(problem);
+  EXPECT_TRUE(c.validate(problem).empty());
+}
+
+TEST(Genetic, SearchBeatsRandomOrderBaseline) {
+  workload::RandomDagParams p;
+  p.num_tasks = 40;
+  p.costs.num_procs = 4;
+  p.costs.ccr = 2.0;
+  double genetic_total = 0.0;
+  double random_total = 0.0;
+  const sched::Registry reg = core::default_registry();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const sim::Workload w = workload::random_workload(p, seed);
+    const sim::Problem problem(w);
+    genetic_total += reg.make("genetic")->schedule(problem).makespan();
+    random_total += reg.make("random")->schedule(problem).makespan();
+  }
+  EXPECT_LT(genetic_total, random_total);
+}
+
+TEST(Genetic, ApproachesOptimumOnTinyInstances) {
+  workload::RandomDagParams p;
+  p.num_tasks = 8;
+  p.costs.num_procs = 2;
+  const sim::Workload w = workload::random_workload(p, 11);
+  const sim::Problem problem(w);
+  const double optimum = BranchAndBound(10).schedule(problem).makespan();
+  GeneticOptions o;
+  o.generations = 80;
+  const double ga = Genetic(o).schedule(problem).makespan();
+  EXPECT_GE(ga, optimum - 1e-6);
+  EXPECT_LE(ga, optimum * 1.15);  // within 15% of optimal on 8 tasks
+}
+
+}  // namespace
+}  // namespace hdlts::sched

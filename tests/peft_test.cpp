@@ -1,0 +1,54 @@
+// PEFT regression and behaviour tests.
+#include <gtest/gtest.h>
+
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/sched/peft.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/montage.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+TEST(Peft, ClassicGraphMakespanRegression) {
+  // Our PEFT (Arabnejad & Barbosa 2014) yields 85 on the classic graph; the
+  // HDLTS paper reports 86 (see EXPERIMENTS.md for the discrepancy note).
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Peft().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 85.0);
+}
+
+TEST(Peft, LookaheadCanDifferFromHeftChoice) {
+  // PEFT's whole point is that processor selection includes the optimistic
+  // remaining cost; on the classic graph it must not produce the identical
+  // schedule to HEFT (different makespans suffice as evidence).
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  EXPECT_NE(Peft().schedule(p).makespan(), Heft().schedule(p).makespan());
+}
+
+TEST(Peft, ValidOnMontageWorkflow) {
+  workload::MontageParams params;
+  params.num_nodes = 50;
+  params.costs.num_procs = 5;
+  const sim::Workload w = workload::montage_workload(params, 5);
+  const sim::Problem p(w);
+  const sim::Schedule s = Peft().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+}
+
+TEST(Peft, SingleProcessorDegeneratesGracefully) {
+  workload::MontageParams params;
+  params.num_nodes = 20;
+  params.costs.num_procs = 1;
+  const sim::Workload w = workload::montage_workload(params, 6);
+  const sim::Problem p(w);
+  const sim::Schedule s = Peft().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+}
+
+TEST(Peft, Name) { EXPECT_EQ(Peft().name(), "peft"); }
+
+}  // namespace
+}  // namespace hdlts::sched

@@ -1,0 +1,77 @@
+// Edge-case tests for the shared placement helpers (sched/placement.hpp).
+#include <gtest/gtest.h>
+
+#include "hdlts/sched/placement.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+class PlacementFixture : public ::testing::Test {
+ protected:
+  PlacementFixture() : workload_(workload::classic_workload()),
+                       problem_(workload_),
+                       schedule_(10, 3) {}
+  sim::Workload workload_;
+  sim::Problem problem_;
+  sim::Schedule schedule_;
+};
+
+TEST_F(PlacementFixture, EftOnEmptyScheduleIsExecTime) {
+  for (platform::ProcId p = 0; p < 3; ++p) {
+    const PlacementChoice c = eft_on(problem_, schedule_, 0, p, true);
+    EXPECT_DOUBLE_EQ(c.est, 0.0);
+    EXPECT_DOUBLE_EQ(c.eft, problem_.exec_time(0, p));
+    EXPECT_EQ(c.proc, p);
+  }
+}
+
+TEST_F(PlacementFixture, EftVectorFollowsProcsOrder) {
+  const auto v = eft_vector(problem_, schedule_, 0, false);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 14.0);
+  EXPECT_DOUBLE_EQ(v[1], 16.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+}
+
+TEST_F(PlacementFixture, BestEftBreaksTiesTowardLowerProc) {
+  // Craft a problem with identical costs: the winner must be processor 0.
+  graph::TaskGraph g;
+  g.add_task();
+  sim::CostTable w(1, 3);
+  for (platform::ProcId p = 0; p < 3; ++p) w.set(0, p, 7.0);
+  const sim::Workload tie{std::move(g), std::move(w), platform::Platform(3)};
+  const sim::Problem problem(tie);
+  sim::Schedule s(1, 3);
+  EXPECT_EQ(best_eft(problem, s, 0, true).proc, 0u);
+}
+
+TEST_F(PlacementFixture, BestEftSkipsDeadProcessors) {
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_alive(2, false);  // P3 had the 9-unit entry
+  const sim::Problem problem(w);
+  sim::Schedule s(10, 3);
+  const PlacementChoice c = best_eft(problem, s, 0, true);
+  EXPECT_EQ(c.proc, 0u);  // falls back to P1 (14)
+  EXPECT_DOUBLE_EQ(c.eft, 14.0);
+}
+
+TEST_F(PlacementFixture, CommitRoundTripsThroughSchedule) {
+  const PlacementChoice c = best_eft(problem_, schedule_, 0, true);
+  commit(schedule_, 0, c);
+  EXPECT_TRUE(schedule_.is_placed(0));
+  EXPECT_EQ(schedule_.placement(0).proc, c.proc);
+  EXPECT_DOUBLE_EQ(schedule_.placement(0).start, c.est);
+  EXPECT_DOUBLE_EQ(schedule_.placement(0).finish, c.eft);
+}
+
+TEST_F(PlacementFixture, EftAccountsForReadyTimeAndAvailability) {
+  schedule_.place(0, 2, 0.0, 9.0);  // entry on P3, as in Table I
+  // T2 (id 1) on P3: ready 9 (local), avail 9 -> EFT = 9 + 18 = 27.
+  EXPECT_DOUBLE_EQ(eft_on(problem_, schedule_, 1, 2, false).eft, 27.0);
+  // On P1: ready = 9 + 18 (comm), avail 0 -> EFT = 27 + 13 = 40.
+  EXPECT_DOUBLE_EQ(eft_on(problem_, schedule_, 1, 0, false).eft, 40.0);
+}
+
+}  // namespace
+}  // namespace hdlts::sched

@@ -1,0 +1,69 @@
+// Unit tests for hdlts/platform.
+#include <gtest/gtest.h>
+
+#include "hdlts/platform/platform.hpp"
+
+namespace hdlts::platform {
+namespace {
+
+TEST(Platform, ConstructionValidation) {
+  EXPECT_THROW(Platform(0), InvalidArgument);
+  EXPECT_THROW(Platform(2, 0.0), InvalidArgument);
+  EXPECT_THROW(Platform(2, -1.0), InvalidArgument);
+  EXPECT_NO_THROW(Platform(1));
+}
+
+TEST(Platform, UniformBandwidthByDefault) {
+  const Platform p(3, 2.0);
+  for (ProcId a = 0; a < 3; ++a) {
+    for (ProcId b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(p.bandwidth(a, b), 2.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(p.mean_bandwidth(), 2.0);
+}
+
+TEST(Platform, ProcNamesAreOneBased) {
+  const Platform p(2);
+  EXPECT_EQ(p.proc_name(0), "P1");
+  EXPECT_EQ(p.proc_name(1), "P2");
+  EXPECT_THROW(p.proc_name(2), InvalidArgument);
+}
+
+TEST(Platform, SetBandwidthIsSymmetric) {
+  Platform p(3);
+  p.set_bandwidth(0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth(0, 1), 1.0);
+  // Mean over the 6 ordered distinct pairs: (4+4+1+1+1+1)/6.
+  EXPECT_DOUBLE_EQ(p.mean_bandwidth(), 2.0);
+}
+
+TEST(Platform, SetBandwidthValidation) {
+  Platform p(2);
+  EXPECT_THROW(p.set_bandwidth(0, 0, 2.0), InvalidArgument);
+  EXPECT_THROW(p.set_bandwidth(0, 1, 0.0), InvalidArgument);
+  EXPECT_THROW(p.set_bandwidth(0, 5, 1.0), InvalidArgument);
+}
+
+TEST(Platform, SingleProcMeanBandwidth) {
+  const Platform p(1, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean_bandwidth(), 3.0);
+}
+
+TEST(Platform, LivenessTracking) {
+  Platform p(4);
+  EXPECT_EQ(p.num_alive(), 4u);
+  EXPECT_TRUE(p.is_alive(2));
+  p.set_alive(2, false);
+  EXPECT_FALSE(p.is_alive(2));
+  EXPECT_EQ(p.num_alive(), 3u);
+  EXPECT_EQ(p.alive_procs(), (std::vector<ProcId>{0, 1, 3}));
+  p.set_alive(2, true);
+  EXPECT_EQ(p.num_alive(), 4u);
+  EXPECT_THROW(p.set_alive(9, false), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdlts::platform

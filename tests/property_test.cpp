@@ -1,0 +1,195 @@
+// Property tests: every scheduler × every workload family must produce a
+// schedule that (a) passes full validation, (b) replays in the discrete-event
+// engine at exactly its analytic times, and (c) respects the SLR lower bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/metrics.hpp"
+#include "hdlts/sim/engine.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/gauss.hpp"
+#include "hdlts/workload/laplace.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts {
+namespace {
+
+struct Family {
+  std::string name;
+  std::function<sim::Workload(std::uint64_t seed, double ccr,
+                              std::size_t procs)>
+      make;
+};
+
+std::vector<Family> families() {
+  return {
+      {"classic",
+       [](std::uint64_t, double, std::size_t) {
+         return workload::classic_workload();
+       }},
+      {"random-thin",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::RandomDagParams p;
+         p.num_tasks = 60;
+         p.alpha = 0.5;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::random_workload(p, seed);
+       }},
+      {"random-fat",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::RandomDagParams p;
+         p.num_tasks = 60;
+         p.alpha = 2.0;
+         p.density = 4;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::random_workload(p, seed);
+       }},
+      {"fft",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::FftParams p;
+         p.points = 8;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::fft_workload(p, seed);
+       }},
+      {"montage",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::MontageParams p;
+         p.num_nodes = 50;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::montage_workload(p, seed);
+       }},
+      {"md",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::MdParams p;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::md_workload(p, seed);
+       }},
+      {"gauss",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::GaussParams p;
+         p.matrix_size = 7;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::gauss_workload(p, seed);
+       }},
+      {"laplace",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::LaplaceParams p;
+         p.size = 6;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::laplace_workload(p, seed);
+       }},
+      {"forkjoin",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::ForkJoinParams p;
+         p.chains = 5;
+         p.length = 4;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         return workload::forkjoin_workload(p, seed);
+       }},
+      {"heterogeneous-network",
+       [](std::uint64_t seed, double ccr, std::size_t procs) {
+         workload::RandomDagParams p;
+         p.num_tasks = 50;
+         p.costs.ccr = ccr;
+         p.costs.num_procs = procs;
+         sim::Workload w = workload::random_workload(p, seed);
+         util::Rng rng(util::derive_seed(seed, 0xbabdULL));
+         workload::randomize_bandwidths(w, 1.5, 1.0, rng);
+         return w;
+       }},
+  };
+}
+
+using Case = std::tuple<std::string /*scheduler*/, std::size_t /*family*/,
+                        double /*ccr*/, std::size_t /*procs*/>;
+
+class SchedulerProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SchedulerProperty, ValidEngineConsistentAndBounded) {
+  const auto& [sched_name, family_idx, ccr, procs] = GetParam();
+  const Family family = families()[family_idx];
+  const sched::Registry registry = core::default_registry();
+  const auto scheduler = registry.make(sched_name);
+
+  for (const std::uint64_t seed : {1ULL, 99ULL}) {
+    const sim::Workload w =
+        family.make(util::derive_seed(seed, family_idx), ccr, procs);
+    const sim::Problem problem(w);
+    const sim::Schedule schedule = scheduler->schedule(problem);
+
+    // (a) full validation
+    const auto violations = schedule.validate(problem);
+    EXPECT_TRUE(violations.empty())
+        << family.name << " seed " << seed << ": " << violations.front();
+
+    // (b) discrete-event replay honours the schedule as a contract: no
+    // block may finish later than scheduled (duplicates can legitimately
+    // let some blocks start early), and the realized makespan never
+    // exceeds the analytic one.
+    const sim::EngineResult replayed = sim::replay(problem, schedule);
+    EXPECT_FALSE(replayed.deadlocked) << family.name;
+    EXPECT_TRUE(replayed.matches_schedule) << family.name << " seed " << seed;
+    EXPECT_LE(replayed.makespan, schedule.makespan() + 1e-6) << family.name;
+
+    // (c) the makespan respects max(critical-path, total-work/P) — valid
+    // even under duplication, which only ever adds executed work.
+    EXPECT_GE(schedule.makespan() + 1e-9,
+              metrics::makespan_lower_bound(problem))
+        << family.name;
+  }
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  const std::vector<std::string> scheds = {
+      "hdlts", "hdlts-nodup",  "hdlts-static", "hdlts-range",
+      "heft",  "cpop",         "pets",         "peft",
+      "sdbats", "mct",         "random",       "hdlts-insertion",
+      "dls",   "minmin",       "maxmin",       "dheft",
+      "hdlts-multidup",        "lookahead",    "genetic"};
+  const std::size_t num_families = families().size();
+  for (const auto& s : scheds) {
+    for (std::size_t f = 0; f < num_families; ++f) {
+      for (const double ccr : {0.5, 3.0}) {
+        for (const std::size_t procs : {2u, 5u}) {
+          cases.emplace_back(s, f, ccr, procs);
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& [sched_name, family_idx, ccr, procs] = info.param;
+  std::string name = sched_name + "_" + families()[family_idx].name + "_ccr" +
+                     std::to_string(static_cast<int>(ccr * 10)) + "_p" +
+                     std::to_string(procs);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulersAllFamilies, SchedulerProperty,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace hdlts

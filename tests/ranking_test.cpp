@@ -1,0 +1,118 @@
+// Tests for the shared rank computations, anchored to the published rank
+// tables of the HEFT paper (Topcuoglu et al. 2002) for the classic graph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdlts/sched/ranking.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+class RankingClassic : public ::testing::Test {
+ protected:
+  RankingClassic() : workload_(workload::classic_workload()),
+                     problem_(workload_) {}
+  sim::Workload workload_;
+  sim::Problem problem_;
+};
+
+TEST_F(RankingClassic, UpwardRankMatchesHeftPaperTable) {
+  const auto rank = upward_rank_mean(problem_);
+  const double expected[10] = {108.0, 77.0,  80.0, 80.0, 69.0,
+                               63.33, 42.67, 35.67, 44.33, 14.67};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(rank[static_cast<graph::TaskId>(i)], expected[i], 0.01)
+        << "task T" << (i + 1);
+  }
+}
+
+TEST_F(RankingClassic, DownwardRankHandComputed) {
+  const auto rank = downward_rank_mean(problem_);
+  EXPECT_DOUBLE_EQ(rank[0], 0.0);
+  EXPECT_NEAR(rank[1], 31.0, 0.01);   // 13 + 18
+  EXPECT_NEAR(rank[2], 25.0, 0.01);   // 13 + 12
+  EXPECT_NEAR(rank[3], 22.0, 0.01);   // 13 + 9
+  EXPECT_NEAR(rank[4], 24.0, 0.01);   // 13 + 11
+  EXPECT_NEAR(rank[5], 27.0, 0.01);   // 13 + 14
+  EXPECT_NEAR(rank[8], 63.67, 0.01);  // via T2
+}
+
+TEST_F(RankingClassic, CpopPriorityIdentifiesCriticalPath) {
+  const auto up = upward_rank_mean(problem_);
+  const auto down = downward_rank_mean(problem_);
+  // |CP| = priority of the entry = 108; T1-T2-T9-T10 all sit at 108.
+  EXPECT_NEAR(up[0] + down[0], 108.0, 0.01);
+  EXPECT_NEAR(up[1] + down[1], 108.0, 0.01);
+  EXPECT_NEAR(up[8] + down[8], 108.0, 0.01);
+  EXPECT_NEAR(up[9] + down[9], 108.0, 0.01);
+  // An off-path task sits strictly below.
+  EXPECT_LT(up[4] + down[4], 107.99);
+}
+
+TEST_F(RankingClassic, StddevRankDecreasesAlongPaths) {
+  const auto rank = upward_rank_stddev(problem_);
+  // Upward ranks strictly decrease from parent to child when weights and
+  // comm are positive.
+  const auto& g = problem_.graph();
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const graph::Adjacent& c : g.children(v)) {
+      EXPECT_GT(rank[v], rank[c.task]);
+    }
+  }
+}
+
+TEST_F(RankingClassic, OctExitRowIsZeroAndRanksPositive) {
+  const auto oct = oct_table(problem_);
+  const std::size_t np = problem_.procs().size();
+  for (std::size_t p = 0; p < np; ++p) {
+    EXPECT_DOUBLE_EQ(oct[9 * np + p], 0.0);  // T10 is the exit
+  }
+  const auto rank = oct_rank(problem_, oct);
+  EXPECT_DOUBLE_EQ(rank[9], 0.0);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_GT(rank[static_cast<graph::TaskId>(i)], 0.0);
+  }
+  // The entry must carry the largest optimistic cost toward the exit.
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_GE(rank[0], rank[static_cast<graph::TaskId>(i)]);
+  }
+}
+
+TEST_F(RankingClassic, OctIsOptimisticLowerBoundOfUpwardRank) {
+  // OCT charges each child its *cheapest* processor and at most mean comm,
+  // so mean-OCT rank can never exceed HEFT's mean upward rank minus the
+  // task's own mean cost... but it is always <= upward rank itself.
+  const auto oct = oct_rank(problem_, oct_table(problem_));
+  const auto up = upward_rank_mean(problem_);
+  for (graph::TaskId v = 0; v < 10; ++v) {
+    EXPECT_LE(oct[v], up[v] + 1e-9);
+  }
+}
+
+TEST_F(RankingClassic, PetsAttributes) {
+  const PetsRank r = pets_rank(problem_);
+  // T1: ACC = 13, DTC = 18+12+9+11+14 = 64, RPT = 0 -> rank = 77.
+  EXPECT_NEAR(r.acc[0], 13.0, 1e-9);
+  EXPECT_NEAR(r.dtc[0], 64.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.rpt[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.rank[0], 77.0);
+  // T10 is a sink: DTC = 0; RPT is the max parent rank.
+  EXPECT_DOUBLE_EQ(r.dtc[9], 0.0);
+  EXPECT_GT(r.rpt[9], 0.0);
+  // Ranks are integers by construction (rounded).
+  for (graph::TaskId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(r.rank[v], std::round(r.rank[v]));
+  }
+}
+
+TEST(Ranking, OctRankRejectsWrongSize) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(oct_rank(p, wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hdlts::sched

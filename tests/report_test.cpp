@@ -1,0 +1,150 @@
+// Tests for the SVG report module: builder escaping/structure, Gantt
+// rendering, and the paper-style line charts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/report/chart.hpp"
+#include "hdlts/report/gantt_svg.hpp"
+#include "hdlts/report/svg.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::report {
+namespace {
+
+std::size_t count_substr(const std::string& haystack,
+                         const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Svg, DocumentStructure) {
+  Svg svg(200, 100);
+  svg.rect(0, 0, 10, 10, "#ff0000");
+  svg.line(0, 0, 5, 5, "#000000");
+  svg.circle(3, 3, 1, "#00ff00");
+  svg.text(1, 1, "hello");
+  const std::string out = svg.str();
+  EXPECT_NE(out.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(out.find("viewBox=\"0 0 200 100\""), std::string::npos);
+  EXPECT_NE(out.find("<rect"), std::string::npos);
+  EXPECT_NE(out.find("<line"), std::string::npos);
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find(">hello</text>"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, EscapesTextContent) {
+  EXPECT_EQ(Svg::escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+  Svg svg(10, 10);
+  svg.text(0, 0, "x<y");
+  EXPECT_NE(svg.str().find("x&lt;y"), std::string::npos);
+}
+
+TEST(Svg, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Svg(0, 10), InvalidArgument);
+  EXPECT_THROW(Svg(10, -1), InvalidArgument);
+}
+
+TEST(Svg, PaletteCyclesStably) {
+  EXPECT_EQ(palette(0), palette(10));
+  EXPECT_NE(palette(0), palette(1));
+}
+
+TEST(GanttSvg, RendersEveryPlacement) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  GanttSvgOptions options;
+  options.graph = &w.graph;
+  options.title = "HDLTS on the classic graph";
+  const std::string out = render_gantt(s, options).str();
+  // 3 lane backgrounds + 10 primaries + 2 duplicates + the document
+  // background = 16 <rect> elements.
+  EXPECT_EQ(count_substr(out, "<rect"), 16u);
+  EXPECT_NE(out.find("HDLTS on the classic graph"), std::string::npos);
+  // Duplicate blocks carry the '*' marker in their labels.
+  EXPECT_NE(out.find("T1*"), std::string::npos);
+  // Lane labels for all three processors.
+  for (const char* lane : {">P1<", ">P2<", ">P3<"}) {
+    EXPECT_NE(out.find(lane), std::string::npos) << lane;
+  }
+}
+
+TEST(GanttSvg, SaveWritesFile) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  const std::string path = ::testing::TempDir() + "/hdlts_gantt_test.svg";
+  save_gantt_svg(path, s);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(save_gantt_svg("/nonexistent/x.svg", s), Error);
+}
+
+LineChartSpec sample_chart() {
+  LineChartSpec spec;
+  spec.title = "avg SLR vs CCR";
+  spec.x_label = "CCR";
+  spec.y_label = "avg SLR";
+  spec.x_categories = {"1", "2", "3"};
+  spec.series = {{"hdlts", {2.0, 2.5, 3.0}}, {"heft", {2.1, 2.4, 3.2}}};
+  return spec;
+}
+
+TEST(LineChart, RendersSeriesAndLegend) {
+  const std::string out = render_line_chart(sample_chart()).str();
+  EXPECT_EQ(count_substr(out, "<polyline"), 2u);
+  // 3 markers per series.
+  EXPECT_EQ(count_substr(out, "<circle"), 6u);
+  EXPECT_NE(out.find(">hdlts</text>"), std::string::npos);
+  EXPECT_NE(out.find(">heft</text>"), std::string::npos);
+  EXPECT_NE(out.find(">avg SLR vs CCR</text>"), std::string::npos);
+}
+
+TEST(LineChart, ValidatesShape) {
+  LineChartSpec spec = sample_chart();
+  spec.series[0].values.pop_back();
+  EXPECT_THROW(render_line_chart(spec), InvalidArgument);
+  spec = sample_chart();
+  spec.x_categories.clear();
+  EXPECT_THROW(render_line_chart(spec), InvalidArgument);
+  spec = sample_chart();
+  spec.series.clear();
+  EXPECT_THROW(render_line_chart(spec), InvalidArgument);
+}
+
+TEST(LineChart, ConstantSeriesStillRenders) {
+  LineChartSpec spec = sample_chart();
+  spec.series = {{"flat", {1.0, 1.0, 1.0}}};
+  EXPECT_NO_THROW(render_line_chart(spec));
+}
+
+TEST(LineChart, SingleCategoryCentersPoint) {
+  LineChartSpec spec;
+  spec.x_categories = {"only"};
+  spec.series = {{"s", {4.2}}};
+  EXPECT_NO_THROW(render_line_chart(spec));
+}
+
+TEST(LineChart, SaveWritesFile) {
+  const std::string path = ::testing::TempDir() + "/hdlts_chart_test.svg";
+  save_line_chart(path, sample_chart());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hdlts::report

@@ -1,0 +1,224 @@
+// Unit tests for sim::Schedule: placement bookkeeping, insertion slots,
+// duplication-aware ready times, validation, and Gantt/CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hdlts/sim/gantt.hpp"
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/sim/schedule.hpp"
+
+namespace hdlts::sim {
+namespace {
+
+/// Chain 0 -> 1 -> 2 with unit data, two processors, W(v,p) = 10 everywhere.
+Workload chain_workload(double data = 4.0) {
+  graph::TaskGraph g;
+  for (int i = 0; i < 3; ++i) g.add_task();
+  g.add_edge(0, 1, data);
+  g.add_edge(1, 2, data);
+  CostTable w(3, 2);
+  for (graph::TaskId v = 0; v < 3; ++v) {
+    w.set(v, 0, 10);
+    w.set(v, 1, 10);
+  }
+  return Workload{std::move(g), std::move(w), platform::Platform(2)};
+}
+
+TEST(Schedule, PlaceAndQuery) {
+  Schedule s(3, 2);
+  EXPECT_FALSE(s.is_placed(0));
+  s.place(0, 1, 0.0, 10.0);
+  EXPECT_TRUE(s.is_placed(0));
+  EXPECT_EQ(s.placement(0).proc, 1u);
+  EXPECT_DOUBLE_EQ(s.finish_time(0), 10.0);
+  EXPECT_EQ(s.num_placed(), 1u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+  EXPECT_THROW(s.placement(1), InvalidArgument);
+}
+
+TEST(Schedule, RejectsDoublePlacementAndBadIntervals) {
+  Schedule s(2, 1);
+  s.place(0, 0, 0.0, 5.0);
+  EXPECT_THROW(s.place(0, 0, 6.0, 7.0), InvalidArgument);
+  EXPECT_THROW(s.place(1, 0, -1.0, 2.0), InvalidArgument);
+  EXPECT_THROW(s.place(1, 0, 5.0, 4.0), InvalidArgument);
+  EXPECT_THROW(s.place(5, 0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(s.place(1, 9, 0.0, 1.0), InvalidArgument);
+}
+
+TEST(Schedule, RejectsOverlaps) {
+  Schedule s(3, 1);
+  s.place(0, 0, 10.0, 20.0);
+  EXPECT_THROW(s.place(1, 0, 15.0, 25.0), InvalidArgument);  // tail overlap
+  EXPECT_THROW(s.place(1, 0, 5.0, 15.0), InvalidArgument);   // head overlap
+  EXPECT_THROW(s.place(1, 0, 12.0, 18.0), InvalidArgument);  // contained
+  s.place(1, 0, 20.0, 30.0);  // back-to-back is fine
+  s.place(2, 0, 0.0, 10.0);   // gap before is fine
+  EXPECT_EQ(s.timeline(0).size(), 3u);
+  EXPECT_EQ(s.timeline(0)[0].task, 2u);
+}
+
+TEST(Schedule, ProcAvailableTracksLastFinish) {
+  Schedule s(2, 2);
+  EXPECT_DOUBLE_EQ(s.proc_available(0), 0.0);
+  s.place(0, 0, 0.0, 7.0);
+  s.place(1, 0, 9.0, 12.0);
+  EXPECT_DOUBLE_EQ(s.proc_available(0), 12.0);
+  EXPECT_DOUBLE_EQ(s.proc_available(1), 0.0);
+}
+
+TEST(Schedule, EarliestStartWithoutInsertionIgnoresGaps) {
+  Schedule s(3, 1);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 10.0, 12.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 0.0, 3.0, /*insertion=*/false), 12.0);
+}
+
+TEST(Schedule, EarliestStartInsertionFindsGap) {
+  Schedule s(4, 1);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 10.0, 12.0);
+  // A 3-unit block fits in [2, 10).
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 0.0, 3.0, /*insertion=*/true), 2.0);
+  // A 9-unit block does not; it goes after the last placement.
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 0.0, 9.0, /*insertion=*/true), 12.0);
+  // Ready time inside the gap shrinks it.
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 8.0, 3.0, /*insertion=*/true), 12.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 7.0, 3.0, /*insertion=*/true), 7.0);
+}
+
+TEST(Schedule, EarliestStartBeforeFirstPlacement) {
+  Schedule s(2, 1);
+  s.place(0, 0, 5.0, 9.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 0.0, 5.0, /*insertion=*/true), 0.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start(0, 0.0, 6.0, /*insertion=*/true), 9.0);
+}
+
+TEST(Schedule, ReadyTimeUsesCommAndPlacementProc) {
+  const Workload w = chain_workload(/*data=*/4.0);
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  // Same processor: ready at finish; other: finish + data/bw = 10 + 4.
+  EXPECT_DOUBLE_EQ(s.ready_time(p, 1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(s.ready_time(p, 1, 1), 14.0);
+  // Entry has no parents.
+  EXPECT_DOUBLE_EQ(s.ready_time(p, 0, 1), 0.0);
+}
+
+TEST(Schedule, ReadyTimeTakesCheapestDuplicate) {
+  const Workload w = chain_workload(/*data=*/4.0);
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place_duplicate(0, 1, 0.0, 12.0);
+  // On proc 1 the local duplicate (12) beats remote arrival (14).
+  EXPECT_DOUBLE_EQ(s.ready_time(p, 1, 1), 12.0);
+  // On proc 0 the primary stays better.
+  EXPECT_DOUBLE_EQ(s.ready_time(p, 1, 0), 10.0);
+  EXPECT_EQ(s.duplicates(0).size(), 1u);
+  EXPECT_TRUE(s.duplicates(0)[0].duplicate);
+}
+
+TEST(Schedule, DuplicatesShareTimelineConflictChecks) {
+  Schedule s(2, 1);
+  s.place(0, 0, 0.0, 5.0);
+  EXPECT_THROW(s.place_duplicate(1, 0, 3.0, 6.0), InvalidArgument);
+  s.place_duplicate(1, 0, 5.0, 8.0);
+  EXPECT_DOUBLE_EQ(s.proc_available(0), 8.0);
+}
+
+TEST(Schedule, ValidateAcceptsCorrectSchedule) {
+  const Workload w = chain_workload(4.0);
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 10.0, 20.0);
+  s.place(2, 1, 24.0, 34.0);
+  EXPECT_TRUE(s.validate(p).empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 34.0);
+}
+
+TEST(Schedule, ValidateCatchesMissingTask) {
+  const Workload w = chain_workload();
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  const auto violations = s.validate(p);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("not placed"), std::string::npos);
+}
+
+TEST(Schedule, ValidateCatchesWrongDuration) {
+  const Workload w = chain_workload();
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 9.0);  // W is 10
+  s.place(1, 0, 9.0, 19.0);
+  s.place(2, 0, 19.0, 29.0);
+  bool found = false;
+  for (const auto& v : s.validate(p)) {
+    if (v.find("duration") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Schedule, ValidateCatchesPrecedenceViolation) {
+  const Workload w = chain_workload(4.0);
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 1, 5.0, 15.0);  // needs input at 14 on proc 1
+  s.place(2, 1, 15.0, 25.0);
+  bool found = false;
+  for (const auto& v : s.validate(p)) {
+    if (v.find("before its data is ready") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Schedule, ValidateCatchesDeadProcessorUse) {
+  Workload w = chain_workload();
+  w.platform.set_alive(1, false);
+  const Problem p(w);
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 1, 14.0, 24.0);  // proc 1 is dead
+  s.place(2, 0, 28.0, 38.0);
+  bool found = false;
+  for (const auto& v : s.validate(p)) {
+    if (v.find("dead processor") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Gantt, RendersRowsPerProcessor) {
+  const Workload w = chain_workload();
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 10.0, 20.0);
+  s.place(2, 1, 24.0, 34.0);
+  const std::string text = to_gantt(s);
+  EXPECT_NE(text.find("makespan = 34"), std::string::npos);
+  EXPECT_NE(text.find("P1 |"), std::string::npos);
+  EXPECT_NE(text.find("P2 |"), std::string::npos);
+}
+
+TEST(Gantt, PlacementsCsvListsDuplicates) {
+  const Workload w = chain_workload();
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place_duplicate(0, 1, 0.0, 10.0);
+  s.place(1, 0, 10.0, 20.0);
+  s.place(2, 0, 20.0, 30.0);
+  std::ostringstream os;
+  write_placements_csv(os, s, &w.graph);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("task,name,proc,start,finish,duplicate"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);  // the duplicate row
+}
+
+}  // namespace
+}  // namespace hdlts::sim

@@ -1,0 +1,67 @@
+// SDBATS regression and behaviour tests.
+#include <gtest/gtest.h>
+
+#include "hdlts/sched/sdbats.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/md.hpp"
+
+namespace hdlts::sched {
+namespace {
+
+TEST(Sdbats, ClassicGraphMakespanIs74) {
+  // Matches the value the HDLTS paper reports for SDBATS on this graph.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Sdbats().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 74.0);
+}
+
+TEST(Sdbats, DuplicatesEntryOnAllProcessors) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Sdbats().schedule(p);
+  // Primary + duplicates cover all 3 processors, each starting at t = 0.
+  EXPECT_EQ(s.duplicates(0).size(), 2u);
+  for (const sim::Placement& d : s.duplicates(0)) {
+    EXPECT_DOUBLE_EQ(d.start, 0.0);
+    EXPECT_NE(d.proc, s.placement(0).proc);
+  }
+}
+
+TEST(Sdbats, DuplicationCanBeDisabled) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = Sdbats(true, false).schedule(p);
+  EXPECT_TRUE(s.duplicates(0).empty());
+  EXPECT_TRUE(s.validate(p).empty());
+}
+
+TEST(Sdbats, ValidOnMolecularDynamics) {
+  workload::MdParams params;
+  params.costs.num_procs = 6;
+  const sim::Workload w = workload::md_workload(params, 9);
+  const sim::Problem p(w);
+  const sim::Schedule s = Sdbats().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+}
+
+TEST(Sdbats, SingleTaskGraphSkipsDuplication) {
+  graph::TaskGraph g;
+  g.add_task();
+  sim::CostTable costs(1, 2);
+  costs.set(0, 0, 5);
+  costs.set(0, 1, 3);
+  const sim::Workload w{std::move(g), std::move(costs),
+                        platform::Platform(2)};
+  const sim::Problem p(w);
+  const sim::Schedule s = Sdbats().schedule(p);
+  EXPECT_TRUE(s.validate(p).empty());
+  EXPECT_TRUE(s.duplicates(0).empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+TEST(Sdbats, Name) { EXPECT_EQ(Sdbats().name(), "sdbats"); }
+
+}  // namespace
+}  // namespace hdlts::sched

@@ -1,0 +1,149 @@
+// Dynamic workflow-stream scheduling tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/core/stream.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::core {
+namespace {
+
+sim::Workload small_random(std::uint64_t seed, std::size_t procs = 3) {
+  workload::RandomDagParams p;
+  p.num_tasks = 25;
+  p.costs.num_procs = procs;
+  p.costs.ccr = 2.0;
+  return workload::random_workload(p, seed);
+}
+
+TEST(Stream, RejectsBadInputs) {
+  EXPECT_THROW(run_stream({}), InvalidArgument);
+  std::vector<StreamArrival> s;
+  s.push_back({small_random(1, 3), 0.0});
+  s.push_back({small_random(2, 4), 5.0});  // different processor count
+  EXPECT_THROW(run_stream(s), InvalidArgument);
+  s.pop_back();
+  s.push_back({small_random(2, 3), -1.0});  // negative arrival
+  EXPECT_THROW(run_stream(s), InvalidArgument);
+}
+
+TEST(Stream, SingleWorkflowHasPositiveFlowTime) {
+  std::vector<StreamArrival> s;
+  s.push_back({workload::classic_workload(), 0.0});
+  const StreamResult r = run_stream(s);
+  ASSERT_EQ(r.finish.size(), 1u);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(r.flow_time[0], r.finish[0]);
+  EXPECT_EQ(r.executions.size(), 10u);
+}
+
+TEST(Stream, ExecutionsRespectPrecedenceAndArrival) {
+  std::vector<StreamArrival> s;
+  s.push_back({small_random(1), 0.0});
+  s.push_back({small_random(2), 30.0});
+  s.push_back({small_random(3), 60.0});
+  const StreamResult r = run_stream(s);
+  // Completion per (workflow, task).
+  std::vector<std::vector<double>> done(3);
+  for (std::size_t w = 0; w < 3; ++w) {
+    done[w].assign(s[w].workload.graph.num_tasks(),
+                   std::numeric_limits<double>::infinity());
+  }
+  for (const StreamTaskExec& e : r.executions) {
+    done[e.workflow][e.task] = e.finish;
+    EXPECT_GE(e.start, s[e.workflow].arrival - 1e-9);
+  }
+  for (std::size_t w = 0; w < 3; ++w) {
+    const auto& g = s[w].workload.graph;
+    for (const StreamTaskExec& e : r.executions) {
+      if (e.workflow != w) continue;
+      for (const graph::Adjacent& p : g.parents(e.task)) {
+        EXPECT_LE(done[w][p.task], e.start + 1e-6)
+            << "workflow " << w << " task " << e.task;
+      }
+    }
+  }
+}
+
+TEST(Stream, FarApartArrivalsBehaveIndependently) {
+  // When workflow 2 arrives long after workflow 1 finished, each gets its
+  // solo flow time.
+  std::vector<StreamArrival> solo1;
+  solo1.push_back({small_random(7), 0.0});
+  const double alone1 = run_stream(solo1).makespan;
+
+  std::vector<StreamArrival> solo2;
+  solo2.push_back({small_random(8), 0.0});
+  const double alone2 = run_stream(solo2).makespan;
+
+  std::vector<StreamArrival> s;
+  s.push_back({small_random(7), 0.0});
+  s.push_back({small_random(8), alone1 + 100.0});
+  const StreamResult r = run_stream(s);
+  EXPECT_NEAR(r.flow_time[0], alone1, 1e-9);
+  EXPECT_NEAR(r.flow_time[1], alone2, 1e-9);
+}
+
+TEST(Stream, ContentionStretchesFlowTimes) {
+  std::vector<StreamArrival> solo;
+  solo.push_back({small_random(11), 0.0});
+  const double alone = run_stream(solo).makespan;
+
+  // Three identical workflows arriving together must contend.
+  std::vector<StreamArrival> s;
+  for (int i = 0; i < 3; ++i) s.push_back({small_random(11), 0.0});
+  const StreamResult r = run_stream(s);
+  const double worst =
+      *std::max_element(r.flow_time.begin(), r.flow_time.end());
+  EXPECT_GT(worst, alone - 1e-9);
+}
+
+TEST(Stream, UnsortedArrivalsAreHandled) {
+  std::vector<StreamArrival> s;
+  s.push_back({small_random(1), 50.0});
+  s.push_back({small_random(2), 0.0});
+  const StreamResult r = run_stream(s);
+  for (const StreamTaskExec& e : r.executions) {
+    EXPECT_GE(e.start, s[e.workflow].arrival - 1e-9);
+  }
+}
+
+TEST(Stream, FifoPolicyDiffersFromPv) {
+  std::vector<StreamArrival> s;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    s.push_back({small_random(20 + i), 10.0 * static_cast<double>(i)});
+  }
+  StreamOptions pv;
+  StreamOptions fifo;
+  fifo.policy = StreamPolicy::kFifoEft;
+  const StreamResult a = run_stream(s, pv);
+  const StreamResult b = run_stream(s, fifo);
+  // Both complete everything; the policies are genuinely different rules so
+  // at least one workflow's finish time should differ on contended input.
+  EXPECT_EQ(a.executions.size(), b.executions.size());
+  bool any_diff = false;
+  for (std::size_t w = 0; w < s.size(); ++w) {
+    if (std::abs(a.finish[w] - b.finish[w]) > 1e-9) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Stream, DeterministicAcrossRuns) {
+  std::vector<StreamArrival> s;
+  s.push_back({small_random(5), 0.0});
+  s.push_back({small_random(6), 15.0});
+  const StreamResult a = run_stream(s);
+  const StreamResult b = run_stream(s);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.executions.size(), b.executions.size());
+  for (std::size_t i = 0; i < a.executions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.executions[i].start, b.executions[i].start);
+    EXPECT_EQ(a.executions[i].proc, b.executions[i].proc);
+  }
+}
+
+}  // namespace
+}  // namespace hdlts::core

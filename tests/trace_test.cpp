@@ -1,0 +1,107 @@
+// JSON trace export tests: structural sanity (balanced, quoted, expected
+// keys/counts) without a JSON library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/engine.hpp"
+#include "hdlts/sim/trace.hpp"
+#include "hdlts/workload/classic.hpp"
+
+namespace hdlts::sim {
+namespace {
+
+bool balanced(const std::string& s) {
+  int depth = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++depth;
+        break;
+      case '}':
+        --depth;
+        break;
+      case '[':
+        ++brackets;
+        break;
+      case ']':
+        --brackets;
+        break;
+      default:
+        break;
+    }
+    if (depth < 0 || brackets < 0) return false;
+  }
+  return depth == 0 && brackets == 0 && !in_string;
+}
+
+std::size_t count_substr(const std::string& haystack,
+                         const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(ScheduleJson, ContainsEveryBlockAndBalances) {
+  const Workload w = workload::classic_workload();
+  const Problem p(w);
+  const Schedule s = core::Hdlts().schedule(p);
+  const std::string json = schedule_json(s, &w.graph);
+  EXPECT_TRUE(balanced(json));
+  // 10 primaries + 2 entry duplicates.
+  EXPECT_EQ(count_substr(json, "\"task\":"), 12u);
+  EXPECT_EQ(count_substr(json, "\"duplicate\":true"), 2u);
+  EXPECT_NE(json.find("\"makespan\":73"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"T1\""), std::string::npos);
+}
+
+TEST(ScheduleJson, WorksWithoutGraph) {
+  const Workload w = workload::classic_workload();
+  const Problem p(w);
+  const Schedule s = core::Hdlts().schedule(p);
+  const std::string json = schedule_json(s);
+  EXPECT_TRUE(balanced(json));
+  EXPECT_EQ(json.find("\"name\""), std::string::npos);
+}
+
+TEST(ReplayJson, ReportsFlagsAndTimes) {
+  const Workload w = workload::classic_workload();
+  const Problem p(w);
+  const Schedule s = core::Hdlts().schedule(p);
+  const EngineResult r = replay(p, s);
+  const std::string json = replay_json(r);
+  EXPECT_TRUE(balanced(json));
+  EXPECT_NE(json.find("\"matches_schedule\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"deadlocked\":false"), std::string::npos);
+  EXPECT_EQ(count_substr(json, "\"scheduled\":["), 12u);
+  EXPECT_EQ(count_substr(json, "\"actual\":["), 12u);
+}
+
+}  // namespace
+}  // namespace hdlts::sim

@@ -1,0 +1,307 @@
+// Generator tests: structure counts, parameter effects, determinism, and the
+// paper's cost-model identities (Eqs. 13–14).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/costs.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/gauss.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts::workload {
+namespace {
+
+TEST(Classic, MatchesPaperFigure) {
+  const sim::Workload w = classic_workload();
+  EXPECT_EQ(w.graph.num_tasks(), 10u);
+  EXPECT_EQ(w.graph.num_edges(), 15u);
+  EXPECT_EQ(w.platform.num_procs(), 3u);
+  EXPECT_DOUBLE_EQ(w.costs(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(w.costs(9, 1), 7.0);
+  EXPECT_DOUBLE_EQ(w.graph.edge_data(0, 1), 18.0);
+  EXPECT_EQ(w.graph.single_entry(), 0u);
+  EXPECT_EQ(w.graph.single_exit(), 9u);
+}
+
+TEST(CostParams, Validation) {
+  CostParams p;
+  p.num_procs = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = CostParams{};
+  p.beta = 2.5;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = CostParams{};
+  p.ccr = -1;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = CostParams{};
+  p.wdag = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(MakeWorkload, CostsRespectBetaBand) {
+  // Eq. 13: wbar*(1 - beta/2) <= W(i,j) <= wbar*(1 + beta/2).
+  graph::TaskGraph g;
+  for (int i = 0; i < 30; ++i) g.add_task();
+  for (int i = 1; i < 30; ++i) {
+    g.add_edge(0, static_cast<graph::TaskId>(i), 0.0);
+  }
+  CostParams params;
+  params.num_procs = 5;
+  params.beta = 1.0;
+  params.wdag = 40;
+  const sim::Workload w = make_workload(std::move(g), params, 99);
+  for (graph::TaskId v = 0; v < w.graph.num_tasks(); ++v) {
+    const double wbar = w.graph.work(v);
+    for (platform::ProcId p = 0; p < 5; ++p) {
+      EXPECT_GE(w.costs(v, p), wbar * 0.5 - 1e-9);
+      EXPECT_LE(w.costs(v, p), wbar * 1.5 + 1e-9);
+    }
+  }
+}
+
+TEST(MakeWorkload, EdgeDataFollowsCcr) {
+  // Eq. 14: data(u, v) = wbar_u * CCR (normalization edges stay at 0).
+  graph::TaskGraph g;
+  for (int i = 0; i < 5; ++i) g.add_task();
+  g.add_edge(0, 1, 0);
+  g.add_edge(0, 2, 0);
+  g.add_edge(1, 3, 0);
+  g.add_edge(2, 4, 0);
+  CostParams params;
+  params.ccr = 3.0;
+  const sim::Workload w = make_workload(std::move(g), params, 5);
+  EXPECT_DOUBLE_EQ(w.graph.edge_data(0, 1), w.graph.work(0) * 3.0);
+  EXPECT_DOUBLE_EQ(w.graph.edge_data(1, 3), w.graph.work(1) * 3.0);
+}
+
+TEST(MakeWorkload, PseudoTasksStayFree) {
+  graph::TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task();
+  g.add_edge(0, 2, 0);
+  g.add_edge(1, 3, 0);  // two entries, two exits -> both pseudo tasks
+  CostParams params;
+  const sim::Workload w = make_workload(std::move(g), params, 1);
+  EXPECT_EQ(w.graph.num_tasks(), 6u);
+  const graph::TaskId pe = w.graph.single_entry();
+  const graph::TaskId px = w.graph.single_exit();
+  for (platform::ProcId p = 0; p < params.num_procs; ++p) {
+    EXPECT_DOUBLE_EQ(w.costs(pe, p), 0.0);
+    EXPECT_DOUBLE_EQ(w.costs(px, p), 0.0);
+  }
+  for (const graph::Adjacent& c : w.graph.children(pe)) {
+    EXPECT_DOUBLE_EQ(c.data, 0.0);
+  }
+}
+
+TEST(MakeWorkload, DeterministicPerSeed) {
+  RandomDagParams params;
+  params.num_tasks = 80;
+  const sim::Workload a = random_workload(params, 1234);
+  const sim::Workload b = random_workload(params, 1234);
+  const sim::Workload c = random_workload(params, 1235);
+  ASSERT_EQ(a.graph.num_tasks(), b.graph.num_tasks());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  bool all_equal = a.graph.num_edges() == c.graph.num_edges();
+  for (graph::TaskId v = 0; v < a.graph.num_tasks(); ++v) {
+    for (platform::ProcId p = 0; p < 4; ++p) {
+      EXPECT_DOUBLE_EQ(a.costs(v, p), b.costs(v, p));
+    }
+  }
+  if (all_equal && a.graph.num_tasks() == c.graph.num_tasks()) {
+    bool any_diff = false;
+    for (graph::TaskId v = 0; v < a.graph.num_tasks() && !any_diff; ++v) {
+      if (a.costs(v, 0) != c.costs(v, 0)) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);  // different seed must actually change something
+  }
+}
+
+TEST(RandomDag, TaskCountIsExact) {
+  for (const std::size_t v : {20u, 100u, 333u}) {
+    RandomDagParams params;
+    params.num_tasks = v;
+    util::Rng rng(v);
+    const graph::TaskGraph g = random_structure(params, rng);
+    EXPECT_EQ(g.num_tasks(), v);
+    EXPECT_TRUE(graph::is_acyclic(g));
+  }
+}
+
+TEST(RandomDag, AlphaControlsShape) {
+  // alpha = 0.5 -> tall/thin; alpha = 2.0 -> short/fat (paper §V-B2).
+  RandomDagParams tall;
+  tall.num_tasks = 400;
+  tall.alpha = 0.5;
+  RandomDagParams fat = tall;
+  fat.alpha = 2.0;
+  util::Rng r1(9);
+  util::Rng r2(9);
+  const auto g_tall = random_structure(tall, r1);
+  const auto g_fat = random_structure(fat, r2);
+  EXPECT_GT(graph::num_levels(g_tall), graph::num_levels(g_fat));
+  // Expected level counts: sqrt(400)/0.5 = 40 vs sqrt(400)/2 = 10.
+  EXPECT_NEAR(static_cast<double>(graph::num_levels(g_tall)), 40.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(graph::num_levels(g_fat)), 10.0, 4.0);
+}
+
+TEST(RandomDag, DensityControlsEdgeCount) {
+  RandomDagParams sparse;
+  sparse.num_tasks = 300;
+  sparse.density = 1;
+  RandomDagParams dense = sparse;
+  dense.density = 5;
+  util::Rng r1(3);
+  util::Rng r2(3);
+  const auto g_sparse = random_structure(sparse, r1);
+  const auto g_dense = random_structure(dense, r2);
+  EXPECT_GT(g_dense.num_edges(), g_sparse.num_edges());
+}
+
+TEST(RandomDag, ParameterValidation) {
+  RandomDagParams p;
+  p.num_tasks = 1;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = RandomDagParams{};
+  p.alpha = 0.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = RandomDagParams{};
+  p.density = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(Fft, TaskCountFormula) {
+  // Paper §V-C1: m = 4 -> 15 tasks, m = 32 -> 223 tasks.
+  EXPECT_EQ(fft_task_count(4), 15u);
+  EXPECT_EQ(fft_task_count(8), 39u);
+  EXPECT_EQ(fft_task_count(16), 95u);
+  EXPECT_EQ(fft_task_count(32), 223u);
+}
+
+TEST(Fft, StructureShape) {
+  const graph::TaskGraph g = fft_structure(8);
+  EXPECT_EQ(g.num_tasks(), fft_task_count(8));
+  EXPECT_TRUE(graph::is_acyclic(g));
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 8u);  // m butterfly outputs
+  // Butterfly tasks have exactly two parents.
+  std::size_t two_parent = 0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (g.in_degree(v) == 2) ++two_parent;
+  }
+  EXPECT_EQ(two_parent, 8u * 3u);  // m tasks per stage, log2(8) stages
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(fft_structure(6), InvalidArgument);
+  EXPECT_THROW(fft_structure(1), InvalidArgument);
+  FftParams p;
+  p.points = 12;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(Fft, WorkloadIsNormalized) {
+  FftParams p;
+  p.points = 4;
+  const sim::Workload w = fft_workload(p, 2);
+  // 15 tasks + 1 pseudo exit (multi-exit butterflies).
+  EXPECT_EQ(w.graph.num_tasks(), 16u);
+  EXPECT_NO_THROW(w.graph.single_exit());
+  EXPECT_NO_THROW(w.graph.single_entry());
+}
+
+TEST(Montage, HitsExactNodeBudgets) {
+  for (const std::size_t n : {20u, 50u, 100u}) {
+    MontageParams p;
+    p.num_nodes = n;
+    util::Rng rng(n);
+    const graph::TaskGraph g = montage_structure(p, rng);
+    EXPECT_EQ(g.num_tasks(), n);
+    EXPECT_TRUE(graph::is_acyclic(g));
+  }
+}
+
+TEST(Montage, TwentyNodeSampleHasCanonicalStageSizes) {
+  MontageParams p;
+  p.num_nodes = 20;
+  util::Rng rng(1);
+  const graph::TaskGraph g = montage_structure(p, rng);
+  std::size_t project = 0;
+  std::size_t diff = 0;
+  std::size_t background = 0;
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (g.name(v).rfind("mProjectPP", 0) == 0) ++project;
+    if (g.name(v).rfind("mDiffFit", 0) == 0) ++diff;
+    if (g.name(v).rfind("mBackground", 0) == 0) ++background;
+  }
+  EXPECT_EQ(project, 4u);
+  EXPECT_EQ(diff, 6u);
+  EXPECT_EQ(background, 4u);
+}
+
+TEST(Montage, SingleExitIsJpeg) {
+  MontageParams p;
+  p.num_nodes = 50;
+  util::Rng rng(4);
+  const graph::TaskGraph g = montage_structure(p, rng);
+  const auto exits = g.exit_tasks();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(g.name(exits[0]), "mJPEG");
+}
+
+TEST(Montage, RejectsTinyBudgets) {
+  MontageParams p;
+  p.num_nodes = 10;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(Md, FixedStructure) {
+  const graph::TaskGraph g = md_structure();
+  EXPECT_EQ(g.num_tasks(), 41u);
+  EXPECT_TRUE(graph::is_acyclic(g));
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(graph::num_levels(g), 10u);
+  // Every task lies on a path from entry to exit.
+  EXPECT_EQ(graph::descendants(g, 0).size(), 40u);
+  EXPECT_EQ(graph::ancestors(g, 40).size(), 40u);
+}
+
+TEST(Md, WorkloadRespectsCostParams) {
+  MdParams p;
+  p.costs.num_procs = 7;
+  p.costs.ccr = 2.0;
+  const sim::Workload w = md_workload(p, 12);
+  EXPECT_EQ(w.platform.num_procs(), 7u);
+  EXPECT_EQ(w.graph.num_tasks(), 41u);  // already single entry/exit
+}
+
+TEST(Gauss, TaskCountFormula) {
+  EXPECT_EQ(gauss_task_count(2), 2u);
+  EXPECT_EQ(gauss_task_count(5), 14u);
+  EXPECT_EQ(gauss_task_count(10), 54u);
+}
+
+TEST(Gauss, StructureShape) {
+  const graph::TaskGraph g = gauss_structure(6);
+  EXPECT_EQ(g.num_tasks(), gauss_task_count(6));
+  EXPECT_TRUE(graph::is_acyclic(g));
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  // 2(m-1)-1 precedence levels: pivot/update alternation.
+  EXPECT_EQ(graph::num_levels(g), 2u * 5u);
+}
+
+TEST(Gauss, RejectsTooSmall) {
+  EXPECT_THROW(gauss_structure(1), InvalidArgument);
+  GaussParams p;
+  p.matrix_size = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdlts::workload
