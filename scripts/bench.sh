@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Performance-trajectory harness: builds the benchmarks in a Release
+# (-O2 -DNDEBUG) tree, runs bench/micro_scale, and diffs the fresh
+# BENCH_sched_scale.json against the committed baseline
+# (bench/BENCH_sched_scale.json). Exits non-zero when the schedule of
+# measured cells changed shape, when the headline hdlts incremental speedup
+# fell below the 5x acceptance bar, or when any scheduler cell regressed by
+# more than the allowed factor (wall-clock comparisons across machines are
+# noisy, so the factor is deliberately loose; override with
+# HDLTS_BENCH_REGRESSION_FACTOR).
+#
+# Usage: scripts/bench.sh [--update]
+#   --update  rewrite the committed baseline with the fresh measurements
+#
+# Tier-1 (`ctest`) is untouched: this script uses its own build directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-bench
+BASELINE=bench/BENCH_sched_scale.json
+FRESH="${BUILD_DIR}/BENCH_sched_scale.json"
+FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-3.0}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
+cmake --build "${BUILD_DIR}" -j --target micro_scale >/dev/null
+
+echo "== running bench/micro_scale (this builds the perf trajectory) =="
+(cd "${BUILD_DIR}" && HDLTS_SCALE_JSON=BENCH_sched_scale.json \
+  ./bench/micro_scale)
+
+if [[ "${1:-}" == "--update" ]]; then
+  cp "${FRESH}" "${BASELINE}"
+  echo "baseline updated: ${BASELINE}"
+  exit 0
+fi
+
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "no committed baseline at ${BASELINE}; run scripts/bench.sh --update"
+  exit 1
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "python3 unavailable; skipping the baseline diff (bench still ran)"
+  exit 0
+fi
+
+python3 - "$BASELINE" "$FRESH" "$FACTOR" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def cells(doc):
+    return {(r["tasks"], r["procs"], r["scheduler"]): r for r in doc["rows"]}
+
+base_cells, fresh_cells = cells(baseline), cells(fresh)
+failed = False
+
+missing = sorted(set(base_cells) - set(fresh_cells))
+added = sorted(set(fresh_cells) - set(base_cells))
+if missing:
+    print(f"FAIL: cells missing vs baseline: {missing}")
+    failed = True
+if added:
+    print(f"note: new cells not in baseline: {added}")
+
+speedup = fresh.get("hdlts_speedup_5k_32")
+if speedup is None:
+    print("FAIL: fresh run has no hdlts_speedup_5k_32 (reference not run?)")
+    failed = True
+elif speedup < 5.0:
+    print(f"FAIL: hdlts incremental speedup {speedup:.1f}x < 5x acceptance bar")
+    failed = True
+else:
+    print(f"ok: hdlts incremental speedup {speedup:.1f}x (baseline "
+          f"{baseline.get('hdlts_speedup_5k_32', float('nan')):.1f}x)")
+
+worst = (None, 0.0)
+for key in sorted(set(base_cells) & set(fresh_cells)):
+    ratio = fresh_cells[key]["ms"] / base_cells[key]["ms"]
+    if ratio > worst[1]:
+        worst = (key, ratio)
+    if ratio > factor:
+        print(f"FAIL: {key} regressed {ratio:.2f}x vs baseline "
+              f"({base_cells[key]['ms']:.2f} ms -> {fresh_cells[key]['ms']:.2f} ms)")
+        failed = True
+if worst[0] is not None:
+    print(f"worst cell ratio vs baseline: {worst[0]} at {worst[1]:.2f}x "
+          f"(allowed {factor:.1f}x)")
+
+sys.exit(1 if failed else 0)
+EOF
+echo "== bench diff ok =="

@@ -3,31 +3,25 @@
 #include <algorithm>
 
 #include "hdlts/sched/placement.hpp"
-#include "hdlts/util/stats.hpp"
 
 namespace hdlts::core {
 
 namespace {
 
-double penalty_value(PvKind kind, std::span<const double> eft) {
-  switch (kind) {
-    case PvKind::kSampleStddev:
-      return util::stddev_sample(eft);
-    case PvKind::kPopulationStddev:
-      return util::stddev_population(eft);
-    case PvKind::kRange:
-      return util::range(eft);
-  }
-  throw ContractViolation("unhandled PvKind");
-}
-
 /// A task sitting in the ITQ. Ready times are fixed once a task becomes
-/// independent (all parents are placed before it enters the queue), so they
-/// are cached; only processor availability changes between iterations.
+/// independent (all parents are placed — and duplicated, if eligible —
+/// before it enters the queue), so they are cached. The EFT row and its PV
+/// moments are kept current incrementally: after each placement only the
+/// columns of processors whose availability changed are recomputed.
 struct ItqEntry {
   graph::TaskId task = graph::kInvalidTask;
   std::vector<double> ready;  ///< per alive processor, problem.procs() order
+  std::vector<double> eft;    ///< cached EFT row, parallel to `ready`
+  PvAccumulator pv;           ///< moments of `eft` (current in dynamic mode)
   double frozen_pv = 0.0;     ///< used when dynamic_priorities is off
+
+  ItqEntry(graph::TaskId v, std::size_t np, PvKind kind)
+      : task(v), ready(np), eft(np), pv(kind, np) {}
 };
 
 }  // namespace
@@ -49,6 +43,11 @@ sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
   std::vector<std::size_t> pending(g.num_tasks());
   std::vector<ItqEntry> itq;
 
+  // Alive-processor index of each ProcId (changed-proc log entries -> column).
+  constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> column_of(problem.num_procs(), kNoColumn);
+  for (std::size_t pi = 0; pi < np; ++pi) column_of[procs[pi]] = pi;
+
   // EFT of an ITQ entry on procs[pi] under the current schedule state.
   auto eft_of = [&](const ItqEntry& e, std::size_t pi) {
     const platform::ProcId p = procs[pi];
@@ -57,25 +56,48 @@ sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
         schedule.earliest_start(p, e.ready[pi], duration, options_.insertion);
     return est + duration;
   };
-  auto eft_row = [&](const ItqEntry& e) {
-    std::vector<double> row(np);
-    for (std::size_t pi = 0; pi < np; ++pi) row[pi] = eft_of(e, pi);
-    return row;
-  };
 
   auto push_ready = [&](graph::TaskId v) {
-    ItqEntry e;
-    e.task = v;
-    e.ready.resize(np);
+    ItqEntry e(v, np, options_.pv);
     for (std::size_t pi = 0; pi < np; ++pi) {
       e.ready[pi] = schedule.ready_time(problem, v, procs[pi]);
+      e.eft[pi] = eft_of(e, pi);
     }
+    e.pv.assign(e.eft);
     if (!options_.dynamic_priorities) {
       // Conventional static list: the PV is computed against the schedule
       // state at the moment the task becomes independent and never updated.
-      e.frozen_pv = penalty_value(options_.pv, eft_row(e));
+      e.frozen_pv = e.pv.pv();
     }
     itq.push_back(std::move(e));
+  };
+
+  // Recomputes, for every queued entry, exactly the EFT columns of the
+  // processors `place`/`place_duplicate` touched since `mark` — the chosen
+  // processor plus any duplicate hosts. Columns of untouched processors are
+  // pure functions of unchanged state and stay bitwise valid.
+  std::vector<std::size_t> dirty;
+  std::vector<bool> dirty_seen(np, false);
+  auto refresh_dirty_columns = [&](std::uint64_t mark) {
+    dirty.clear();
+    for (const platform::ProcId p : schedule.procs_changed_since(mark)) {
+      const std::size_t pi = column_of[p];
+      HDLTS_EXPECTS(pi != kNoColumn);
+      if (!dirty_seen[pi]) {
+        dirty_seen[pi] = true;
+        dirty.push_back(pi);
+      }
+    }
+    for (const std::size_t pi : dirty) dirty_seen[pi] = false;
+    for (ItqEntry& e : itq) {
+      for (const std::size_t pi : dirty) {
+        const double eft = eft_of(e, pi);
+        if (eft != e.eft[pi]) {
+          e.eft[pi] = eft;
+          e.pv.update(pi, eft);
+        }
+      }
+    }
   };
 
   for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
@@ -142,45 +164,30 @@ sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
   };
 
   while (!itq.empty()) {
-    // Prioritize: PV per queued task (recomputed each round in dynamic mode).
-    std::vector<double> pv(itq.size());
-    for (std::size_t i = 0; i < itq.size(); ++i) {
-      pv[i] = options_.dynamic_priorities
-                  ? penalty_value(options_.pv, eft_row(itq[i]))
-                  : itq[i].frozen_pv;
-    }
+    // Prioritize: every entry's cached PV is current (refreshed after the
+    // previous placement), so a round costs O(|ITQ|) instead of O(|ITQ| * P).
+    auto pv_of = [&](const ItqEntry& e) {
+      return options_.dynamic_priorities ? e.pv.pv() : e.frozen_pv;
+    };
     std::size_t pick = 0;
+    double pick_pv = pv_of(itq[0]);
     for (std::size_t i = 1; i < itq.size(); ++i) {
-      // Highest PV wins; ties go to the lower task id for determinism.
-      if (pv[i] > pv[pick] ||
-          (pv[i] == pv[pick] && itq[i].task < itq[pick].task)) {
+      const double p = pv_of(itq[i]);
+      // Highest PV wins; ties go to the lower task id for determinism (the
+      // rule is order-independent, so swap-remove below cannot change picks).
+      if (p > pick_pv || (p == pick_pv && itq[i].task < itq[pick].task)) {
         pick = i;
+        pick_pv = p;
       }
     }
 
-    // Select the min-EFT processor (ties: lower processor id).
-    const ItqEntry chosen_entry = std::move(itq[pick]);
-    const double chosen_pv = pv[pick];
-    itq.erase(itq.begin() + static_cast<std::ptrdiff_t>(pick));
-    const auto row = eft_row(chosen_entry);
-    std::size_t best = 0;
-    for (std::size_t pi = 1; pi < np; ++pi) {
-      if (row[pi] < row[best]) best = pi;
-    }
-    const platform::ProcId proc = procs[best];
-    const double finish = row[best];
-    const double start = finish - problem.exec_time(chosen_entry.task, proc);
-
     if (trace != nullptr) {
       HdltsStep step;
-      step.selected = chosen_entry.task;
-      step.eft = row;
-      step.chosen = proc;
-      step.ready.push_back(chosen_entry.task);
-      step.pv.push_back(chosen_pv);
+      step.selected = itq[pick].task;
+      step.eft = itq[pick].eft;
       for (std::size_t i = 0; i < itq.size(); ++i) {
         step.ready.push_back(itq[i].task);
-        step.pv.push_back(pv[i < pick ? i : i + 1]);
+        step.pv.push_back(pv_of(itq[i]));
       }
       // Present the ITQ in ascending task id, like the paper's Table I.
       std::vector<std::size_t> perm(step.ready.size());
@@ -191,7 +198,6 @@ sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
       HdltsStep sorted;
       sorted.selected = step.selected;
       sorted.eft = step.eft;
-      sorted.chosen = step.chosen;
       for (const std::size_t i : perm) {
         sorted.ready.push_back(step.ready[i]);
         sorted.pv.push_back(step.pv[i]);
@@ -199,10 +205,28 @@ sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
       trace->steps.push_back(std::move(sorted));
     }
 
+    // Select the min-EFT processor (ties: lower processor id) from the
+    // cached row, then drop the entry via swap-remove (O(1); the pick rule
+    // above never depends on queue order).
+    const ItqEntry chosen_entry = std::move(itq[pick]);
+    if (pick + 1 != itq.size()) itq[pick] = std::move(itq.back());
+    itq.pop_back();
+    const std::vector<double>& row = chosen_entry.eft;
+    std::size_t best = 0;
+    for (std::size_t pi = 1; pi < np; ++pi) {
+      if (row[pi] < row[best]) best = pi;
+    }
+    const platform::ProcId proc = procs[best];
+    const double finish = row[best];
+    const double start = finish - problem.exec_time(chosen_entry.task, proc);
+    if (trace != nullptr) trace->steps.back().chosen = proc;
+
+    const std::uint64_t mark = schedule.state_version();
     schedule.place(chosen_entry.task, proc, start, finish);
     if (qualifies_for_duplication(chosen_entry.task)) {
       duplicate_task(chosen_entry.task);
     }
+    refresh_dirty_columns(mark);
     for (const graph::Adjacent& c : g.children(chosen_entry.task)) {
       if (--pending[c.task] == 0) push_ready(c.task);
     }

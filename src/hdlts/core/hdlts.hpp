@@ -18,18 +18,23 @@
 // Semantics pinned by reproducing Table I exactly (see DESIGN.md): PV uses
 // the n-1 (sample) standard deviation, duplicates occupy their processor
 // from t = 0, and children read the entry's output from the cheapest copy.
+//
+// Implementation: the inner loop is incremental. Each ITQ entry caches its
+// EFT row and PV moments; after a placement only the columns of processors
+// whose availability changed (sim::Schedule::procs_changed_since) are
+// recomputed, and the PV follows in O(log P) per changed column (core/pv.hpp).
+// Bit-identical to the brute-force recompute — enforced differentially
+// against core::ReferenceHdlts in tests/incremental_equiv_test.cpp; see
+// docs/ALGORITHMS.md "Complexity & incremental state".
 #pragma once
 
 #include <vector>
 
+#include "hdlts/core/pv.hpp"
 #include "hdlts/sched/registry.hpp"
 #include "hdlts/sched/scheduler.hpp"
 
 namespace hdlts::core {
-
-/// How the penalty value condenses the EFT vector. The paper uses the sample
-/// standard deviation; the alternatives are ablation variants (bench X3).
-enum class PvKind { kSampleStddev, kPopulationStddev, kRange };
 
 /// When to duplicate the entry task on a non-primary processor (Algorithm 1
 /// leaves the quantifier over children ambiguous; both reproduce Table I).

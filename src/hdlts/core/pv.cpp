@@ -1,0 +1,63 @@
+#include "hdlts/core/pv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hdlts::core {
+
+namespace {
+
+using Op = util::ReductionTree::Op;
+
+Op op_a(PvKind kind) { return kind == PvKind::kRange ? Op::kMin : Op::kSum; }
+Op op_b(PvKind kind) { return kind == PvKind::kRange ? Op::kMax : Op::kSum; }
+
+}  // namespace
+
+PvAccumulator::PvAccumulator(PvKind kind, std::size_t num_procs)
+    : kind_(kind), a_(op_a(kind), num_procs), b_(op_b(kind), num_procs) {}
+
+void PvAccumulator::assign(std::span<const double> row) {
+  a_.assign(row);
+  if (kind_ == PvKind::kRange) {
+    b_.assign(row);
+    return;
+  }
+  std::vector<double> sq(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) sq[i] = row[i] * row[i];
+  b_.assign(sq);
+}
+
+void PvAccumulator::update(std::size_t i, double eft) {
+  a_.update(i, eft);
+  b_.update(i, kind_ == PvKind::kRange ? eft : eft * eft);
+}
+
+double PvAccumulator::pv() const {
+  const auto n = static_cast<double>(a_.size());
+  switch (kind_) {
+    case PvKind::kSampleStddev: {
+      if (a_.size() < 2) return 0.0;
+      const double sum = a_.root();
+      const double var = (b_.root() - sum * sum / n) / (n - 1.0);
+      return std::sqrt(std::max(0.0, var));
+    }
+    case PvKind::kPopulationStddev: {
+      const double sum = a_.root();
+      const double var = (b_.root() - sum * sum / n) / n;
+      return std::sqrt(std::max(0.0, var));
+    }
+    case PvKind::kRange:
+      return a_.size() == 0 ? 0.0 : b_.root() - a_.root();
+  }
+  throw ContractViolation("unhandled PvKind");
+}
+
+double penalty_value(PvKind kind, std::span<const double> row) {
+  PvAccumulator acc(kind, row.size());
+  acc.assign(row);
+  return acc.pv();
+}
+
+}  // namespace hdlts::core

@@ -1,0 +1,53 @@
+// HDLTS penalty-value (PV) arithmetic, shared by the incremental scheduler
+// (core/hdlts.cpp) and the brute-force reference (core/reference.cpp).
+//
+// The PV condenses a task's EFT row into one number (paper Eq. 8). To make
+// the incremental path provably bit-identical to a full recompute, both paths
+// go through PvAccumulator: the row moments (sum, sum of squares) and
+// extrema are kept in fixed-shape pairwise reduction trees, so updating only
+// the columns whose processor changed yields exactly the same PV as
+// rebuilding from the full row. A single-column update costs O(log P)
+// instead of the O(P) full reduction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "hdlts/util/reduction_tree.hpp"
+
+namespace hdlts::core {
+
+/// How the penalty value condenses the EFT vector. The paper uses the sample
+/// standard deviation; the alternatives are ablation variants (bench X3).
+enum class PvKind { kSampleStddev, kPopulationStddev, kRange };
+
+/// Incrementally maintained PV of one EFT row of length P (the alive
+/// processor count). Holds two reduction trees: sum / sum-of-squares for the
+/// stddev kinds, min / max for the range kind.
+class PvAccumulator {
+ public:
+  PvAccumulator(PvKind kind, std::size_t num_procs);
+
+  std::size_t size() const { return a_.size(); }
+
+  /// Rebuilds from a full row (row.size() must equal size()). O(P).
+  void assign(std::span<const double> row);
+
+  /// Replaces column i with eft. O(log P).
+  void update(std::size_t i, double eft);
+
+  /// The penalty value of the current row. O(1).
+  double pv() const;
+
+ private:
+  PvKind kind_;
+  util::ReductionTree a_;  // sum of EFT   | min EFT
+  util::ReductionTree b_;  // sum of EFT^2 | max EFT
+};
+
+/// The canonical PV of a full row: a fresh PvAccumulator reduction. This is
+/// the arithmetic contract every HDLTS path (incremental, frozen-priority,
+/// reference) computes PVs with.
+double penalty_value(PvKind kind, std::span<const double> row);
+
+}  // namespace hdlts::core

@@ -3,23 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
-#include "hdlts/util/stats.hpp"
-
 namespace hdlts::core {
 
 namespace {
 
-double penalty_value(PvKind kind, std::span<const double> eft) {
-  switch (kind) {
-    case PvKind::kSampleStddev:
-      return util::stddev_sample(eft);
-    case PvKind::kPopulationStddev:
-      return util::stddev_population(eft);
-    case PvKind::kRange:
-      return util::range(eft);
-  }
-  throw ContractViolation("unhandled PvKind");
-}
+// PV arithmetic comes from core/pv.hpp (shared with the incremental and
+// reference schedulers, so every HDLTS mode ranks by identical values).
 
 struct ItqEntry {
   graph::TaskId task = graph::kInvalidTask;  // combined id space

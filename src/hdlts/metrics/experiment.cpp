@@ -18,6 +18,9 @@ struct CellResult {
 };
 
 /// Shared rep runner: fills `cells` (rep-major) or records a failure.
+/// Scheduler construction is hoisted out of the repetition loop: schedulers
+/// are stateless between schedule() calls, so each worker chunk instantiates
+/// its set once via Registry::make instead of once per repetition.
 void run_repetitions(const WorkloadFactory& factory,
                      const std::vector<std::string>& scheduler_names,
                      const sched::Registry& registry,
@@ -25,15 +28,15 @@ void run_repetitions(const WorkloadFactory& factory,
                      std::vector<CellResult>& cells,
                      std::vector<std::string>& failures) {
   const std::size_t ns = scheduler_names.size();
-  auto run_rep = [&](std::size_t rep) {
+  auto run_rep = [&](std::size_t rep,
+                     const std::vector<sched::SchedulerPtr>& schedulers) {
     try {
       const std::uint64_t seed =
           util::derive_seed(options.base_seed, 0x9d1cULL, rep);
       const sim::Workload workload = factory(seed);
       const sim::Problem problem(workload);
       for (std::size_t si = 0; si < ns; ++si) {
-        const auto scheduler = registry.make(scheduler_names[si]);
-        const sim::Schedule schedule = scheduler->schedule(problem);
+        const sim::Schedule schedule = schedulers[si]->schedule(problem);
         if (options.check_schedules) {
           const auto violations = schedule.validate(problem);
           if (!violations.empty()) {
@@ -51,10 +54,25 @@ void run_repetitions(const WorkloadFactory& factory,
       failures[rep] = e.what();
     }
   };
+  auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    std::vector<sched::SchedulerPtr> schedulers;
+    schedulers.reserve(ns);
+    try {
+      for (const std::string& name : scheduler_names) {
+        schedulers.push_back(registry.make(name));
+      }
+    } catch (const std::exception& e) {
+      // Pool tasks must not throw; surface the construction failure the same
+      // way a failed repetition is surfaced.
+      for (std::size_t rep = begin; rep < end; ++rep) failures[rep] = e.what();
+      return;
+    }
+    for (std::size_t rep = begin; rep < end; ++rep) run_rep(rep, schedulers);
+  };
   if (options.pool != nullptr) {
-    util::parallel_for(*options.pool, options.repetitions, run_rep);
+    util::parallel_for_chunked(*options.pool, options.repetitions, run_chunk);
   } else {
-    for (std::size_t rep = 0; rep < options.repetitions; ++rep) run_rep(rep);
+    run_chunk(0, options.repetitions);
   }
   for (const std::string& f : failures) {
     if (!f.empty()) throw Error("experiment repetition failed: " + f);

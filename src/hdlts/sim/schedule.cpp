@@ -10,7 +10,8 @@ constexpr double kEps = 1e-7;
 }
 
 Schedule::Schedule(std::size_t num_tasks, std::size_t num_procs)
-    : primary_(num_tasks), dup_(num_tasks), timeline_(num_procs) {
+    : primary_(num_tasks), dup_(num_tasks), timeline_(num_procs),
+      avail_(num_procs, 0.0) {
   if (num_procs == 0) throw InvalidArgument("schedule needs >= 1 processor");
 }
 
@@ -72,6 +73,10 @@ void Schedule::insert_into_timeline(const Placement& pl) {
     }
   }
   line.insert(pos, pl);
+  // All validation passed: fold the record into the incremental caches.
+  avail_[pl.proc] = std::max(avail_[pl.proc], pl.finish);
+  makespan_ = std::max(makespan_, pl.finish);
+  change_log_.push_back(pl.proc);
 }
 
 bool Schedule::is_placed(graph::TaskId task) const {
@@ -121,21 +126,33 @@ std::span<const Placement> Schedule::timeline(platform::ProcId proc) const {
 
 double Schedule::proc_available(platform::ProcId proc) const {
   // Zero-length records may sit anywhere in the timeline, so the last entry
-  // by start is not necessarily the latest finish.
-  double avail = 0.0;
-  for (const Placement& pl : timeline(proc)) {
-    avail = std::max(avail, pl.finish);
+  // by start is not necessarily the latest finish; avail_ tracks the true
+  // max finish incrementally.
+  if (proc >= num_procs()) {
+    throw InvalidArgument("unknown processor id " + std::to_string(proc));
   }
-  return avail;
+  return avail_[proc];
+}
+
+std::span<const platform::ProcId> Schedule::procs_changed_since(
+    std::uint64_t since) const {
+  if (since > change_log_.size()) {
+    throw InvalidArgument("state version " + std::to_string(since) +
+                          " is from the future");
+  }
+  return {change_log_.data() + since, change_log_.size() - since};
 }
 
 double Schedule::earliest_start(platform::ProcId proc, double ready,
                                 double duration, bool insertion) const {
   const auto line = timeline(proc);
-  if (!insertion) return std::max(ready, proc_available(proc));
+  if (!insertion) return std::max(ready, avail_[proc]);
   // A zero-duration block (pseudo task) occupies no time and conflicts with
   // nothing, so it can run the moment its data is ready.
   if (duration <= kEps) return ready;
+  // Everything on the timeline finishes by avail_; a block whose data is
+  // ready no earlier than that can start at `ready` without scanning gaps.
+  if (ready >= avail_[proc]) return ready;
   // Scan idle gaps in chronological order; the first gap that can hold
   // [start, start + duration) with start >= ready wins (HEFT insertion).
   // Zero-duration records occupy no time and never close a gap.
@@ -146,14 +163,6 @@ double Schedule::earliest_start(platform::ProcId proc, double ready,
     cursor = std::max(cursor, pl.finish);
   }
   return cursor;
-}
-
-double Schedule::makespan() const {
-  double span = 0.0;
-  for (const auto& line : timeline_) {
-    if (!line.empty()) span = std::max(span, line.back().finish);
-  }
-  return span;
 }
 
 std::vector<std::string> Schedule::validate(const Problem& problem) const {

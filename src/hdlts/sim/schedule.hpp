@@ -2,8 +2,15 @@
 // triple, plus optional duplicate placements (entry-task duplication,
 // paper Algorithm 1). Maintains per-processor timelines and answers the
 // placement queries list schedulers need (end-of-queue and insertion-based).
+//
+// Incremental state: per-processor availability and the global makespan are
+// maintained on every place()/place_duplicate(), so proc_available() and
+// makespan() are O(1); a change log (state_version() / procs_changed_since())
+// lets dynamic schedulers recompute only the EFT columns whose processor
+// actually changed since they last looked.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -59,8 +66,20 @@ class Schedule {
   std::span<const Placement> timeline(platform::ProcId proc) const;
 
   /// Time the processor becomes free after its last placement (Definition 3);
-  /// 0 for an idle processor.
+  /// 0 for an idle processor. O(1): the max finish per processor is
+  /// maintained incrementally on every placement.
   double proc_available(platform::ProcId proc) const;
+
+  /// Monotone counter: number of mutations (place/place_duplicate) so far.
+  /// Reading it before a batch of placements and passing the saved value to
+  /// procs_changed_since() yields exactly the processors touched in between.
+  std::uint64_t state_version() const { return change_log_.size(); }
+
+  /// Processors touched by mutations with version in (since, current], one
+  /// entry per mutation in order (a processor may repeat). O(1), backed by
+  /// the append-only change log.
+  std::span<const platform::ProcId> procs_changed_since(
+      std::uint64_t since) const;
 
   /// Earliest start >= ready for a block of `duration`. With insertion, idle
   /// gaps between existing placements are considered (HEFT-style insertion
@@ -73,7 +92,10 @@ class Schedule {
 
   /// Overall completion time: max finish over all placements (equals
   /// AFT(v_exit) for a fully placed single-exit workflow, Definition 9).
-  double makespan() const;
+  /// O(1): maintained incrementally; in particular a zero-duration pseudo
+  /// task sorting last on a timeline while sitting inside an earlier block's
+  /// interval cannot under-report the makespan.
+  double makespan() const { return makespan_; }
 
   /// Full validation against the problem: every task placed, finish = start +
   /// W(v,p), no timeline overlap, every placement's start respects its data
@@ -88,6 +110,10 @@ class Schedule {
   std::vector<std::vector<Placement>> dup_;      // by task id
   std::vector<std::vector<Placement>> timeline_; // by proc id, sorted by start
   std::size_t num_placed_ = 0;
+  // Incremental caches, updated by insert_into_timeline after validation.
+  std::vector<double> avail_;                    // by proc id: max finish
+  double makespan_ = 0.0;                        // max finish over everything
+  std::vector<platform::ProcId> change_log_;     // proc of mutation i
 };
 
 }  // namespace hdlts::sim

@@ -1,0 +1,62 @@
+#include "hdlts/util/reduction_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hdlts::util {
+
+ReductionTree::ReductionTree(Op op, std::size_t n) : op_(op), n_(n) {
+  if (n == 0) throw InvalidArgument("reduction tree needs >= 1 leaf");
+  while (base_ < n_) base_ *= 2;
+  node_.assign(2 * base_, identity());
+}
+
+double ReductionTree::identity() const {
+  switch (op_) {
+    case Op::kSum:
+      return 0.0;
+    case Op::kMin:
+      return std::numeric_limits<double>::infinity();
+    case Op::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  throw ContractViolation("unhandled ReductionTree::Op");
+}
+
+double ReductionTree::combine(double a, double b) const {
+  switch (op_) {
+    case Op::kSum:
+      return a + b;
+    case Op::kMin:
+      return std::min(a, b);
+    case Op::kMax:
+      return std::max(a, b);
+  }
+  throw ContractViolation("unhandled ReductionTree::Op");
+}
+
+void ReductionTree::assign(std::span<const double> xs) {
+  if (xs.size() != n_) {
+    throw InvalidArgument("reduction tree assign: size mismatch");
+  }
+  std::copy(xs.begin(), xs.end(), node_.begin() + static_cast<long>(base_));
+  for (std::size_t i = base_ - 1; i >= 1; --i) {
+    node_[i] = combine(node_[2 * i], node_[2 * i + 1]);
+  }
+}
+
+void ReductionTree::update(std::size_t i, double x) {
+  if (i >= n_) throw InvalidArgument("reduction tree update: leaf out of range");
+  std::size_t node = base_ + i;
+  node_[node] = x;
+  for (node /= 2; node >= 1; node /= 2) {
+    node_[node] = combine(node_[2 * node], node_[2 * node + 1]);
+  }
+}
+
+double ReductionTree::leaf(std::size_t i) const {
+  if (i >= n_) throw InvalidArgument("reduction tree leaf: out of range");
+  return node_[base_ + i];
+}
+
+}  // namespace hdlts::util

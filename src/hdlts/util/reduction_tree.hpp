@@ -1,0 +1,58 @@
+// A fixed-shape pairwise reduction over n doubles supporting O(log n)
+// single-leaf updates with a bitwise-reproducibility guarantee: because every
+// internal node is a deterministic function of its two children, updating a
+// leaf and recomputing its ancestors yields *exactly* the same root as
+// rebuilding the whole tree from the current leaves. That property is what
+// lets the incremental HDLTS penalty-value maintenance be differentially
+// checked, bit for bit, against a brute-force recompute (see core/pv.hpp).
+//
+// Floating-point caveat this class exists to solve: maintaining a running sum
+// with `sum += new - old` drifts away from a fresh left-to-right sum, so an
+// incremental scheduler using it could diverge from its reference on exact
+// PV ties. The fixed reduction tree has no such drift by construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::util {
+
+class ReductionTree {
+ public:
+  enum class Op { kSum, kMin, kMax };
+
+  /// A tree over `n` leaves, all initialized to the op's identity (0 for
+  /// sum, +inf for min, -inf for max).
+  ReductionTree(Op op, std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Sets every leaf; leaves beyond xs.size() are not allowed (xs must have
+  /// exactly size() elements). O(n).
+  void assign(std::span<const double> xs);
+
+  /// Sets leaf i to x and recomputes its ancestors. O(log n).
+  void update(std::size_t i, double x);
+
+  /// Current value of leaf i. O(1).
+  double leaf(std::size_t i) const;
+
+  /// The reduction over all leaves. O(1).
+  double root() const { return node_[1]; }
+
+ private:
+  double combine(double a, double b) const;
+  double identity() const;
+
+  Op op_;
+  std::size_t n_ = 0;     // logical leaf count
+  std::size_t base_ = 1;  // smallest power of two >= n_
+  // 1-indexed complete binary tree: node_[1] is the root, leaves start at
+  // node_[base_]; unused leaves hold the identity.
+  std::vector<double> node_;
+};
+
+}  // namespace hdlts::util

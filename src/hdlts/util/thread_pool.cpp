@@ -59,14 +59,21 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(pool, count,
+                       [&body](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) body(i);
+                       });
+}
+
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
   const std::size_t chunks = std::min(count, pool.size() * 4);
   const std::size_t chunk = (count + chunks - 1) / chunks;
   for (std::size_t begin = 0; begin < count; begin += chunk) {
     const std::size_t end = std::min(begin + chunk, count);
-    pool.submit([begin, end, &body] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
+    pool.submit([begin, end, &body] { body(begin, end); });
   }
   pool.wait_idle();
 }

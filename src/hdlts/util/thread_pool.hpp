@@ -49,4 +49,11 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
+/// Chunked variant: body(begin, end) is invoked once per contiguous chunk
+/// covering [0, count). Callers can hoist per-chunk setup (e.g. constructing
+/// scheduler instances once per worker chunk instead of once per index).
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace hdlts::util

@@ -96,6 +96,24 @@ TEST(Experiment, RejectsEmptyInputs) {
       InvalidArgument);
 }
 
+TEST(Experiment, UnknownSchedulerFailsOnPoolAndSerialPaths) {
+  // Scheduler construction is hoisted out of the repetition loop (one
+  // Registry::make set per worker chunk); a bad name must still surface as
+  // the same Error on both execution paths.
+  const sched::Registry reg = core::default_registry();
+  CompareOptions serial;
+  serial.repetitions = 3;
+  EXPECT_THROW(
+      compare_schedulers(small_random_factory(), {"no-such"}, reg, serial),
+      Error);
+  util::ThreadPool pool(2);
+  CompareOptions parallel = serial;
+  parallel.pool = &pool;
+  EXPECT_THROW(
+      compare_schedulers(small_random_factory(), {"no-such"}, reg, parallel),
+      Error);
+}
+
 TEST(Experiment, PropagatesFactoryFailure) {
   const sched::Registry reg = core::default_registry();
   const WorkloadFactory broken = [](std::uint64_t) -> sim::Workload {

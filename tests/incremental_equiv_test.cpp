@@ -1,0 +1,196 @@
+// Differential property tests for the incremental scheduling state: the
+// optimized HDLTS (cached EFT rows + reduction-tree PV moments + O(1)
+// availability) and HEFT must produce *bit-identical* schedules to the
+// brute-force reference implementations (core/reference.hpp) that rebuild
+// every EFT row and rescan every timeline each round — across random DAGs,
+// every PvKind, insertion on/off, every duplication rule, static/dynamic
+// priorities, and dead-processor subsets. The O(1) Schedule caches are also
+// re-verified against full timeline scans after every run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/core/reference.hpp"
+#include "hdlts/sched/heft.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts {
+namespace {
+
+sim::Workload random_problem(std::uint64_t seed) {
+  util::Rng rng(util::derive_seed(seed, 0x1e9cULL));
+  workload::RandomDagParams params;
+  params.num_tasks = 20 + seed % 5 * 12;               // 20..68 tasks
+  params.alpha = (seed % 3 == 0) ? 0.5 : ((seed % 3 == 1) ? 1.0 : 2.0);
+  params.density = 2 + seed % 3;
+  params.costs.num_procs = 2 + seed % 7;               // 2..8 processors
+  params.costs.ccr = (seed % 4 == 0) ? 0.5 : ((seed % 4 == 1) ? 2.0 : 10.0);
+  sim::Workload w = workload::random_workload(params, seed);
+  // Dead-processor subset: kill each processor with probability ~1/4, always
+  // keeping at least one alive.
+  for (platform::ProcId p = 0; p < w.platform.num_procs(); ++p) {
+    if (w.platform.num_alive() > 1 && rng() % 4 == 0) {
+      w.platform.set_alive(p, false);
+    }
+  }
+  return w;
+}
+
+void expect_identical(const sim::Schedule& got, const sim::Schedule& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.num_tasks(), want.num_tasks()) << what;
+  for (graph::TaskId v = 0; v < got.num_tasks(); ++v) {
+    SCOPED_TRACE(what + ", task " + std::to_string(v));
+    const sim::Placement& a = got.placement(v);
+    const sim::Placement& b = want.placement(v);
+    EXPECT_EQ(a.proc, b.proc);
+    // Bitwise equality, not near: the incremental path must not drift.
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.finish, b.finish);
+    const auto da = got.duplicates(v);
+    const auto db = want.duplicates(v);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].proc, db[i].proc);
+      EXPECT_EQ(da[i].start, db[i].start);
+      EXPECT_EQ(da[i].finish, db[i].finish);
+    }
+  }
+}
+
+/// The O(1) caches must agree with full scans of the final timelines.
+void expect_caches_consistent(const sim::Schedule& schedule) {
+  double span = 0.0;
+  for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    double avail = 0.0;
+    for (const sim::Placement& pl : schedule.timeline(p)) {
+      avail = std::max(avail, pl.finish);
+    }
+    EXPECT_EQ(schedule.proc_available(p), avail) << "proc " << p;
+    span = std::max(span, avail);
+  }
+  EXPECT_EQ(schedule.makespan(), span);
+}
+
+std::vector<core::HdltsOptions> hdlts_option_grid() {
+  std::vector<core::HdltsOptions> grid;
+  for (const core::PvKind pv :
+       {core::PvKind::kSampleStddev, core::PvKind::kPopulationStddev,
+        core::PvKind::kRange}) {
+    for (const bool insertion : {false, true}) {
+      for (const core::DuplicationRule dup :
+           {core::DuplicationRule::kOff,
+            core::DuplicationRule::kAnyChildBenefits,
+            core::DuplicationRule::kAllChildrenBenefit}) {
+        for (const bool dynamic : {true, false}) {
+          core::HdltsOptions o;
+          o.pv = pv;
+          o.insertion = insertion;
+          o.duplication = dup;
+          o.dynamic_priorities = dynamic;
+          // Exercise the generalized-duplication extension on part of the
+          // grid (it changes which tasks qualify, not the inner loop).
+          o.duplicate_all_sources = insertion && dynamic;
+          grid.push_back(o);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+TEST(IncrementalEquivalence, PvAccumulatorUpdateMatchesRebuildBitwise) {
+  // The fixed-shape reduction tree is what makes incremental PV maintenance
+  // provably drift-free: after any sequence of single-column updates, pv()
+  // must equal — bitwise — a fresh rebuild from the current row.
+  util::Rng rng(123);
+  auto uniform = [&rng] {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53 * 1000.0;
+  };
+  for (const core::PvKind kind :
+       {core::PvKind::kSampleStddev, core::PvKind::kPopulationStddev,
+        core::PvKind::kRange}) {
+    for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 32u, 33u}) {
+      std::vector<double> row(n);
+      for (double& x : row) x = uniform();
+      core::PvAccumulator incremental(kind, n);
+      incremental.assign(row);
+      for (int step = 0; step < 64; ++step) {
+        const std::size_t i = rng() % n;
+        row[i] = uniform();
+        incremental.update(i, row[i]);
+        core::PvAccumulator rebuilt(kind, n);
+        rebuilt.assign(row);
+        ASSERT_EQ(incremental.pv(), rebuilt.pv())
+            << "kind " << static_cast<int>(kind) << ", n " << n << ", step "
+            << step;
+        ASSERT_EQ(incremental.pv(), core::penalty_value(kind, row));
+      }
+    }
+  }
+}
+
+TEST(IncrementalEquivalence, ReductionTreeSumTracksLeaves) {
+  util::ReductionTree tree(util::ReductionTree::Op::kSum, 5);
+  EXPECT_EQ(tree.root(), 0.0);
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  tree.assign(xs);
+  EXPECT_EQ(tree.root(), 15.0);
+  EXPECT_EQ(tree.leaf(3), 4.0);
+  tree.update(3, 10.0);
+  EXPECT_EQ(tree.root(), 21.0);
+  EXPECT_THROW(tree.update(5, 0.0), InvalidArgument);
+  EXPECT_THROW(tree.assign(std::vector<double>(4, 0.0)), InvalidArgument);
+  EXPECT_THROW(util::ReductionTree(util::ReductionTree::Op::kMin, 0),
+               InvalidArgument);
+}
+
+TEST(IncrementalEquivalence, HdltsMatchesReferenceAcrossOptionGrid) {
+  const auto grid = hdlts_option_grid();  // 36 option combinations
+  std::size_t problems = 0;
+  for (std::size_t ci = 0; ci < grid.size(); ++ci) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const sim::Workload w = random_problem(seed * 101 + ci);
+      const sim::Problem problem(w);
+      const core::Hdlts optimized(grid[ci]);
+      const core::ReferenceHdlts reference(grid[ci]);
+      const sim::Schedule got = optimized.schedule(problem);
+      const sim::Schedule want = reference.schedule(problem);
+      expect_identical(got, want,
+                       "combo " + std::to_string(ci) + ", seed " +
+                           std::to_string(seed));
+      expect_caches_consistent(got);
+      ++problems;
+    }
+  }
+  // The acceptance bar: >= 200 random problems, every option combination.
+  EXPECT_GE(problems, 200u);
+}
+
+TEST(IncrementalEquivalence, HeftMatchesReferenceWithAndWithoutInsertion) {
+  std::size_t problems = 0;
+  for (const bool insertion : {true, false}) {
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+      const sim::Workload w = random_problem(seed * 7 + 3);
+      const sim::Problem problem(w);
+      const sched::Heft optimized(insertion);
+      const core::ReferenceHeft reference(insertion);
+      const sim::Schedule got = optimized.schedule(problem);
+      const sim::Schedule want = reference.schedule(problem);
+      expect_identical(got, want,
+                       std::string("insertion=") +
+                           (insertion ? "on" : "off") + ", seed " +
+                           std::to_string(seed));
+      expect_caches_consistent(got);
+      ++problems;
+    }
+  }
+  EXPECT_GE(problems, 200u);
+}
+
+}  // namespace
+}  // namespace hdlts

@@ -68,6 +68,47 @@ TEST(Schedule, ProcAvailableTracksLastFinish) {
   EXPECT_DOUBLE_EQ(s.proc_available(1), 0.0);
 }
 
+TEST(Schedule, MakespanNotUnderReportedByZeroDurationRecordSortingLast) {
+  // Regression: a zero-duration pseudo-task record can sort last on a
+  // timeline (by start) while sitting inside an earlier positive block's
+  // interval. Taking the last record's finish under-reported the makespan;
+  // the incrementally tracked max finish must not.
+  Schedule s(3, 1);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 5.0, 5.0);  // zero-duration, sorts after [0, 10) by start
+  EXPECT_EQ(s.timeline(0).back().finish, 5.0);  // the hazardous ordering
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+  EXPECT_DOUBLE_EQ(s.proc_available(0), 10.0);
+  // A later zero-duration record past the end must still extend nothing.
+  s.place(2, 0, 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+}
+
+TEST(Schedule, StateVersionAndChangeLogTrackMutations) {
+  Schedule s(4, 3);
+  EXPECT_EQ(s.state_version(), 0u);
+  EXPECT_TRUE(s.procs_changed_since(0).empty());
+  s.place(0, 2, 0.0, 4.0);
+  const std::uint64_t mark = s.state_version();
+  EXPECT_EQ(mark, 1u);
+  s.place(1, 0, 0.0, 3.0);
+  s.place_duplicate(0, 1, 0.0, 5.0);
+  const auto changed = s.procs_changed_since(mark);
+  ASSERT_EQ(changed.size(), 2u);
+  EXPECT_EQ(changed[0], 0u);
+  EXPECT_EQ(changed[1], 1u);
+  // The full log from the beginning, in mutation order.
+  const auto all = s.procs_changed_since(0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 2u);
+  // A future version is a caller bug.
+  EXPECT_THROW(s.procs_changed_since(99), InvalidArgument);
+  // Rejected placements must not dirty the log or the caches.
+  EXPECT_THROW(s.place(2, 0, 1.0, 2.0), InvalidArgument);
+  EXPECT_EQ(s.state_version(), 3u);
+  EXPECT_DOUBLE_EQ(s.proc_available(0), 3.0);
+}
+
 TEST(Schedule, EarliestStartWithoutInsertionIgnoresGaps) {
   Schedule s(3, 1);
   s.place(0, 0, 0.0, 2.0);
