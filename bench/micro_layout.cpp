@@ -1,0 +1,150 @@
+// Compiled-layout benchmark: what did the CSR/flat-W CompiledProblem and the
+// scratch-arena port buy over the legacy TaskGraph/CostTable reads? Every
+// ported scheduler runs the same problem twice — compiled path (default) and
+// legacy path (set_use_compiled(false)) — in the steady-state regime (two
+// warm-up schedule_into() calls, recycled Schedule, best-of-n), and the
+// operator-new interposer (tests/support/alloc_hook.cpp, linked into this
+// binary only) counts the heap allocations of one steady-state call on each
+// path. The compiled path must report ZERO. Writes BENCH_layout.json so
+// scripts/bench.sh has a layout trajectory to diff against.
+//
+// Environment knobs:
+//   HDLTS_LAYOUT_TASKS  task count           (default 2000)
+//   HDLTS_LAYOUT_PROCS  processor count      (default 16)
+//   HDLTS_LAYOUT_REPS   timed reps per path  (default 5)
+//   HDLTS_LAYOUT_JSON   output path          (default BENCH_layout.json)
+//   HDLTS_SEED          workload seed        (default 42)
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/alloc_hook.hpp"
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/util/env.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace {
+
+using namespace hdlts;
+
+/// Everything ported to the template-over-view dual path.
+std::vector<std::string> ported_schedulers() {
+  return {"hdlts", "hdlts-static", "hdlts-insertion", "heft", "cpop",
+          "peft",  "pets",         "sdbats",          "dls",  "lookahead"};
+}
+
+struct PathResult {
+  double ms = 0.0;
+  double makespan = 0.0;
+  std::uint64_t steady_allocs = 0;
+};
+
+/// Steady-state timing + heap traffic of one schedule_into() call.
+PathResult measure(const sched::Scheduler& scheduler,
+                   const sim::Problem& problem, std::size_t reps) {
+  PathResult r;
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  scheduler.schedule_into(problem, out);
+  scheduler.schedule_into(problem, out);
+  for (std::size_t i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    scheduler.schedule_into(problem, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < r.ms) r.ms = ms;
+  }
+  const auto before = tests::alloc_counters();
+  scheduler.schedule_into(problem, out);
+  const auto after = tests::alloc_counters();
+  r.steady_allocs = after.allocations - before.allocations;
+  r.makespan = out.makespan();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto seed = static_cast<std::uint64_t>(util::env_int("HDLTS_SEED", 42));
+  const auto tasks =
+      static_cast<std::size_t>(util::env_int("HDLTS_LAYOUT_TASKS", 2000));
+  const auto procs =
+      static_cast<std::size_t>(util::env_int("HDLTS_LAYOUT_PROCS", 16));
+  const auto reps =
+      static_cast<std::size_t>(util::env_int("HDLTS_LAYOUT_REPS", 5));
+  const std::string json_path =
+      util::env_string("HDLTS_LAYOUT_JSON", "BENCH_layout.json");
+
+  workload::RandomDagParams params;
+  params.num_tasks = tasks;
+  params.costs.num_procs = procs;
+  const sim::Workload workload = workload::random_workload(params, seed);
+  const sim::Problem problem(workload);
+
+  const sched::Registry registry = core::default_registry();
+  util::Table table({"scheduler", "compiled ms", "legacy ms", "speedup",
+                     "allocs/call compiled", "allocs/call legacy"});
+  std::ostringstream rows_json;
+  const auto names = ported_schedulers();
+  double hdlts_speedup = 0.0;
+  bool failed = false;
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto compiled_sched = registry.make(name);
+    const auto legacy_sched = registry.make(name);
+    legacy_sched->set_use_compiled(false);
+    const PathResult compiled = measure(*compiled_sched, problem, reps);
+    const PathResult legacy = measure(*legacy_sched, problem, reps);
+
+    if (compiled.makespan != legacy.makespan) {
+      std::cerr << "FATAL: " << name << " compiled (" << compiled.makespan
+                << ") and legacy (" << legacy.makespan << ") disagree\n";
+      failed = true;
+    }
+    if (compiled.steady_allocs != 0) {
+      std::cerr << "FATAL: " << name << " compiled path made "
+                << compiled.steady_allocs
+                << " heap allocations in steady state (contract: 0)\n";
+      failed = true;
+    }
+
+    const double speedup = legacy.ms / compiled.ms;
+    if (name == "hdlts") hdlts_speedup = speedup;
+    table.add_row({name, util::fmt(compiled.ms, 3), util::fmt(legacy.ms, 3),
+                   util::fmt(speedup, 2),
+                   std::to_string(compiled.steady_allocs),
+                   std::to_string(legacy.steady_allocs)});
+    rows_json << "    {\"scheduler\": \"" << name << "\", \"tasks\": " << tasks
+              << ", \"procs\": " << procs
+              << ", \"compiled_ms\": " << compiled.ms
+              << ", \"legacy_ms\": " << legacy.ms
+              << ", \"layout_speedup\": " << speedup
+              << ", \"compiled_steady_allocs\": " << compiled.steady_allocs
+              << ", \"legacy_steady_allocs\": " << legacy.steady_allocs << "}"
+              << (i + 1 < names.size() ? ",\n" : "\n");
+  }
+
+  std::cout << "# micro_layout — compiled CSR view vs legacy reads ("
+            << tasks << " tasks, " << procs << " procs, steady state)\n";
+  table.write_markdown(std::cout);
+  std::cout << "\nhdlts layout speedup: " << util::fmt(hdlts_speedup, 2)
+            << "x\n";
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n  \"bench\": \"micro_layout\",\n  \"seed\": " << seed
+       << ",\n  \"rows\": [\n"
+       << rows_json.str() << "  ],\n  \"hdlts_layout_speedup\": "
+       << hdlts_speedup << "\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return failed ? 1 : 0;
+}

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Performance-trajectory harness: builds the benchmarks in a Release
-# (-O2 -DNDEBUG) tree, runs bench/micro_scale, and diffs the fresh
-# BENCH_sched_scale.json against the committed baseline
-# (bench/BENCH_sched_scale.json). Exits non-zero when the schedule of
-# measured cells changed shape, when the headline hdlts incremental speedup
-# fell below the 5x acceptance bar, or when any scheduler cell regressed by
-# more than the allowed factor (wall-clock comparisons across machines are
-# noisy, so the factor is deliberately loose; override with
+# (-O2 -DNDEBUG) tree, runs bench/micro_scale, bench/micro_layout and
+# bench/micro_schedulers, and diffs the fresh BENCH_sched_scale.json /
+# BENCH_layout.json against the committed baselines in bench/. Exits
+# non-zero when the schedule of measured cells changed shape, when the
+# headline hdlts incremental speedup fell below the 5x acceptance bar, when
+# the compiled path made any steady-state heap allocation or lost its edge
+# over the legacy layout, or when any scheduler cell regressed by more than
+# the allowed factor (wall-clock comparisons across machines are noisy, so
+# the factor is deliberately loose; override with
 # HDLTS_BENCH_REGRESSION_FACTOR).
 #
 # Usage: scripts/bench.sh [--update]
-#   --update  rewrite the committed baseline with the fresh measurements
+#   --update  rewrite the committed baselines with the fresh measurements
 #
 # Tier-1 (`ctest`) is untouched: this script uses its own build directory.
 set -euo pipefail
@@ -19,25 +21,39 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-bench
 BASELINE=bench/BENCH_sched_scale.json
 FRESH="${BUILD_DIR}/BENCH_sched_scale.json"
+LAYOUT_BASELINE=bench/BENCH_layout.json
+LAYOUT_FRESH="${BUILD_DIR}/BENCH_layout.json"
 FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-3.0}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
-cmake --build "${BUILD_DIR}" -j --target micro_scale >/dev/null
+cmake --build "${BUILD_DIR}" -j \
+  --target micro_scale micro_layout micro_schedulers >/dev/null
 
 echo "== running bench/micro_scale (this builds the perf trajectory) =="
 (cd "${BUILD_DIR}" && HDLTS_SCALE_JSON=BENCH_sched_scale.json \
   ./bench/micro_scale)
 
+echo
+echo "== running bench/micro_layout (compiled vs legacy + allocation counts) =="
+(cd "${BUILD_DIR}" && HDLTS_LAYOUT_JSON=BENCH_layout.json \
+  ./bench/micro_layout)
+
+echo
+echo "== running bench/micro_schedulers (google-benchmark sweep) =="
+(cd "${BUILD_DIR}" && ./bench/micro_schedulers \
+  --benchmark_min_time="${HDLTS_BENCH_MIN_TIME:-0.05}")
+
 if [[ "${1:-}" == "--update" ]]; then
   cp "${FRESH}" "${BASELINE}"
-  echo "baseline updated: ${BASELINE}"
+  cp "${LAYOUT_FRESH}" "${LAYOUT_BASELINE}"
+  echo "baselines updated: ${BASELINE}, ${LAYOUT_BASELINE}"
   exit 0
 fi
 
-if [[ ! -f "${BASELINE}" ]]; then
-  echo "no committed baseline at ${BASELINE}; run scripts/bench.sh --update"
+if [[ ! -f "${BASELINE}" || ! -f "${LAYOUT_BASELINE}" ]]; then
+  echo "no committed baselines in bench/; run scripts/bench.sh --update"
   exit 1
 fi
 
@@ -90,6 +106,50 @@ for key in sorted(set(base_cells) & set(fresh_cells)):
 if worst[0] is not None:
     print(f"worst cell ratio vs baseline: {worst[0]} at {worst[1]:.2f}x "
           f"(allowed {factor:.1f}x)")
+
+sys.exit(1 if failed else 0)
+EOF
+
+python3 - "$LAYOUT_BASELINE" "$LAYOUT_FRESH" "$FACTOR" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def cells(doc):
+    return {r["scheduler"]: r for r in doc["rows"]}
+
+base_cells, fresh_cells = cells(baseline), cells(fresh)
+failed = False
+
+missing = sorted(set(base_cells) - set(fresh_cells))
+if missing:
+    print(f"FAIL: layout cells missing vs baseline: {missing}")
+    failed = True
+
+for name, row in sorted(fresh_cells.items()):
+    if row["compiled_steady_allocs"] != 0:
+        print(f"FAIL: {name} compiled path allocates in steady state "
+              f"({row['compiled_steady_allocs']} allocs/call; contract is 0)")
+        failed = True
+    if name in base_cells:
+        ratio = row["compiled_ms"] / base_cells[name]["compiled_ms"]
+        if ratio > factor:
+            print(f"FAIL: {name} compiled_ms regressed {ratio:.2f}x vs "
+                  f"baseline ({base_cells[name]['compiled_ms']:.2f} ms -> "
+                  f"{row['compiled_ms']:.2f} ms)")
+            failed = True
+
+speedup = fresh.get("hdlts_layout_speedup", 0.0)
+if speedup < 1.05:
+    print(f"FAIL: hdlts layout speedup {speedup:.2f}x — compiled path no "
+          f"longer beats the legacy layout")
+    failed = True
+else:
+    print(f"ok: hdlts layout speedup {speedup:.2f}x (baseline "
+          f"{baseline.get('hdlts_layout_speedup', float('nan')):.2f}x), "
+          f"compiled steady-state allocs all 0")
 
 sys.exit(1 if failed else 0)
 EOF

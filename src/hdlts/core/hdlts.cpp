@@ -8,11 +8,11 @@ namespace hdlts::core {
 
 namespace {
 
-/// A task sitting in the ITQ. Ready times are fixed once a task becomes
-/// independent (all parents are placed — and duplicated, if eligible —
-/// before it enters the queue), so they are cached. The EFT row and its PV
-/// moments are kept current incrementally: after each placement only the
-/// columns of processors whose availability changed are recomputed.
+/// A task sitting in the ITQ (legacy path). Ready times are fixed once a
+/// task becomes independent (all parents are placed — and duplicated, if
+/// eligible — before it enters the queue), so they are cached. The EFT row
+/// and its PV moments are kept current incrementally: after each placement
+/// only the columns of processors whose availability changed are recomputed.
 struct ItqEntry {
   graph::TaskId task = graph::kInvalidTask;
   std::vector<double> ready;  ///< per alive processor, problem.procs() order
@@ -27,15 +27,33 @@ struct ItqEntry {
 }  // namespace
 
 sim::Schedule Hdlts::schedule(const sim::Problem& problem) const {
-  return schedule_traced(problem, nullptr);
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  schedule_into(problem, out);
+  return out;
+}
+
+void Hdlts::schedule_into(const sim::Problem& problem,
+                          sim::Schedule& out) const {
+  out.reset(problem.num_tasks(), problem.num_procs());
+  if (use_compiled()) {
+    run_compiled(problem.compiled(), out);
+  } else {
+    run_legacy(problem, nullptr, out);
+  }
 }
 
 sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
                                      HdltsTrace* trace) const {
+  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
+  run_legacy(problem, trace, schedule);
+  return schedule;
+}
+
+void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
+                       sim::Schedule& schedule) const {
   const auto& g = problem.graph();
   const auto& procs = problem.procs();
   const std::size_t np = procs.size();
-  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
 
   const auto entries = g.entry_tasks();
   const bool unique_entry = entries.size() == 1;
@@ -233,7 +251,224 @@ sim::Schedule Hdlts::schedule_traced(const sim::Problem& problem,
   }
 
   HDLTS_ENSURES(schedule.num_placed() == problem.num_tasks());
-  return schedule;
+}
+
+// Flat fast path. Same algorithm as run_legacy, with the per-entry
+// vector-of-vectors state replaced by slot-indexed SoA rows carved from the
+// scratch arena, and the PvAccumulator trees replaced by arena-backed node
+// slices driven through util::tree_ops — the same reduction arithmetic, the
+// same leaf values, the same pv_from_roots formula, hence bit-identical
+// schedules (tests/compiled_equiv_test.cpp). After the arena and the
+// recycled Schedule are warm, a call performs zero heap allocations
+// (tests/alloc_test.cpp).
+//
+// Rows live in *slots*, not task ids: a slot is acquired when a task enters
+// the ITQ and recycled (LIFO) when it leaves, so the touched working set is
+// bounded by the peak ITQ width — not by V — and the refresh scan walks hot
+// cache lines instead of striding over V-sized arrays. PVs are additionally
+// mirrored into an ITQ-position-parallel array so the selection scan is a
+// single contiguous sweep.
+void Hdlts::run_compiled(const sim::CompiledProblem& problem,
+                         sim::Schedule& schedule) const {
+  util::ScratchArena& arena = scratch();
+  arena.reset();
+
+  const std::size_t n = problem.num_tasks();
+  const auto procs = problem.procs();
+  const std::size_t np = procs.size();
+  const PvKind kind = options_.pv;
+  const auto op_a = pv_op_a(kind);
+  const auto op_b = pv_op_b(kind);
+  const std::size_t base = util::tree_ops::base_for(np);
+  const std::size_t tree_len = 2 * base;
+
+  const auto entries = problem.entry_tasks();
+  const bool unique_entry = entries.size() == 1;
+
+  // Slot-indexed SoA state (uninitialized until a slot is acquired). Slot
+  // ids are handed out sequentially and recycled LIFO, so although the
+  // arrays are sized for the worst case (every task independent at once),
+  // only the first peak-ITQ-width slots are ever touched.
+  const auto ready = arena.alloc<double>(n * np);
+  const auto eft = arena.alloc<double>(n * np);
+  const auto tree_a = arena.alloc<double>(n * tree_len);
+  const auto tree_b = arena.alloc<double>(n * tree_len);
+  const auto pending = arena.alloc<std::size_t>(n);
+  // The ITQ: position-parallel arrays, compacted by swap-remove. Keeping
+  // the PVs contiguous makes the argmax scan a linear sweep of doubles.
+  const auto itq_task = arena.alloc<graph::TaskId>(n);
+  const auto itq_slot = arena.alloc<std::uint32_t>(n);
+  const auto itq_pv = arena.alloc<double>(n);
+  std::size_t itq_size = 0;
+  const auto free_slots = arena.alloc<std::uint32_t>(n);
+  std::size_t free_size = 0;
+  std::uint32_t next_slot = 0;
+
+  auto eft_of = [&](graph::TaskId v, std::size_t slot, std::size_t pi) {
+    const platform::ProcId p = procs[pi];
+    const double duration = problem.exec_time(v, p);
+    const double est = schedule.earliest_start(p, ready[slot * np + pi],
+                                               duration, options_.insertion);
+    return est + duration;
+  };
+
+  auto push_ready = [&](graph::TaskId v) {
+    const std::uint32_t slot =
+        free_size > 0 ? free_slots[--free_size] : next_slot++;
+    const auto r = ready.subspan(slot * np, np);
+    const auto e = eft.subspan(slot * np, np);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      r[pi] = schedule.ready_time(problem, v, procs[pi]);
+      e[pi] = eft_of(v, slot, pi);
+    }
+    const auto ta = tree_a.subspan(slot * tree_len, tree_len);
+    const auto tb = tree_b.subspan(slot * tree_len, tree_len);
+    util::tree_ops::fill_identity(op_a, ta);
+    util::tree_ops::fill_identity(op_b, tb);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      ta[base + pi] = e[pi];
+      tb[base + pi] = pv_leaf_b(kind, e[pi]);
+    }
+    util::tree_ops::combine_up(op_a, ta, base);
+    util::tree_ops::combine_up(op_b, tb, base);
+    itq_task[itq_size] = v;
+    itq_slot[itq_size] = slot;
+    // In dynamic mode this is refreshed whenever a column changes; in
+    // static mode this initial value is the frozen PV.
+    itq_pv[itq_size] = pv_from_roots(kind, np, ta[1], tb[1]);
+    ++itq_size;
+  };
+
+  const auto dirty = arena.alloc<std::size_t>(np);
+  std::size_t dirty_size = 0;
+  const auto dirty_seen = arena.alloc<unsigned char>(np);
+  std::fill(dirty_seen.begin(), dirty_seen.end(), 0);
+  auto refresh_dirty_columns = [&](std::uint64_t mark) {
+    dirty_size = 0;
+    for (const platform::ProcId p : schedule.procs_changed_since(mark)) {
+      const std::size_t pi = problem.column_of(p);
+      HDLTS_EXPECTS(pi != sim::CompiledProblem::kNoColumn);
+      if (dirty_seen[pi] == 0) {
+        dirty_seen[pi] = 1;
+        dirty[dirty_size++] = pi;
+      }
+    }
+    for (std::size_t di = 0; di < dirty_size; ++di) dirty_seen[dirty[di]] = 0;
+    for (std::size_t i = 0; i < itq_size; ++i) {
+      const graph::TaskId v = itq_task[i];
+      const std::size_t slot = itq_slot[i];
+      const auto e = eft.subspan(slot * np, np);
+      bool changed = false;
+      for (std::size_t di = 0; di < dirty_size; ++di) {
+        const std::size_t pi = dirty[di];
+        const double f = eft_of(v, slot, pi);
+        if (f != e[pi]) {
+          e[pi] = f;
+          // The EFT row feeds processor selection in both modes, but the PV
+          // moments only matter under dynamic priorities (static mode reads
+          // the frozen itq_pv value).
+          if (options_.dynamic_priorities) {
+            util::tree_ops::update(
+                op_a, tree_a.subspan(slot * tree_len, tree_len), base, pi, f);
+            util::tree_ops::update(op_b,
+                                   tree_b.subspan(slot * tree_len, tree_len),
+                                   base, pi, pv_leaf_b(kind, f));
+            changed = true;
+          }
+        }
+      }
+      if (changed) {
+        itq_pv[i] = pv_from_roots(kind, np, tree_a[slot * tree_len + 1],
+                                  tree_b[slot * tree_len + 1]);
+      }
+    }
+  };
+
+  for (graph::TaskId v = 0; v < n; ++v) {
+    pending[v] = problem.in_degree(v);
+    if (pending[v] == 0) push_ready(v);
+  }
+
+  auto qualifies_for_duplication = [&](graph::TaskId v) {
+    if (options_.duplication == DuplicationRule::kOff) return false;
+    if (unique_entry && v == entries[0]) return true;
+    if (!options_.duplicate_all_sources) return false;
+    const auto parents = problem.parents(v);
+    if (parents.empty()) return true;
+    for (const graph::Adjacent& p : parents) {
+      if (!problem.is_free_task(p.task)) return false;
+    }
+    return true;
+  };
+
+  auto duplicate_task = [&](graph::TaskId v) {
+    const auto children = problem.children(v);
+    if (children.empty() || problem.is_free_task(v)) return;
+    const sim::Placement& primary = schedule.placement(v);
+    for (const platform::ProcId k : procs) {
+      if (k == primary.proc) continue;
+      const double dup_dur = problem.exec_time(v, k);
+      const double dup_ready = schedule.ready_time(problem, v, k);
+      const double dup_start =
+          schedule.earliest_start(k, dup_ready, dup_dur, /*insertion=*/true);
+      const double dup_finish = dup_start + dup_dur;
+      std::size_t benefits = 0;
+      for (const graph::Adjacent& c : children) {
+        const double arrival =
+            primary.finish + problem.comm_time_data(c.data, primary.proc, k);
+        if (dup_finish < arrival) ++benefits;
+      }
+      const bool do_duplicate =
+          options_.duplication == DuplicationRule::kAnyChildBenefits
+              ? benefits > 0
+              : benefits == children.size();
+      if (do_duplicate) schedule.place_duplicate(v, k, dup_start, dup_finish);
+    }
+  };
+
+  while (itq_size > 0) {
+    // Highest PV wins; ties go to the lower task id (order-independent, so
+    // the swap-remove compaction below cannot change picks).
+    std::size_t pick = 0;
+    double pick_pv = itq_pv[0];
+    for (std::size_t i = 1; i < itq_size; ++i) {
+      const double p = itq_pv[i];
+      if (p > pick_pv || (p == pick_pv && itq_task[i] < itq_task[pick])) {
+        pick = i;
+        pick_pv = p;
+      }
+    }
+
+    const graph::TaskId chosen = itq_task[pick];
+    const std::uint32_t slot = itq_slot[pick];
+    const std::size_t last = itq_size - 1;
+    itq_task[pick] = itq_task[last];
+    itq_slot[pick] = itq_slot[last];
+    itq_pv[pick] = itq_pv[last];
+    itq_size = last;
+
+    const auto row = eft.subspan(slot * np, np);
+    std::size_t best = 0;
+    for (std::size_t pi = 1; pi < np; ++pi) {
+      if (row[pi] < row[best]) best = pi;
+    }
+    const platform::ProcId proc = procs[best];
+    const double finish = row[best];
+    const double start = finish - problem.exec_time(chosen, proc);
+    // The chosen task's rows are dead from here on; recycle the slot so the
+    // next push reuses the hot cache lines.
+    free_slots[free_size++] = slot;
+
+    const std::uint64_t mark = schedule.state_version();
+    schedule.place(chosen, proc, start, finish);
+    if (qualifies_for_duplication(chosen)) duplicate_task(chosen);
+    refresh_dirty_columns(mark);
+    for (const graph::Adjacent& c : problem.children(chosen)) {
+      if (--pending[c.task] == 0) push_ready(c.task);
+    }
+  }
+
+  HDLTS_ENSURES(schedule.num_placed() == n);
 }
 
 sched::Registry default_registry() {

@@ -88,11 +88,27 @@ class Hdlts final : public sched::Scheduler {
 
   sim::Schedule schedule(const sim::Problem& problem) const override;
 
+  /// The zero-allocation entry point: on the compiled path (the default)
+  /// with a warmed scratch arena and a recycled `out`, a steady-state call
+  /// performs no heap allocation at all (tests/alloc_test.cpp).
+  void schedule_into(const sim::Problem& problem,
+                     sim::Schedule& out) const override;
+
   /// Like schedule() but records every step (used to regenerate Table I).
+  /// Always runs the legacy path (tracing is a cold diagnostic).
   sim::Schedule schedule_traced(const sim::Problem& problem,
                                 HdltsTrace* trace) const;
 
  private:
+  /// Original implementation over the mutable TaskGraph/CostTable reads.
+  void run_legacy(const sim::Problem& problem, HdltsTrace* trace,
+                  sim::Schedule& schedule) const;
+  /// Flat fast path over sim::CompiledProblem: task-indexed SoA ready/EFT
+  /// rows and arena-backed PV reduction trees, bit-identical to run_legacy
+  /// (same FP op sequences; enforced in tests/compiled_equiv_test.cpp).
+  void run_compiled(const sim::CompiledProblem& problem,
+                    sim::Schedule& schedule) const;
+
   HdltsOptions options_;
 };
 

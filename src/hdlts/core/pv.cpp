@@ -6,17 +6,31 @@
 
 namespace hdlts::core {
 
-namespace {
-
-using Op = util::ReductionTree::Op;
-
-Op op_a(PvKind kind) { return kind == PvKind::kRange ? Op::kMin : Op::kSum; }
-Op op_b(PvKind kind) { return kind == PvKind::kRange ? Op::kMax : Op::kSum; }
-
-}  // namespace
+double pv_from_roots(PvKind kind, std::size_t n_leaves, double root_a,
+                     double root_b) {
+  const auto n = static_cast<double>(n_leaves);
+  switch (kind) {
+    case PvKind::kSampleStddev: {
+      if (n_leaves < 2) return 0.0;
+      const double sum = root_a;
+      const double var = (root_b - sum * sum / n) / (n - 1.0);
+      return std::sqrt(std::max(0.0, var));
+    }
+    case PvKind::kPopulationStddev: {
+      const double sum = root_a;
+      const double var = (root_b - sum * sum / n) / n;
+      return std::sqrt(std::max(0.0, var));
+    }
+    case PvKind::kRange:
+      return n_leaves == 0 ? 0.0 : root_b - root_a;
+  }
+  throw ContractViolation("unhandled PvKind");
+}
 
 PvAccumulator::PvAccumulator(PvKind kind, std::size_t num_procs)
-    : kind_(kind), a_(op_a(kind), num_procs), b_(op_b(kind), num_procs) {}
+    : kind_(kind),
+      a_(pv_op_a(kind), num_procs),
+      b_(pv_op_b(kind), num_procs) {}
 
 void PvAccumulator::assign(std::span<const double> row) {
   a_.assign(row);
@@ -25,33 +39,17 @@ void PvAccumulator::assign(std::span<const double> row) {
     return;
   }
   std::vector<double> sq(row.size());
-  for (std::size_t i = 0; i < row.size(); ++i) sq[i] = row[i] * row[i];
+  for (std::size_t i = 0; i < row.size(); ++i) sq[i] = pv_leaf_b(kind_, row[i]);
   b_.assign(sq);
 }
 
 void PvAccumulator::update(std::size_t i, double eft) {
   a_.update(i, eft);
-  b_.update(i, kind_ == PvKind::kRange ? eft : eft * eft);
+  b_.update(i, pv_leaf_b(kind_, eft));
 }
 
 double PvAccumulator::pv() const {
-  const auto n = static_cast<double>(a_.size());
-  switch (kind_) {
-    case PvKind::kSampleStddev: {
-      if (a_.size() < 2) return 0.0;
-      const double sum = a_.root();
-      const double var = (b_.root() - sum * sum / n) / (n - 1.0);
-      return std::sqrt(std::max(0.0, var));
-    }
-    case PvKind::kPopulationStddev: {
-      const double sum = a_.root();
-      const double var = (b_.root() - sum * sum / n) / n;
-      return std::sqrt(std::max(0.0, var));
-    }
-    case PvKind::kRange:
-      return a_.size() == 0 ? 0.0 : b_.root() - a_.root();
-  }
-  throw ContractViolation("unhandled PvKind");
+  return pv_from_roots(kind_, a_.size(), a_.root(), b_.root());
 }
 
 double penalty_value(PvKind kind, std::span<const double> row) {

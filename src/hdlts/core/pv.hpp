@@ -3,11 +3,17 @@
 //
 // The PV condenses a task's EFT row into one number (paper Eq. 8). To make
 // the incremental path provably bit-identical to a full recompute, both paths
-// go through PvAccumulator: the row moments (sum, sum of squares) and
-// extrema are kept in fixed-shape pairwise reduction trees, so updating only
-// the columns whose processor changed yields exactly the same PV as
-// rebuilding from the full row. A single-column update costs O(log P)
+// go through the same reduction arithmetic: the row moments (sum, sum of
+// squares) and extrema are kept in fixed-shape pairwise reduction trees, so
+// updating only the columns whose processor changed yields exactly the same
+// PV as rebuilding from the full row. A single-column update costs O(log P)
 // instead of the O(P) full reduction.
+//
+// PvAccumulator owns its trees (used by the reference and the legacy path);
+// the compiled fast path carves tree node storage from a ScratchArena and
+// drives it through util::tree_ops plus the pv_op_a/pv_op_b/pv_leaf_b/
+// pv_from_roots helpers below — the same ops, the same leaf values, the same
+// final formula, hence the same bits.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +26,27 @@ namespace hdlts::core {
 /// How the penalty value condenses the EFT vector. The paper uses the sample
 /// standard deviation; the alternatives are ablation variants (bench X3).
 enum class PvKind { kSampleStddev, kPopulationStddev, kRange };
+
+/// Reduction op of the A tree (sum of EFT for stddev kinds, min for range).
+inline util::ReductionTree::Op pv_op_a(PvKind kind) {
+  return kind == PvKind::kRange ? util::ReductionTree::Op::kMin
+                                : util::ReductionTree::Op::kSum;
+}
+
+/// Reduction op of the B tree (sum of EFT^2 for stddev kinds, max for range).
+inline util::ReductionTree::Op pv_op_b(PvKind kind) {
+  return kind == PvKind::kRange ? util::ReductionTree::Op::kMax
+                                : util::ReductionTree::Op::kSum;
+}
+
+/// The B-tree leaf value for an EFT entry (eft^2 for stddev kinds).
+inline double pv_leaf_b(PvKind kind, double eft) {
+  return kind == PvKind::kRange ? eft : eft * eft;
+}
+
+/// The penalty value given the two tree roots over a row of length n. This
+/// is the single formula every PV in the codebase funnels through.
+double pv_from_roots(PvKind kind, std::size_t n, double root_a, double root_b);
 
 /// Incrementally maintained PV of one EFT row of length P (the alive
 /// processor count). Holds two reduction trees: sum / sum-of-squares for the

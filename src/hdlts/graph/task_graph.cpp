@@ -25,13 +25,21 @@ void TaskGraph::add_edge(TaskId src, TaskId dst, double data) {
     throw InvalidArgument("self-loop on task " + std::to_string(src));
   }
   if (data < 0.0) throw InvalidArgument("edge data must be non-negative");
-  if (has_edge(src, dst)) {
+  if (!edge_keys_.insert(edge_key(src, dst)).second) {
     throw InvalidArgument("duplicate edge " + std::to_string(src) + " -> " +
                           std::to_string(dst));
   }
   children_[src].push_back({dst, data});
   parents_[dst].push_back({src, data});
   ++num_edges_;
+}
+
+void TaskGraph::reserve(std::size_t num_tasks, std::size_t num_edges) {
+  names_.reserve(num_tasks);
+  work_.reserve(num_tasks);
+  children_.reserve(num_tasks);
+  parents_.reserve(num_tasks);
+  edge_keys_.reserve(num_edges);
 }
 
 void TaskGraph::set_work(TaskId v, double work) {
@@ -53,9 +61,7 @@ std::span<const Adjacent> TaskGraph::parents(TaskId v) const {
 bool TaskGraph::has_edge(TaskId src, TaskId dst) const {
   check_task(src);
   check_task(dst);
-  const auto& kids = children_[src];
-  return std::any_of(kids.begin(), kids.end(),
-                     [dst](const Adjacent& a) { return a.task == dst; });
+  return edge_keys_.contains(edge_key(src, dst));
 }
 
 double TaskGraph::edge_data(TaskId src, TaskId dst) const {

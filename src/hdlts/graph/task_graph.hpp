@@ -10,6 +10,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "hdlts/util/error.hpp"
@@ -37,7 +38,14 @@ class TaskGraph {
 
   /// Adds a dependency edge src -> dst carrying `data` units.
   /// Throws InvalidArgument on self-loops, unknown ids, or duplicate edges.
+  /// Duplicate detection is O(1) via a hash set of packed (src, dst) keys,
+  /// so bulk graph construction is linear in the number of edges.
   void add_edge(TaskId src, TaskId dst, double data = 0.0);
+
+  /// Pre-sizes the internal containers for a known build. Purely an
+  /// optimization for generators that know their shape up front; the graph
+  /// grows past the hint transparently.
+  void reserve(std::size_t num_tasks, std::size_t num_edges);
 
   std::size_t num_tasks() const { return names_.size(); }
   std::size_t num_edges() const { return num_edges_; }
@@ -80,10 +88,16 @@ class TaskGraph {
     }
   }
 
+  static std::uint64_t edge_key(TaskId src, TaskId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
   std::vector<std::string> names_;
   std::vector<double> work_;
   std::vector<std::vector<Adjacent>> children_;
   std::vector<std::vector<Adjacent>> parents_;
+  /// Packed (src, dst) of every edge — O(1) has_edge/duplicate checks.
+  std::unordered_set<std::uint64_t> edge_keys_;
   std::size_t num_edges_ = 0;
 };
 

@@ -29,14 +29,17 @@ void run_repetitions(const WorkloadFactory& factory,
                      std::vector<std::string>& failures) {
   const std::size_t ns = scheduler_names.size();
   auto run_rep = [&](std::size_t rep,
-                     const std::vector<sched::SchedulerPtr>& schedulers) {
+                     const std::vector<sched::SchedulerPtr>& schedulers,
+                     sim::Schedule& schedule) {
     try {
       const std::uint64_t seed =
           util::derive_seed(options.base_seed, 0x9d1cULL, rep);
       const sim::Workload workload = factory(seed);
       const sim::Problem problem(workload);
       for (std::size_t si = 0; si < ns; ++si) {
-        const sim::Schedule schedule = schedulers[si]->schedule(problem);
+        // Recycled per-chunk Schedule + each scheduler's scratch arena: a
+        // steady-state repetition allocates only the workload itself.
+        schedulers[si]->schedule_into(problem, schedule);
         if (options.check_schedules) {
           const auto violations = schedule.validate(problem);
           if (!violations.empty()) {
@@ -67,7 +70,12 @@ void run_repetitions(const WorkloadFactory& factory,
       for (std::size_t rep = begin; rep < end; ++rep) failures[rep] = e.what();
       return;
     }
-    for (std::size_t rep = begin; rep < end; ++rep) run_rep(rep, schedulers);
+    // Seed shape is irrelevant: schedule_into resets to the problem's shape,
+    // keeping capacities so repetitions recycle the buffers.
+    sim::Schedule schedule(0, 1);
+    for (std::size_t rep = begin; rep < end; ++rep) {
+      run_rep(rep, schedulers, schedule);
+    }
   };
   if (options.pool != nullptr) {
     util::parallel_for_chunked(*options.pool, options.repetitions, run_chunk);

@@ -2,43 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
-#include "hdlts/graph/algorithms.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
 namespace hdlts::sched {
 
 namespace {
-constexpr double kTieEps = 1e-9;
-}
 
-sim::Schedule Cpop::schedule(const sim::Problem& problem) const {
-  const auto& g = problem.graph();
-  const auto up = upward_rank_mean(problem);
-  const auto down = downward_rank_mean(problem);
-  std::vector<double> priority(g.num_tasks());
-  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
-    priority[v] = up[v] + down[v];
-  }
+constexpr double kTieEps = 1e-9;
+
+template <typename View>
+void run_cpop(const View& view, util::ScratchArena& arena, bool insertion,
+              sim::Schedule& schedule) {
+  const std::size_t n = view.num_tasks();
+  const auto up = arena.alloc<double>(n);
+  const auto down = arena.alloc<double>(n);
+  upward_rank_mean(view, up);
+  downward_rank_mean(view, down);
+  const auto priority = arena.alloc<double>(n);
+  for (graph::TaskId v = 0; v < n; ++v) priority[v] = up[v] + down[v];
 
   // Walk the critical path from the highest-priority entry task, always
   // following a child of (numerically) equal priority.
-  std::vector<bool> on_cp(g.num_tasks(), false);
+  const auto on_cp = arena.alloc<unsigned char>(n);
+  std::fill(on_cp.begin(), on_cp.end(), 0);
+  const auto entries = view.entry_tasks();
   graph::TaskId cursor = graph::kInvalidTask;
   double cp_len = -1.0;
-  for (const graph::TaskId e : g.entry_tasks()) {
+  for (const graph::TaskId e : entries) {
     if (priority[e] > cp_len) {
       cp_len = priority[e];
       cursor = e;
     }
   }
   while (cursor != graph::kInvalidTask) {
-    on_cp[cursor] = true;
+    on_cp[cursor] = 1;
     graph::TaskId next = graph::kInvalidTask;
     double best = -1.0;
-    for (const graph::Adjacent& c : g.children(cursor)) {
+    for (const graph::Adjacent& c : view.children(cursor)) {
       if (std::abs(priority[c.task] - cp_len) <= kTieEps * (1.0 + cp_len) &&
           priority[c.task] > best) {
         best = priority[c.task];
@@ -51,10 +53,10 @@ sim::Schedule Cpop::schedule(const sim::Problem& problem) const {
   // The critical-path processor minimizes the path's total execution time.
   platform::ProcId cp_proc = platform::kInvalidProc;
   double cp_cost = 0.0;
-  for (const platform::ProcId p : problem.procs()) {
+  for (const platform::ProcId p : view.procs()) {
     double total = 0.0;
-    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
-      if (on_cp[v]) total += problem.exec_time(v, p);
+    for (graph::TaskId v = 0; v < n; ++v) {
+      if (on_cp[v] != 0) total += view.exec_time(v, p);
     }
     if (cp_proc == platform::kInvalidProc || total < cp_cost) {
       cp_cost = total;
@@ -62,33 +64,59 @@ sim::Schedule Cpop::schedule(const sim::Problem& problem) const {
     }
   }
 
-  // Ready queue ordered by priority (ties: lower id for determinism).
+  // Ready heap ordered by priority (ties: lower id for determinism). Arena-
+  // backed push_heap/pop_heap — the same algorithm std::priority_queue runs,
+  // so the service order is unchanged.
   auto cmp = [&priority](graph::TaskId a, graph::TaskId b) {
     if (priority[a] != priority[b]) return priority[a] < priority[b];
     return a > b;
   };
-  std::priority_queue<graph::TaskId, std::vector<graph::TaskId>,
-                      decltype(cmp)>
-      ready(cmp);
-  std::vector<std::size_t> pending(g.num_tasks());
-  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
-    pending[v] = g.in_degree(v);
-    if (pending[v] == 0) ready.push(v);
+  const auto heap = arena.alloc<graph::TaskId>(n);
+  std::size_t heap_size = 0;
+  auto push = [&](graph::TaskId v) {
+    heap[heap_size++] = v;
+    std::push_heap(heap.begin(), heap.begin() + heap_size, cmp);
+  };
+  auto pop = [&]() {
+    std::pop_heap(heap.begin(), heap.begin() + heap_size, cmp);
+    return heap[--heap_size];
+  };
+
+  const auto pending = arena.alloc<std::size_t>(n);
+  for (graph::TaskId v = 0; v < n; ++v) {
+    pending[v] = view.in_degree(v);
+    if (pending[v] == 0) push(v);
   }
 
-  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
-  while (!ready.empty()) {
-    const graph::TaskId v = ready.top();
-    ready.pop();
+  while (heap_size > 0) {
+    const graph::TaskId v = pop();
     const PlacementChoice choice =
-        on_cp[v] ? eft_on(problem, schedule, v, cp_proc, insertion_)
-                 : best_eft(problem, schedule, v, insertion_);
+        on_cp[v] != 0 ? eft_on(view, schedule, v, cp_proc, insertion)
+                      : best_eft(view, schedule, v, insertion);
     commit(schedule, v, choice);
-    for (const graph::Adjacent& c : g.children(v)) {
-      if (--pending[c.task] == 0) ready.push(c.task);
+    for (const graph::Adjacent& c : view.children(v)) {
+      if (--pending[c.task] == 0) push(c.task);
     }
   }
-  return schedule;
+}
+
+}  // namespace
+
+sim::Schedule Cpop::schedule(const sim::Problem& problem) const {
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  schedule_into(problem, out);
+  return out;
+}
+
+void Cpop::schedule_into(const sim::Problem& problem,
+                         sim::Schedule& out) const {
+  out.reset(problem.num_tasks(), problem.num_procs());
+  scratch().reset();
+  if (use_compiled()) {
+    run_cpop(problem.compiled(), scratch(), insertion_, out);
+  } else {
+    run_cpop(sim::LegacyView(problem), scratch(), insertion_, out);
+  }
 }
 
 }  // namespace hdlts::sched

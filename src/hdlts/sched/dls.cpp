@@ -3,50 +3,53 @@
 #include <algorithm>
 #include <limits>
 
-#include "hdlts/graph/algorithms.hpp"
 #include "hdlts/sched/placement.hpp"
 
 namespace hdlts::sched {
 
-std::vector<double> static_levels(const sim::Problem& problem) {
-  const auto& g = problem.graph();
-  const auto order = graph::topological_order(g);
-  std::vector<double> sl(g.num_tasks(), 0.0);
+namespace {
+
+/// Static levels: SL(v) = meanW(v) + max over children SL(c) (no comm).
+template <typename View>
+void static_levels_view(const View& view, std::span<double> sl) {
+  const auto order = view.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const graph::TaskId v = *it;
     double best = 0.0;
-    for (const graph::Adjacent& c : g.children(v)) {
+    for (const graph::Adjacent& c : view.children(v)) {
       best = std::max(best, sl[c.task]);
     }
-    sl[v] = problem.costs().mean(v) + best;
+    sl[v] = view.mean_cost(v) + best;
   }
-  return sl;
 }
 
-sim::Schedule Dls::schedule(const sim::Problem& problem) const {
-  const auto& g = problem.graph();
-  const auto sl = static_levels(problem);
+template <typename View>
+void run_dls(const View& view, util::ScratchArena& arena, bool insertion,
+             sim::Schedule& schedule) {
+  const std::size_t n = view.num_tasks();
+  const auto sl = arena.alloc<double>(n);
+  static_levels_view(view, sl);
 
-  std::vector<std::size_t> pending(g.num_tasks());
-  std::vector<graph::TaskId> ready;
-  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
-    pending[v] = g.in_degree(v);
-    if (pending[v] == 0) ready.push_back(v);
+  const auto pending = arena.alloc<std::size_t>(n);
+  const auto ready = arena.alloc<graph::TaskId>(n);
+  std::size_t ready_size = 0;
+  for (graph::TaskId v = 0; v < n; ++v) {
+    pending[v] = view.in_degree(v);
+    if (pending[v] == 0) ready[ready_size++] = v;
   }
 
-  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
-  while (!ready.empty()) {
+  while (ready_size > 0) {
     // Exhaustive (ready task, processor) scan; ties go to the lower task id
     // then lower processor id for determinism.
     std::size_t best_idx = 0;
     PlacementChoice best_choice;
     double best_dl = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < ready.size(); ++i) {
+    for (std::size_t i = 0; i < ready_size; ++i) {
       const graph::TaskId v = ready[i];
-      const double mean_cost = problem.costs().mean(v);
-      for (const platform::ProcId p : problem.procs()) {
-        const PlacementChoice c = eft_on(problem, schedule, v, p, insertion_);
-        const double delta = mean_cost - problem.exec_time(v, p);
+      const double mean_cost = view.mean_cost(v);
+      for (const platform::ProcId p : view.procs()) {
+        const PlacementChoice c = eft_on(view, schedule, v, p, insertion);
+        const double delta = mean_cost - view.exec_time(v, p);
         const double dl = sl[v] - c.est + delta;
         if (dl > best_dl) {
           best_dl = dl;
@@ -56,13 +59,39 @@ sim::Schedule Dls::schedule(const sim::Problem& problem) const {
       }
     }
     const graph::TaskId v = ready[best_idx];
-    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    // Order-preserving removal, like vector::erase in the original.
+    std::copy(ready.begin() + best_idx + 1, ready.begin() + ready_size,
+              ready.begin() + best_idx);
+    --ready_size;
     commit(schedule, v, best_choice);
-    for (const graph::Adjacent& c : g.children(v)) {
-      if (--pending[c.task] == 0) ready.push_back(c.task);
+    for (const graph::Adjacent& c : view.children(v)) {
+      if (--pending[c.task] == 0) ready[ready_size++] = c.task;
     }
   }
-  return schedule;
+}
+
+}  // namespace
+
+std::vector<double> static_levels(const sim::Problem& problem) {
+  std::vector<double> sl(problem.num_tasks(), 0.0);
+  static_levels_view(sim::LegacyView(problem), sl);
+  return sl;
+}
+
+sim::Schedule Dls::schedule(const sim::Problem& problem) const {
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  schedule_into(problem, out);
+  return out;
+}
+
+void Dls::schedule_into(const sim::Problem& problem, sim::Schedule& out) const {
+  out.reset(problem.num_tasks(), problem.num_procs());
+  scratch().reset();
+  if (use_compiled()) {
+    run_dls(problem.compiled(), scratch(), insertion_, out);
+  } else {
+    run_dls(sim::LegacyView(problem), scratch(), insertion_, out);
+  }
 }
 
 }  // namespace hdlts::sched

@@ -19,6 +19,8 @@ class Dls final : public Scheduler {
 
   std::string name() const override { return "dls"; }
   sim::Schedule schedule(const sim::Problem& problem) const override;
+  void schedule_into(const sim::Problem& problem,
+                     sim::Schedule& out) const override;
 
  private:
   bool insertion_;

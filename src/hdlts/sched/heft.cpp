@@ -3,34 +3,55 @@
 #include <algorithm>
 #include <numeric>
 
-#include "hdlts/graph/algorithms.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
 namespace hdlts::sched {
 
-sim::Schedule Heft::schedule(const sim::Problem& problem) const {
-  const auto rank = upward_rank_mean(problem);
-  const auto order = graph::topological_order(problem.graph());
+namespace {
+
+template <typename View>
+void run_heft(const View& view, util::ScratchArena& arena, bool insertion,
+              sim::Schedule& schedule) {
+  const std::size_t n = view.num_tasks();
+  const auto rank = arena.alloc<double>(n);
+  upward_rank_mean(view, rank);
+  const auto order = view.topo_order();
 
   // Position of each task in topological order; used to break rank ties in a
   // precedence-safe way (zero-weight pseudo tasks can tie with a parent).
-  std::vector<std::size_t> topo_pos(problem.num_tasks());
-  for (std::size_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+  const auto topo_pos = arena.alloc<std::size_t>(n);
+  for (std::size_t i = 0; i < n; ++i) topo_pos[order[i]] = i;
 
-  std::vector<graph::TaskId> list(problem.num_tasks());
-  std::iota(list.begin(), list.end(), 0);
-  std::sort(list.begin(), list.end(),
-            [&](graph::TaskId a, graph::TaskId b) {
-              if (rank[a] != rank[b]) return rank[a] > rank[b];
-              return topo_pos[a] < topo_pos[b];
-            });
+  const auto list = arena.alloc<graph::TaskId>(n);
+  std::iota(list.begin(), list.end(), graph::TaskId{0});
+  std::sort(list.begin(), list.end(), [&](graph::TaskId a, graph::TaskId b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return topo_pos[a] < topo_pos[b];
+  });
 
-  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
   for (const graph::TaskId v : list) {
-    commit(schedule, v, best_eft(problem, schedule, v, insertion_));
+    commit(schedule, v, best_eft(view, schedule, v, insertion));
   }
-  return schedule;
+}
+
+}  // namespace
+
+sim::Schedule Heft::schedule(const sim::Problem& problem) const {
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  schedule_into(problem, out);
+  return out;
+}
+
+void Heft::schedule_into(const sim::Problem& problem,
+                         sim::Schedule& out) const {
+  out.reset(problem.num_tasks(), problem.num_procs());
+  scratch().reset();
+  if (use_compiled()) {
+    run_heft(problem.compiled(), scratch(), insertion_, out);
+  } else {
+    run_heft(sim::LegacyView(problem), scratch(), insertion_, out);
+  }
 }
 
 }  // namespace hdlts::sched

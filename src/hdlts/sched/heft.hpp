@@ -17,6 +17,8 @@ class Heft final : public Scheduler {
 
   std::string name() const override { return "heft"; }
   sim::Schedule schedule(const sim::Problem& problem) const override;
+  void schedule_into(const sim::Problem& problem,
+                     sim::Schedule& out) const override;
 
  private:
   bool insertion_;

@@ -16,6 +16,8 @@ class Peft final : public Scheduler {
 
   std::string name() const override { return "peft"; }
   sim::Schedule schedule(const sim::Problem& problem) const override;
+  void schedule_into(const sim::Problem& problem,
+                     sim::Schedule& out) const override;
 
  private:
   bool insertion_;

@@ -3,35 +3,59 @@
 #include <algorithm>
 #include <numeric>
 
-#include "hdlts/graph/algorithms.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
 namespace hdlts::sched {
 
-sim::Schedule Pets::schedule(const sim::Problem& problem) const {
-  const auto& g = problem.graph();
-  const auto level = graph::precedence_levels(g);
-  const auto ranks = pets_rank(problem);
+namespace {
+
+template <typename View>
+void run_pets(const View& view, util::ScratchArena& arena, bool insertion,
+              sim::Schedule& schedule) {
+  const std::size_t n = view.num_tasks();
+  const auto level = view.levels();
+  const auto acc = arena.alloc<double>(n);
+  const auto dtc = arena.alloc<double>(n);
+  const auto rpt = arena.alloc<double>(n);
+  const auto rank = arena.alloc<double>(n);
+  pets_rank(view, PetsRankSpans{acc, dtc, rpt, rank});
 
   // Level-major order; inside a level sort by decreasing rank, then by
   // increasing mean cost (favouring the cheaper task, per the PETS paper's
   // tie rule), then by id for determinism. Level-major order is
   // precedence-safe because every parent sits on a strictly lower level.
-  std::vector<graph::TaskId> list(g.num_tasks());
-  std::iota(list.begin(), list.end(), 0);
+  const auto list = arena.alloc<graph::TaskId>(n);
+  std::iota(list.begin(), list.end(), graph::TaskId{0});
   std::sort(list.begin(), list.end(), [&](graph::TaskId a, graph::TaskId b) {
     if (level[a] != level[b]) return level[a] < level[b];
-    if (ranks.rank[a] != ranks.rank[b]) return ranks.rank[a] > ranks.rank[b];
-    if (ranks.acc[a] != ranks.acc[b]) return ranks.acc[a] < ranks.acc[b];
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    if (acc[a] != acc[b]) return acc[a] < acc[b];
     return a < b;
   });
 
-  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
   for (const graph::TaskId v : list) {
-    commit(schedule, v, best_eft(problem, schedule, v, insertion_));
+    commit(schedule, v, best_eft(view, schedule, v, insertion));
   }
-  return schedule;
+}
+
+}  // namespace
+
+sim::Schedule Pets::schedule(const sim::Problem& problem) const {
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  schedule_into(problem, out);
+  return out;
+}
+
+void Pets::schedule_into(const sim::Problem& problem,
+                         sim::Schedule& out) const {
+  out.reset(problem.num_tasks(), problem.num_procs());
+  scratch().reset();
+  if (use_compiled()) {
+    run_pets(problem.compiled(), scratch(), insertion_, out);
+  } else {
+    run_pets(sim::LegacyView(problem), scratch(), insertion_, out);
+  }
 }
 
 }  // namespace hdlts::sched

@@ -18,6 +18,8 @@ class Pets final : public Scheduler {
 
   std::string name() const override { return "pets"; }
   sim::Schedule schedule(const sim::Problem& problem) const override;
+  void schedule_into(const sim::Problem& problem,
+                     sim::Schedule& out) const override;
 
  private:
   bool insertion_;

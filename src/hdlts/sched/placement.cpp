@@ -5,10 +5,7 @@ namespace hdlts::sched {
 PlacementChoice eft_on(const sim::Problem& problem,
                        const sim::Schedule& schedule, graph::TaskId task,
                        platform::ProcId proc, bool insertion) {
-  const double ready = schedule.ready_time(problem, task, proc);
-  const double duration = problem.exec_time(task, proc);
-  const double est = schedule.earliest_start(proc, ready, duration, insertion);
-  return {proc, est, est + duration};
+  return eft_on(sim::LegacyView(problem), schedule, task, proc, insertion);
 }
 
 std::vector<double> eft_vector(const sim::Problem& problem,
@@ -26,13 +23,7 @@ std::vector<double> eft_vector(const sim::Problem& problem,
 PlacementChoice best_eft(const sim::Problem& problem,
                          const sim::Schedule& schedule, graph::TaskId task,
                          bool insertion) {
-  PlacementChoice best;
-  for (const platform::ProcId p : problem.procs()) {
-    const PlacementChoice c = eft_on(problem, schedule, task, p, insertion);
-    if (best.proc == platform::kInvalidProc || c.eft < best.eft) best = c;
-  }
-  HDLTS_ENSURES(best.proc != platform::kInvalidProc);
-  return best;
+  return best_eft(sim::LegacyView(problem), schedule, task, insertion);
 }
 
 void commit(sim::Schedule& schedule, graph::TaskId task,

@@ -1,10 +1,16 @@
 // Processor-selection helpers shared by all EFT-based schedulers.
+//
+// The templates take any problem view satisfying the sim/views.hpp
+// interface (sim::CompiledProblem or sim::LegacyView); the sim::Problem
+// overloads below wrap LegacyView for the schedulers that have not been
+// ported to the dual-path layout.
 #pragma once
 
 #include <vector>
 
 #include "hdlts/sim/problem.hpp"
 #include "hdlts/sim/schedule.hpp"
+#include "hdlts/sim/views.hpp"
 
 namespace hdlts::sched {
 
@@ -16,6 +22,29 @@ struct PlacementChoice {
 
 /// EST/EFT of `task` on processor `proc` given the current partial schedule
 /// (Definitions 6 and 7). All parents must be placed.
+template <typename View>
+PlacementChoice eft_on(const View& view, const sim::Schedule& schedule,
+                       graph::TaskId task, platform::ProcId proc,
+                       bool insertion) {
+  const double ready = schedule.ready_time(view.ready_base(), task, proc);
+  const double duration = view.exec_time(task, proc);
+  const double est = schedule.earliest_start(proc, ready, duration, insertion);
+  return {proc, est, est + duration};
+}
+
+/// The processor minimizing EFT (ties broken toward the lower processor id).
+template <typename View>
+PlacementChoice best_eft(const View& view, const sim::Schedule& schedule,
+                         graph::TaskId task, bool insertion) {
+  PlacementChoice best;
+  for (const platform::ProcId p : view.procs()) {
+    const PlacementChoice c = eft_on(view, schedule, task, p, insertion);
+    if (best.proc == platform::kInvalidProc || c.eft < best.eft) best = c;
+  }
+  HDLTS_ENSURES(best.proc != platform::kInvalidProc);
+  return best;
+}
+
 PlacementChoice eft_on(const sim::Problem& problem,
                        const sim::Schedule& schedule, graph::TaskId task,
                        platform::ProcId proc, bool insertion);
@@ -26,7 +55,6 @@ std::vector<double> eft_vector(const sim::Problem& problem,
                                const sim::Schedule& schedule,
                                graph::TaskId task, bool insertion);
 
-/// The processor minimizing EFT (ties broken toward the lower processor id).
 PlacementChoice best_eft(const sim::Problem& problem,
                          const sim::Schedule& schedule, graph::TaskId task,
                          bool insertion);

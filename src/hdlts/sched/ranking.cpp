@@ -1,126 +1,47 @@
 #include "hdlts/sched/ranking.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <cmath>
-
-#include "hdlts/graph/algorithms.hpp"
-
 namespace hdlts::sched {
 
-namespace {
-
-/// Generic upward rank with a per-task weight vector.
-std::vector<double> upward_rank(const sim::Problem& problem,
-                                const std::vector<double>& weight) {
-  const auto& g = problem.graph();
-  const auto order = graph::topological_order(g);
-  std::vector<double> rank(g.num_tasks(), 0.0);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const graph::TaskId v = *it;
-    double best = 0.0;
-    for (const graph::Adjacent& c : g.children(v)) {
-      best = std::max(best, problem.mean_comm_data(c.data) + rank[c.task]);
-    }
-    rank[v] = weight[v] + best;
-  }
+std::vector<double> upward_rank_mean(const sim::Problem& problem) {
+  std::vector<double> rank(problem.num_tasks(), 0.0);
+  upward_rank_mean(sim::LegacyView(problem), rank);
   return rank;
 }
 
-}  // namespace
-
-std::vector<double> upward_rank_mean(const sim::Problem& problem) {
-  std::vector<double> weight(problem.num_tasks());
-  for (graph::TaskId v = 0; v < problem.num_tasks(); ++v) {
-    weight[v] = problem.costs().mean(v);
-  }
-  return upward_rank(problem, weight);
-}
-
 std::vector<double> upward_rank_stddev(const sim::Problem& problem) {
-  std::vector<double> weight(problem.num_tasks());
-  for (graph::TaskId v = 0; v < problem.num_tasks(); ++v) {
-    weight[v] = problem.costs().stddev_sample(v);
-  }
-  return upward_rank(problem, weight);
+  std::vector<double> rank(problem.num_tasks(), 0.0);
+  upward_rank_stddev(sim::LegacyView(problem), rank);
+  return rank;
 }
 
 std::vector<double> downward_rank_mean(const sim::Problem& problem) {
-  const auto& g = problem.graph();
-  const auto order = graph::topological_order(g);
-  std::vector<double> rank(g.num_tasks(), 0.0);
-  for (const graph::TaskId v : order) {
-    for (const graph::Adjacent& p : g.parents(v)) {
-      rank[v] = std::max(rank[v], rank[p.task] + problem.costs().mean(p.task) +
-                                      problem.mean_comm_data(p.data));
-    }
-  }
+  std::vector<double> rank(problem.num_tasks(), 0.0);
+  downward_rank_mean(sim::LegacyView(problem), rank);
   return rank;
 }
 
 std::vector<double> oct_table(const sim::Problem& problem) {
-  const auto& g = problem.graph();
-  const auto& procs = problem.procs();
-  const std::size_t np = procs.size();
-  const auto order = graph::topological_order(g);
-  std::vector<double> oct(g.num_tasks() * np, 0.0);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const graph::TaskId v = *it;
-    for (std::size_t pi = 0; pi < np; ++pi) {
-      double worst = 0.0;
-      for (const graph::Adjacent& c : g.children(v)) {
-        double best = std::numeric_limits<double>::infinity();
-        for (std::size_t qi = 0; qi < np; ++qi) {
-          const double comm =
-              pi == qi ? 0.0 : problem.mean_comm_data(c.data);
-          best = std::min(best, oct[c.task * np + qi] +
-                                    problem.exec_time(c.task, procs[qi]) +
-                                    comm);
-        }
-        worst = std::max(worst, best);
-      }
-      oct[v * np + pi] = worst;
-    }
-  }
+  std::vector<double> oct(problem.num_tasks() * problem.procs().size(), 0.0);
+  oct_table(sim::LegacyView(problem), oct);
   return oct;
 }
 
 std::vector<double> oct_rank(const sim::Problem& problem,
                              const std::vector<double>& oct) {
-  const std::size_t np = problem.procs().size();
-  HDLTS_EXPECTS(oct.size() == problem.num_tasks() * np);
   std::vector<double> rank(problem.num_tasks(), 0.0);
-  for (graph::TaskId v = 0; v < problem.num_tasks(); ++v) {
-    double sum = 0.0;
-    for (std::size_t pi = 0; pi < np; ++pi) sum += oct[v * np + pi];
-    rank[v] = sum / static_cast<double>(np);
-  }
+  oct_rank(sim::LegacyView(problem), oct, rank);
   return rank;
 }
 
 PetsRank pets_rank(const sim::Problem& problem) {
-  const auto& g = problem.graph();
-  const std::size_t n = g.num_tasks();
+  const std::size_t n = problem.num_tasks();
   PetsRank out;
   out.acc.resize(n);
   out.dtc.resize(n);
-  out.rpt.assign(n, 0.0);
+  out.rpt.resize(n);
   out.rank.resize(n);
-  for (graph::TaskId v = 0; v < n; ++v) {
-    out.acc[v] = problem.costs().mean(v);
-    double dtc = 0.0;
-    for (const graph::Adjacent& c : g.children(v)) {
-      dtc += problem.mean_comm_data(c.data);
-    }
-    out.dtc[v] = dtc;
-  }
-  // RPT needs parent ranks, so ranks are computed in topological order.
-  for (const graph::TaskId v : graph::topological_order(g)) {
-    for (const graph::Adjacent& p : g.parents(v)) {
-      out.rpt[v] = std::max(out.rpt[v], out.rank[p.task]);
-    }
-    out.rank[v] = std::round(out.acc[v] + out.dtc[v] + out.rpt[v]);
-  }
+  pets_rank(sim::LegacyView(problem),
+            PetsRankSpans{out.acc, out.dtc, out.rpt, out.rank});
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "hdlts/sim/problem.hpp"
 #include "hdlts/sim/schedule.hpp"
+#include "hdlts/util/arena.hpp"
 
 namespace hdlts::sched {
 
@@ -20,6 +21,36 @@ class Scheduler {
   /// place work on problem.procs() (alive processors) and must return a
   /// schedule that passes sim::Schedule::validate.
   virtual sim::Schedule schedule(const sim::Problem& problem) const = 0;
+
+  /// Like schedule() but reuses the caller's Schedule (reset, capacities
+  /// kept). Ported schedulers override this as the real entry point — with a
+  /// warmed scratch() and a recycled `out`, core::Hdlts reaches a
+  /// zero-allocation steady state on the compiled path
+  /// (tests/alloc_test.cpp). Default: delegates to schedule().
+  virtual void schedule_into(const sim::Problem& problem,
+                             sim::Schedule& out) const {
+    out = schedule(problem);
+  }
+
+  /// Selects the problem view the ported schedulers read: the compiled flat
+  /// CSR/W layout (default) or the legacy TaskGraph/CostTable reads. Both
+  /// produce bit-identical schedules; the legacy path exists so
+  /// bench/micro_layout can measure what the layout buys. Unported
+  /// schedulers ignore the flag.
+  bool use_compiled() const { return use_compiled_; }
+  void set_use_compiled(bool use_compiled) { use_compiled_ = use_compiled; }
+
+ protected:
+  /// Per-scheduler scratch memory, rewound at the top of every
+  /// schedule()/schedule_into() call. Mutable for the same reason a memo
+  /// cache would be; consequently a Scheduler instance must not be shared
+  /// across threads mid-call (metrics::run_repetitions builds one per
+  /// worker).
+  util::ScratchArena& scratch() const { return scratch_; }
+
+ private:
+  bool use_compiled_ = true;
+  mutable util::ScratchArena scratch_;
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

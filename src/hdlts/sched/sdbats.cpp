@@ -3,47 +3,69 @@
 #include <algorithm>
 #include <numeric>
 
-#include "hdlts/graph/algorithms.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
 namespace hdlts::sched {
 
-sim::Schedule Sdbats::schedule(const sim::Problem& problem) const {
-  const auto& g = problem.graph();
-  const auto rank = upward_rank_stddev(problem);
-  const auto order = graph::topological_order(g);
-  std::vector<std::size_t> topo_pos(problem.num_tasks());
-  for (std::size_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+namespace {
 
-  std::vector<graph::TaskId> list(problem.num_tasks());
-  std::iota(list.begin(), list.end(), 0);
+template <typename View>
+void run_sdbats(const View& view, util::ScratchArena& arena, bool insertion,
+                bool entry_duplication, sim::Schedule& schedule) {
+  const std::size_t n = view.num_tasks();
+  const auto rank = arena.alloc<double>(n);
+  upward_rank_stddev(view, rank);
+  const auto order = view.topo_order();
+  const auto topo_pos = arena.alloc<std::size_t>(n);
+  for (std::size_t i = 0; i < n; ++i) topo_pos[order[i]] = i;
+
+  const auto list = arena.alloc<graph::TaskId>(n);
+  std::iota(list.begin(), list.end(), graph::TaskId{0});
   std::sort(list.begin(), list.end(), [&](graph::TaskId a, graph::TaskId b) {
     if (rank[a] != rank[b]) return rank[a] > rank[b];
     return topo_pos[a] < topo_pos[b];
   });
 
-  sim::Schedule schedule(problem.num_tasks(), problem.num_procs());
-
   // Entry duplication: run the entry task on every processor from t = 0, so
   // each child sees its input locally. Only applies to single-entry graphs
   // (generators normalize multi-entry workflows with a pseudo task).
-  const auto entries = g.entry_tasks();
-  if (entry_duplication_ && entries.size() == 1 && problem.num_tasks() > 1) {
-    const graph::TaskId entry = entries.front();
-    const PlacementChoice primary = best_eft(problem, schedule, entry, false);
+  const auto entries = view.entry_tasks();
+  if (entry_duplication && entries.size() == 1 && n > 1) {
+    const graph::TaskId entry = entries[0];
+    const PlacementChoice primary = best_eft(view, schedule, entry, false);
     commit(schedule, entry, primary);
-    for (const platform::ProcId p : problem.procs()) {
+    for (const platform::ProcId p : view.procs()) {
       if (p == primary.proc) continue;
-      schedule.place_duplicate(entry, p, 0.0, problem.exec_time(entry, p));
+      schedule.place_duplicate(entry, p, 0.0, view.exec_time(entry, p));
     }
   }
 
   for (const graph::TaskId v : list) {
     if (schedule.is_placed(v)) continue;  // entry already handled
-    commit(schedule, v, best_eft(problem, schedule, v, insertion_));
+    commit(schedule, v, best_eft(view, schedule, v, insertion));
   }
-  return schedule;
+}
+
+}  // namespace
+
+sim::Schedule Sdbats::schedule(const sim::Problem& problem) const {
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  schedule_into(problem, out);
+  return out;
+}
+
+void Sdbats::schedule_into(const sim::Problem& problem,
+                           sim::Schedule& out) const {
+  out.reset(problem.num_tasks(), problem.num_procs());
+  scratch().reset();
+  if (use_compiled()) {
+    run_sdbats(problem.compiled(), scratch(), insertion_, entry_duplication_,
+               out);
+  } else {
+    run_sdbats(sim::LegacyView(problem), scratch(), insertion_,
+               entry_duplication_, out);
+  }
 }
 
 }  // namespace hdlts::sched

@@ -20,6 +20,8 @@ class Sdbats final : public Scheduler {
 
   std::string name() const override { return "sdbats"; }
   sim::Schedule schedule(const sim::Problem& problem) const override;
+  void schedule_into(const sim::Problem& problem,
+                     sim::Schedule& out) const override;
 
  private:
   bool insertion_;

@@ -29,7 +29,11 @@ struct Completion {
 }  // namespace
 
 EngineResult replay(const Problem& problem, const Schedule& schedule) {
-  const std::size_t n = problem.num_tasks();
+  // The ready-time scan below touches every parent edge once per candidate
+  // start; read through the flat CSR view instead of the pointer-heavy
+  // TaskGraph (same data, same arithmetic — compiled once per Problem).
+  const CompiledProblem& c = problem.compiled();
+  const std::size_t n = c.num_tasks();
   for (graph::TaskId v = 0; v < n; ++v) {
     if (!schedule.is_placed(v)) {
       throw InvalidArgument("replay requires a fully placed schedule; task " +
@@ -68,11 +72,11 @@ EngineResult replay(const Problem& problem, const Schedule& schedule) {
   // copies completed so far; +inf when no copy of some parent is done.
   auto ready_time = [&](graph::TaskId v, platform::ProcId k) {
     double ready = 0.0;
-    for (const graph::Adjacent& parent : problem.graph().parents(v)) {
+    for (const graph::Adjacent& parent : c.parents(v)) {
       double arrival = kInf;
       for (const auto& [q, finish] : copies[parent.task]) {
-        arrival = std::min(
-            arrival, finish + problem.comm_time_data(parent.data, q, k));
+        arrival =
+            std::min(arrival, finish + c.comm_time_data(parent.data, q, k));
       }
       ready = std::max(ready, arrival);
       if (ready == kInf) break;
@@ -121,7 +125,7 @@ EngineResult replay(const Problem& problem, const Schedule& schedule) {
       b.started = true;
       b.actual_start = best_start;
       b.actual_finish =
-          best_start + problem.exec_time(b.scheduled.task, b.scheduled.proc);
+          best_start + c.exec_time(b.scheduled.task, b.scheduled.proc);
       if (!best_is_free) proc_free[b.scheduled.proc] = b.actual_finish;
       events.push(Completion{b.actual_finish, best_block});
       continue;

@@ -32,6 +32,8 @@ Problem::Problem(const Workload& w)
   if (procs_.empty()) {
     throw InvalidArgument("no alive processors to schedule on");
   }
+  compiled_ = std::make_shared<const CompiledProblem>(w.graph, w.costs,
+                                                      w.platform);
 }
 
 }  // namespace hdlts::sim

@@ -2,10 +2,12 @@
 // platform it is mapped onto (paper §III: G = (V, E, W, C) plus the HCE).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "hdlts/graph/task_graph.hpp"
 #include "hdlts/platform/platform.hpp"
+#include "hdlts/sim/compiled.hpp"
 #include "hdlts/sim/cost_table.hpp"
 
 namespace hdlts::sim {
@@ -70,12 +72,19 @@ class Problem {
   /// work here; the failure extension kills processors between runs).
   const std::vector<platform::ProcId>& procs() const { return procs_; }
 
+  /// The frozen flat view of this problem, compiled eagerly at construction
+  /// and shared by copies (a Problem copy is still cheap). Like the procs_
+  /// snapshot above, it reflects the workload at construction time: mutate
+  /// the workload and you must build a fresh Problem.
+  const CompiledProblem& compiled() const { return *compiled_; }
+
  private:
   const graph::TaskGraph* graph_;
   const CostTable* costs_;
   const platform::Platform* platform_;
   std::vector<platform::ProcId> procs_;
   double mean_bandwidth_;
+  std::shared_ptr<const CompiledProblem> compiled_;
 };
 
 }  // namespace hdlts::sim

@@ -15,6 +15,22 @@ Schedule::Schedule(std::size_t num_tasks, std::size_t num_procs)
   if (num_procs == 0) throw InvalidArgument("schedule needs >= 1 processor");
 }
 
+void Schedule::reset(std::size_t num_tasks, std::size_t num_procs) {
+  if (num_procs == 0) throw InvalidArgument("schedule needs >= 1 processor");
+  // clear() + resize() keeps each inner vector's capacity, which is what
+  // makes a recycled Schedule allocation-free once warmed up.
+  std::fill(primary_.begin(), primary_.end(), Placement{});
+  primary_.resize(num_tasks);
+  for (auto& d : dup_) d.clear();
+  dup_.resize(num_tasks);
+  for (auto& line : timeline_) line.clear();
+  timeline_.resize(num_procs);
+  avail_.assign(num_procs, 0.0);
+  num_placed_ = 0;
+  makespan_ = 0.0;
+  change_log_.clear();
+}
+
 void Schedule::place(graph::TaskId task, platform::ProcId proc, double start,
                      double finish) {
   if (task >= num_tasks()) {
@@ -101,20 +117,52 @@ double Schedule::finish_time(graph::TaskId task) const {
   return placement(task).finish;
 }
 
-double Schedule::ready_time(const Problem& problem, graph::TaskId v,
-                            platform::ProcId proc) const {
+namespace {
+
+/// Shared ready-time loop: `parents` yields {task, data} in the graph's
+/// adjacency order, `comm` must be the view's comm_time_data. One body for
+/// the legacy and compiled overloads keeps the FP op sequence identical.
+template <typename ProblemLike>
+double ready_time_impl(const Schedule& schedule,
+                       const std::vector<std::vector<Placement>>& dup,
+                       const ProblemLike& problem, graph::TaskId v,
+                       platform::ProcId proc) {
   double ready = 0.0;
-  for (const graph::Adjacent& parent : problem.graph().parents(v)) {
-    const Placement& pl = placement(parent.task);
+  for (const graph::Adjacent& parent : problem.parents(v)) {
+    const Placement& pl = schedule.placement(parent.task);
     double arrival =
         pl.finish + problem.comm_time_data(parent.data, pl.proc, proc);
-    for (const Placement& d : dup_[parent.task]) {
+    for (const Placement& d : dup[parent.task]) {
       arrival = std::min(
           arrival, d.finish + problem.comm_time_data(parent.data, d.proc, proc));
     }
     ready = std::max(ready, arrival);
   }
   return ready;
+}
+
+/// Adapter giving Problem the parents()/comm_time_data() shape.
+struct ProblemParents {
+  const Problem& p;
+  std::span<const graph::Adjacent> parents(graph::TaskId v) const {
+    return p.graph().parents(v);
+  }
+  double comm_time_data(double data, platform::ProcId pu,
+                        platform::ProcId pv) const {
+    return p.comm_time_data(data, pu, pv);
+  }
+};
+
+}  // namespace
+
+double Schedule::ready_time(const Problem& problem, graph::TaskId v,
+                            platform::ProcId proc) const {
+  return ready_time_impl(*this, dup_, ProblemParents{problem}, v, proc);
+}
+
+double Schedule::ready_time(const CompiledProblem& problem, graph::TaskId v,
+                            platform::ProcId proc) const {
+  return ready_time_impl(*this, dup_, problem, v, proc);
 }
 
 std::span<const Placement> Schedule::timeline(platform::ProcId proc) const {

@@ -34,6 +34,12 @@ class Schedule {
   std::size_t num_tasks() const { return primary_.size(); }
   std::size_t num_procs() const { return timeline_.size(); }
 
+  /// Clears all placements and incremental caches while keeping every
+  /// vector's capacity, so a recycled Schedule (sched::Scheduler::
+  /// schedule_into) reaches a zero-allocation steady state. Resizes when the
+  /// dimensions differ from the previous use.
+  void reset(std::size_t num_tasks, std::size_t num_procs);
+
   /// Records the primary execution of `task`. Throws InvalidArgument if the
   /// task is already placed or the interval overlaps the processor timeline.
   void place(graph::TaskId task, platform::ProcId proc, double start,
@@ -60,6 +66,10 @@ class Schedule {
   /// when a copy is on `proc` itself, Definition 2). All parents must already
   /// be placed. Entry tasks are ready at 0.
   double ready_time(const Problem& problem, graph::TaskId v,
+                    platform::ProcId proc) const;
+  /// Same computation against the compiled view (identical parent iteration
+  /// order and communication arithmetic, hence identical bits).
+  double ready_time(const CompiledProblem& problem, graph::TaskId v,
                     platform::ProcId proc) const;
 
   /// Chronological placements on a processor.

@@ -1,0 +1,85 @@
+// Uniform problem-view interface for the dual-path scheduler bodies.
+//
+// Every ported scheduler is one template function instantiated twice: once
+// over sim::CompiledProblem (flat CSR/W arrays, the default) and once over
+// sim::LegacyView below (the original pointer-chasing TaskGraph/CostTable
+// reads, kept selectable so bench/micro_layout can measure exactly what the
+// compiled layout buys). Because both views hand the template the same
+// double values in the same iteration order, the two instantiations produce
+// bit-identical schedules — the property tests/compiled_equiv_test.cpp pins.
+//
+// The interface (duck-typed; CompiledProblem implements it natively):
+//   num_tasks, num_procs, procs, children, parents, in_degree, out_degree,
+//   edge_data, exec_time, comm_time_data, mean_comm_data, mean_cost,
+//   stddev_cost, topo_order, entry_tasks, levels, is_free_task, ready_base.
+// Collection-returning calls hand back a span (compiled) or a freshly
+// computed vector (legacy) — template code binds them with `const auto`.
+// ready_base() returns the object sim::Schedule::ready_time dispatches on.
+#pragma once
+
+#include "hdlts/graph/algorithms.hpp"
+#include "hdlts/sim/problem.hpp"
+
+namespace hdlts::sim {
+
+class LegacyView {
+ public:
+  explicit LegacyView(const Problem& p) : p_(&p) {}
+
+  std::size_t num_tasks() const { return p_->num_tasks(); }
+  std::size_t num_procs() const { return p_->num_procs(); }
+  const std::vector<platform::ProcId>& procs() const { return p_->procs(); }
+
+  std::span<const graph::Adjacent> children(graph::TaskId v) const {
+    return p_->graph().children(v);
+  }
+  std::span<const graph::Adjacent> parents(graph::TaskId v) const {
+    return p_->graph().parents(v);
+  }
+  std::size_t out_degree(graph::TaskId v) const {
+    return p_->graph().out_degree(v);
+  }
+  std::size_t in_degree(graph::TaskId v) const {
+    return p_->graph().in_degree(v);
+  }
+  double edge_data(graph::TaskId u, graph::TaskId v) const {
+    return p_->graph().edge_data(u, v);
+  }
+
+  double exec_time(graph::TaskId v, platform::ProcId p) const {
+    return p_->exec_time(v, p);
+  }
+  double comm_time_data(double data, platform::ProcId pu,
+                        platform::ProcId pv) const {
+    return p_->comm_time_data(data, pu, pv);
+  }
+  double mean_comm_data(double data) const { return p_->mean_comm_data(data); }
+  double mean_cost(graph::TaskId v) const { return p_->costs().mean(v); }
+  double stddev_cost(graph::TaskId v) const {
+    return p_->costs().stddev_sample(v);
+  }
+  bool is_free_task(graph::TaskId v) const {
+    const auto row = p_->costs().row(v);
+    for (const double c : row) {
+      if (c > 0.0) return false;
+    }
+    return true;
+  }
+
+  std::vector<graph::TaskId> topo_order() const {
+    return graph::topological_order(p_->graph());
+  }
+  std::vector<graph::TaskId> entry_tasks() const {
+    return p_->graph().entry_tasks();
+  }
+  std::vector<std::size_t> levels() const {
+    return graph::precedence_levels(p_->graph());
+  }
+
+  const Problem& ready_base() const { return *p_; }
+
+ private:
+  const Problem* p_;
+};
+
+}  // namespace hdlts::sim

@@ -5,53 +5,70 @@
 
 namespace hdlts::util {
 
-ReductionTree::ReductionTree(Op op, std::size_t n) : op_(op), n_(n) {
-  if (n == 0) throw InvalidArgument("reduction tree needs >= 1 leaf");
-  while (base_ < n_) base_ *= 2;
-  node_.assign(2 * base_, identity());
+namespace tree_ops {
+
+std::size_t base_for(std::size_t n) {
+  std::size_t base = 1;
+  while (base < n) base *= 2;
+  return base;
 }
 
-double ReductionTree::identity() const {
-  switch (op_) {
-    case Op::kSum:
+double identity(ReductionTree::Op op) {
+  switch (op) {
+    case ReductionTree::Op::kSum:
       return 0.0;
-    case Op::kMin:
+    case ReductionTree::Op::kMin:
       return std::numeric_limits<double>::infinity();
-    case Op::kMax:
+    case ReductionTree::Op::kMax:
       return -std::numeric_limits<double>::infinity();
   }
   throw ContractViolation("unhandled ReductionTree::Op");
 }
 
-double ReductionTree::combine(double a, double b) const {
-  switch (op_) {
-    case Op::kSum:
-      return a + b;
-    case Op::kMin:
-      return std::min(a, b);
-    case Op::kMax:
-      return std::max(a, b);
+void fill_identity(ReductionTree::Op op, std::span<double> nodes) {
+  std::fill(nodes.begin(), nodes.end(), identity(op));
+}
+
+void combine_up(ReductionTree::Op op, std::span<double> nodes,
+                std::size_t base) {
+  for (std::size_t i = base - 1; i >= 1; --i) {
+    nodes[i] = combine(op, nodes[2 * i], nodes[2 * i + 1]);
   }
-  throw ContractViolation("unhandled ReductionTree::Op");
+}
+
+void assign(ReductionTree::Op op, std::span<double> nodes, std::size_t base,
+            std::span<const double> xs) {
+  std::copy(xs.begin(), xs.end(), nodes.begin() + static_cast<long>(base));
+  combine_up(op, nodes, base);
+}
+
+void update(ReductionTree::Op op, std::span<double> nodes, std::size_t base,
+            std::size_t i, double x) {
+  std::size_t node = base + i;
+  nodes[node] = x;
+  for (node /= 2; node >= 1; node /= 2) {
+    nodes[node] = combine(op, nodes[2 * node], nodes[2 * node + 1]);
+  }
+}
+
+}  // namespace tree_ops
+
+ReductionTree::ReductionTree(Op op, std::size_t n) : op_(op), n_(n) {
+  if (n == 0) throw InvalidArgument("reduction tree needs >= 1 leaf");
+  base_ = tree_ops::base_for(n_);
+  node_.assign(2 * base_, tree_ops::identity(op_));
 }
 
 void ReductionTree::assign(std::span<const double> xs) {
   if (xs.size() != n_) {
     throw InvalidArgument("reduction tree assign: size mismatch");
   }
-  std::copy(xs.begin(), xs.end(), node_.begin() + static_cast<long>(base_));
-  for (std::size_t i = base_ - 1; i >= 1; --i) {
-    node_[i] = combine(node_[2 * i], node_[2 * i + 1]);
-  }
+  tree_ops::assign(op_, node_, base_, xs);
 }
 
 void ReductionTree::update(std::size_t i, double x) {
   if (i >= n_) throw InvalidArgument("reduction tree update: leaf out of range");
-  std::size_t node = base_ + i;
-  node_[node] = x;
-  for (node /= 2; node >= 1; node /= 2) {
-    node_[node] = combine(node_[2 * node], node_[2 * node + 1]);
-  }
+  tree_ops::update(op_, node_, base_, i, x);
 }
 
 double ReductionTree::leaf(std::size_t i) const {

@@ -10,8 +10,15 @@
 // with `sum += new - old` drifts away from a fresh left-to-right sum, so an
 // incremental scheduler using it could diverge from its reference on exact
 // PV ties. The fixed reduction tree has no such drift by construction.
+//
+// The arithmetic lives in the span-based tree_ops free functions so that
+// arena-backed trees (core/hdlts.cpp's compiled fast path carves node
+// storage from a ScratchArena) and the owning ReductionTree class reduce
+// through literally the same code — one source of truth for the FP op
+// sequence the bitwise contract depends on.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -44,9 +51,6 @@ class ReductionTree {
   double root() const { return node_[1]; }
 
  private:
-  double combine(double a, double b) const;
-  double identity() const;
-
   Op op_;
   std::size_t n_ = 0;     // logical leaf count
   std::size_t base_ = 1;  // smallest power of two >= n_
@@ -54,5 +58,46 @@ class ReductionTree {
   // node_[base_]; unused leaves hold the identity.
   std::vector<double> node_;
 };
+
+/// Span-based reduction-tree primitives over externally owned node storage.
+/// `nodes` is the 1-indexed complete binary tree (size 2*base, nodes[0]
+/// unused); leaves live at nodes[base + i]. Callers must fill_identity()
+/// once before the first reduction so padding leaves hold the identity.
+namespace tree_ops {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t base_for(std::size_t n);
+
+double identity(ReductionTree::Op op);
+
+inline double combine(ReductionTree::Op op, double a, double b) {
+  switch (op) {
+    case ReductionTree::Op::kSum:
+      return a + b;
+    case ReductionTree::Op::kMin:
+      return std::min(a, b);
+    case ReductionTree::Op::kMax:
+      return std::max(a, b);
+  }
+  throw ContractViolation("unhandled ReductionTree::Op");
+}
+
+/// Fills all 2*base node slots with the op's identity.
+void fill_identity(ReductionTree::Op op, std::span<double> nodes);
+
+/// Recomputes every internal node from the current leaves. O(base).
+void combine_up(ReductionTree::Op op, std::span<double> nodes,
+                std::size_t base);
+
+/// Copies xs into the first xs.size() leaves and recombines. Padding leaves
+/// are untouched (they must already hold the identity). O(base).
+void assign(ReductionTree::Op op, std::span<double> nodes, std::size_t base,
+            std::span<const double> xs);
+
+/// Sets leaf i and recomputes its ancestors. O(log base).
+void update(ReductionTree::Op op, std::span<double> nodes, std::size_t base,
+            std::size_t i, double x);
+
+}  // namespace tree_ops
 
 }  // namespace hdlts::util

@@ -23,6 +23,8 @@ graph::TaskGraph fft_structure(std::size_t points) {
   const std::size_t m = points;
   const auto log2m = static_cast<std::size_t>(std::bit_width(m) - 1);
   graph::TaskGraph g;
+  // 2m-2 tree edges plus 2m per butterfly stage.
+  g.reserve(fft_task_count(points), 2 * (m - 1) + 2 * m * log2m);
 
   // Recursive part: a full binary tree with m leaves (2m-1 nodes), data
   // flowing from the root (the entry task) down to the leaves.

@@ -13,6 +13,7 @@ graph::TaskGraph forkjoin_structure(std::size_t chains, std::size_t length) {
     throw InvalidArgument("forkjoin needs >= 1 chain of length >= 1");
   }
   graph::TaskGraph g;
+  g.reserve(2 + chains * length, chains * (length + 1));
   const graph::TaskId entry = g.add_task("fork");
   std::vector<graph::TaskId> tails;
   tails.reserve(chains);

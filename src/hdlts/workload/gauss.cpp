@@ -15,6 +15,8 @@ graph::TaskGraph gauss_structure(std::size_t matrix_size) {
   if (matrix_size < 2) throw InvalidArgument("gauss needs matrix size >= 2");
   const std::size_t m = matrix_size;
   graph::TaskGraph g;
+  // Each update task has <= 2 in-edges, each pivot <= 1.
+  g.reserve(gauss_task_count(m), m * (m - 1));
   // update[j] holds the most recent task that produced column j.
   std::vector<graph::TaskId> update(m, graph::kInvalidTask);
   graph::TaskId prev_pivot = graph::kInvalidTask;

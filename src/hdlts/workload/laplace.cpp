@@ -18,6 +18,8 @@ graph::TaskGraph laplace_structure(std::size_t size) {
   };
 
   graph::TaskGraph g;
+  // Every task feeds at most two successors.
+  g.reserve(m * m, 2 * m * m);
   std::vector<std::vector<graph::TaskId>> level(levels);
   for (std::size_t l = 0; l < levels; ++l) {
     for (std::size_t i = 0; i < width(l); ++i) {

@@ -22,6 +22,9 @@ graph::TaskGraph montage_structure(const MontageParams& params,
   const std::size_t diffs = budget - 2 * k;
 
   graph::TaskGraph g;
+  // 2 in-edges per mDiffFit + diffs into mConcatFit + 3 per mBackground
+  // stage + the fixed tail chain.
+  g.reserve(params.num_nodes, 3 * diffs + 3 * k + 4);
   std::vector<graph::TaskId> project(k), background(k), diff(diffs);
   for (std::size_t i = 0; i < k; ++i) {
     project[i] = g.add_task("mProjectPP_" + std::to_string(i));

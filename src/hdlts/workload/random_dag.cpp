@@ -46,6 +46,9 @@ graph::TaskGraph random_structure(const RandomDagParams& params,
   }
 
   graph::TaskGraph g;
+  // One mandatory parent edge per non-top task plus ~density extras per
+  // non-bottom task — a close upper bound on the final edge count.
+  g.reserve(params.num_tasks, params.num_tasks * (1 + params.density));
   std::vector<std::vector<graph::TaskId>> level_tasks(levels);
   for (std::size_t l = 0; l < levels; ++l) {
     for (std::size_t i = 0; i < width[l]; ++i) {

@@ -171,6 +171,44 @@ TEST(IncrementalEquivalence, HdltsMatchesReferenceAcrossOptionGrid) {
   EXPECT_GE(problems, 200u);
 }
 
+TEST(IncrementalEquivalence, LegacyPathMatchesReferenceAcrossOptionGrid) {
+  // schedule() now defaults to the compiled flat path, so the grid test
+  // above pins compiled == reference. This one pins the retained legacy
+  // (pointer-chasing) path to the same contract, closing the triangle
+  // compiled == legacy == reference.
+  const auto grid = hdlts_option_grid();
+  for (std::size_t ci = 0; ci < grid.size(); ci += 4) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const sim::Workload w = random_problem(seed * 57 + ci);
+      const sim::Problem problem(w);
+      core::Hdlts legacy(grid[ci]);
+      legacy.set_use_compiled(false);
+      const core::ReferenceHdlts reference(grid[ci]);
+      const sim::Schedule got = legacy.schedule(problem);
+      const sim::Schedule want = reference.schedule(problem);
+      expect_identical(got, want,
+                       "legacy combo " + std::to_string(ci) + ", seed " +
+                           std::to_string(seed));
+      expect_caches_consistent(got);
+    }
+  }
+}
+
+TEST(IncrementalEquivalence, TracedScheduleMatchesUntraced) {
+  // schedule_traced always runs the legacy path; the trace must be a pure
+  // observer, and its schedule must equal the compiled default's.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const sim::Workload w = random_problem(seed * 11 + 1);
+    const sim::Problem problem(w);
+    const core::Hdlts hdlts;
+    core::HdltsTrace trace;
+    const sim::Schedule traced = hdlts.schedule_traced(problem, &trace);
+    const sim::Schedule untraced = hdlts.schedule(problem);
+    expect_identical(traced, untraced, "seed " + std::to_string(seed));
+    EXPECT_EQ(trace.steps.size(), problem.num_tasks());
+  }
+}
+
 TEST(IncrementalEquivalence, HeftMatchesReferenceWithAndWithoutInsertion) {
   std::size_t problems = 0;
   for (const bool insertion : {true, false}) {
