@@ -5,8 +5,11 @@
 // warm-up schedule_into() calls, recycled Schedule, best-of-n), and the
 // operator-new interposer (tests/support/alloc_hook.cpp, linked into this
 // binary only) counts the heap allocations of one steady-state call on each
-// path. The compiled path must report ZERO. Writes BENCH_layout.json so
-// scripts/bench.sh has a layout trajectory to diff against.
+// path. The compiled path must report ZERO. Also measures the telemetry
+// overhead of hdlts: the null-sink (default, compile-time-erased) path vs a
+// full RecordingTrace decision stream. Writes BENCH_layout.json so
+// scripts/bench.sh has a layout trajectory to diff against and can gate the
+// null-sink cost (HDLTS_NULL_SINK_FACTOR).
 //
 // Environment knobs:
 //   HDLTS_LAYOUT_TASKS  task count           (default 2000)
@@ -25,6 +28,7 @@
 #include "support/alloc_hook.hpp"
 
 #include "hdlts/core/hdlts.hpp"
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/util/env.hpp"
 #include "hdlts/util/table.hpp"
 #include "hdlts/workload/random_dag.hpp"
@@ -67,6 +71,31 @@ PathResult measure(const sched::Scheduler& scheduler,
   return r;
 }
 
+/// Steady-state timing of hdlts with a RecordingTrace sink attached. The
+/// trace is cleared (capacity kept) before every call, so each timed call
+/// records one full decision stream into warm buffers — the realistic
+/// enabled-telemetry regime.
+double measure_recording(const sim::Problem& problem, std::size_t reps) {
+  core::Hdlts scheduler;
+  obs::RecordingTrace trace;
+  scheduler.set_trace_sink(&trace);
+  sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  trace.clear();
+  scheduler.schedule_into(problem, out);
+  trace.clear();
+  scheduler.schedule_into(problem, out);
+  double best = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    trace.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    scheduler.schedule_into(problem, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -92,6 +121,7 @@ int main() {
   std::ostringstream rows_json;
   const auto names = ported_schedulers();
   double hdlts_speedup = 0.0;
+  double hdlts_null_sink_ms = 0.0;
   bool failed = false;
 
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -115,7 +145,10 @@ int main() {
     }
 
     const double speedup = legacy.ms / compiled.ms;
-    if (name == "hdlts") hdlts_speedup = speedup;
+    if (name == "hdlts") {
+      hdlts_speedup = speedup;
+      hdlts_null_sink_ms = compiled.ms;
+    }
     table.add_row({name, util::fmt(compiled.ms, 3), util::fmt(legacy.ms, 3),
                    util::fmt(speedup, 2),
                    std::to_string(compiled.steady_allocs),
@@ -130,11 +163,22 @@ int main() {
               << (i + 1 < names.size() ? ",\n" : "\n");
   }
 
+  // Telemetry overhead: the default path IS the null-sink path (the sink
+  // policy is erased at compile time), so its cost is the hdlts compiled
+  // cell above; the recording sink is the full-fidelity decision trace.
+  const double hdlts_recording_ms = measure_recording(problem, reps);
+  const double hdlts_recording_overhead =
+      hdlts_null_sink_ms > 0.0 ? hdlts_recording_ms / hdlts_null_sink_ms : 0.0;
+
   std::cout << "# micro_layout — compiled CSR view vs legacy reads ("
             << tasks << " tasks, " << procs << " procs, steady state)\n";
   table.write_markdown(std::cout);
   std::cout << "\nhdlts layout speedup: " << util::fmt(hdlts_speedup, 2)
-            << "x\n";
+            << "x\n"
+            << "hdlts telemetry: null sink "
+            << util::fmt(hdlts_null_sink_ms, 3) << " ms, recording sink "
+            << util::fmt(hdlts_recording_ms, 3) << " ms ("
+            << util::fmt(hdlts_recording_overhead, 2) << "x)\n";
 
   std::ofstream json(json_path);
   if (!json) {
@@ -144,7 +188,11 @@ int main() {
   json << "{\n  \"bench\": \"micro_layout\",\n  \"seed\": " << seed
        << ",\n  \"rows\": [\n"
        << rows_json.str() << "  ],\n  \"hdlts_layout_speedup\": "
-       << hdlts_speedup << "\n}\n";
+       << hdlts_speedup
+       << ",\n  \"hdlts_null_sink_ms\": " << hdlts_null_sink_ms
+       << ",\n  \"hdlts_recording_ms\": " << hdlts_recording_ms
+       << ",\n  \"hdlts_recording_overhead\": " << hdlts_recording_overhead
+       << "\n}\n";
   std::cout << "wrote " << json_path << "\n";
   return failed ? 1 : 0;
 }

@@ -1,9 +1,10 @@
 // Wall-clock scaling benchmark for the scheduler hot loops: layered random
 // DAGs of 1k/5k/10k tasks on 8/32 processors, every list scheduler that is
-// expected to scale, the legacy (pointer-chasing) HDLTS path, plus the
-// brute-force reference HDLTS (the pre-incremental implementation) so both
-// the incremental-state speedup and the compiled-layout speedup are measured
-// in the same binary. Prints an aligned table and writes
+// expected to scale, the legacy (pointer-chasing) HDLTS path, HDLTS with a
+// recording decision-trace sink (telemetry overhead), plus the brute-force
+// reference HDLTS (the pre-incremental implementation) so the
+// incremental-state speedup, the compiled-layout speedup, and the tracing
+// overhead are all measured in the same binary. Prints an aligned table and writes
 // BENCH_sched_scale.json (ms, tasks/sec, ns/decision per cell and the
 // headline hdlts speedup on the 5k/32 cell) so future PRs have a perf
 // trajectory to diff against (scripts/bench.sh).
@@ -32,6 +33,7 @@
 
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/core/reference.hpp"
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/util/env.hpp"
 #include "hdlts/util/table.hpp"
 #include "hdlts/workload/random_dag.hpp"
@@ -85,16 +87,21 @@ double time_one(const sched::Scheduler& scheduler, const sim::Problem& problem,
 
 /// Steady-state best-of-n: two untimed warm-ups fill the scratch arena and
 /// the recycled Schedule's capacities, then n timed schedule_into() calls;
-/// n shrinks with problem size so the sweep stays short.
+/// n shrinks with problem size so the sweep stays short. When `trace` is
+/// set it is cleared (capacity kept) before every call so each timed call
+/// records one full decision stream into warm buffers.
 double time_scheduler(const sched::Scheduler& scheduler,
                       const sim::Problem& problem, std::size_t tasks,
-                      double* makespan) {
+                      double* makespan, obs::RecordingTrace* trace = nullptr) {
   const std::size_t reps = tasks <= 1000 ? 5 : (tasks <= 5000 ? 3 : 2);
   sim::Schedule out(problem.num_tasks(), problem.num_procs());
+  if (trace != nullptr) trace->clear();
   scheduler.schedule_into(problem, out);
+  if (trace != nullptr) trace->clear();
   scheduler.schedule_into(problem, out);
   double best = 0.0;
   for (std::size_t r = 0; r < reps; ++r) {
+    if (trace != nullptr) trace->clear();
     const auto t0 = std::chrono::steady_clock::now();
     scheduler.schedule_into(problem, out);
     const auto t1 = std::chrono::steady_clock::now();
@@ -135,9 +142,11 @@ int main() {
   util::Table table({"tasks", "procs", "scheduler", "ms", "tasks/sec",
                      "ns/decision"});
   std::vector<Row> rows;
-  // ms of ("hdlts" | "hdlts-reference") on the headline 5k/32 cell.
+  // ms of ("hdlts" | "hdlts-reference" | "hdlts-recording") on the headline
+  // 5k/32 cell.
   double headline_opt = 0.0;
   double headline_ref = 0.0;
+  double headline_recording = 0.0;
 
   for (const std::size_t nt : sizes) {
     for (const std::size_t np : procs) {
@@ -166,6 +175,26 @@ int main() {
         if (name == "hdlts") {
           opt_makespan = makespan;
           if (nt == 5000 && np == 32) headline_opt = ms;
+        }
+      }
+      {
+        // Telemetry enabled: the same compiled hot loop with a
+        // RecordingTrace sink capturing every decision. The gap to the
+        // "hdlts" (null sink) row is the full-fidelity tracing overhead.
+        core::Hdlts recording_hdlts;
+        obs::RecordingTrace trace;
+        recording_hdlts.set_trace_sink(&trace);
+        double recording_makespan = 0.0;
+        const double ms = time_scheduler(recording_hdlts, problem, nt,
+                                         &recording_makespan, &trace);
+        record("hdlts-recording", ms, recording_makespan);
+        if (nt == 5000 && np == 32) headline_recording = ms;
+        if (recording_makespan != opt_makespan) {
+          std::cerr << "FATAL: hdlts with a recording sink (" << recording_makespan
+                    << ") and the null-sink path (" << opt_makespan
+                    << ") disagree on " << nt << " tasks / " << np
+                    << " procs\n";
+          return 1;
         }
       }
       {
@@ -207,6 +236,10 @@ int main() {
     std::cout << "\nhdlts incremental speedup (5k tasks, 32 procs): "
               << util::fmt(headline_ref / headline_opt, 1) << "x\n";
   }
+  if (headline_recording > 0.0 && headline_opt > 0.0) {
+    std::cout << "hdlts recording-sink overhead (5k tasks, 32 procs): "
+              << util::fmt(headline_recording / headline_opt, 2) << "x\n";
+  }
 
   std::ofstream json(json_path);
   if (!json) {
@@ -221,6 +254,10 @@ int main() {
   json << "  ]";
   if (headline_ref > 0.0 && headline_opt > 0.0) {
     json << ",\n  \"hdlts_speedup_5k_32\": " << headline_ref / headline_opt;
+  }
+  if (headline_recording > 0.0 && headline_opt > 0.0) {
+    json << ",\n  \"hdlts_recording_overhead_5k_32\": "
+         << headline_recording / headline_opt;
   }
   json << "\n}\n";
   std::cout << "\nwrote " << json_path << "\n";

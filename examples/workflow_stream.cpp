@@ -3,9 +3,13 @@
 // value vs a FIFO baseline.
 //
 //   $ ./workflow_stream --workflows=5 --gap=100 --cpus=4
+//   $ ./workflow_stream --trace-out=stream.json   # Chrome trace of the PV run
+#include <fstream>
 #include <iostream>
 
 #include "hdlts/core/stream.hpp"
+#include "hdlts/obs/export.hpp"
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/util/cli.hpp"
 #include "hdlts/util/rng.hpp"
 #include "hdlts/util/table.hpp"
@@ -33,7 +37,10 @@ int main(int argc, char** argv) {
   core::StreamOptions pv;
   core::StreamOptions fifo;
   fifo.policy = core::StreamPolicy::kFifoEft;
-  const core::StreamResult a = core::run_stream(stream, pv);
+  obs::RecordingTrace recording;
+  const bool tracing = cli.has("trace-out");
+  const core::StreamResult a =
+      core::run_stream(stream, pv, tracing ? &recording : nullptr);
   const core::StreamResult b = core::run_stream(stream, fifo);
 
   std::cout << workflows << " workflows arriving every " << gap << " on "
@@ -50,5 +57,13 @@ int main(int argc, char** argv) {
   table.write_markdown(std::cout);
   std::cout << "\nstream makespan: PV " << util::fmt(a.makespan, 1)
             << " vs FIFO " << util::fmt(b.makespan, 1) << "\n";
+  if (tracing) {
+    // No sim::Schedule exists for a stream run; the exporter rebuilds the
+    // per-processor lanes from the recorded placement events.
+    const std::string path = cli.get("trace-out", "stream.json");
+    std::ofstream out(path);
+    obs::write_chrome_trace(out, nullptr, &recording, nullptr);
+    std::cout << "wrote " << path << "\n";
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "hdlts/graph/analysis.hpp"
 #include "hdlts/io/workload_io.hpp"
 #include "hdlts/metrics/metrics.hpp"
+#include "hdlts/obs/export.hpp"
 #include "hdlts/report/gantt_svg.hpp"
 #include "hdlts/sim/gantt.hpp"
 #include "hdlts/util/cli.hpp"
@@ -35,10 +36,20 @@ int usage() {
       "      [--tasks=N --points=M --nodes=N --matrix=M]\n"
       "      [--cpus=P --ccr=X --beta=X --wdag=X --seed=S] --out=FILE\n"
       "  workflow_tool schedule FILE [--scheduler=hdlts] [--gantt]\n"
-      "      [--csv=FILE] [--svg=FILE]\n"
+      "      [--csv=FILE] [--svg=FILE] [--trace-out=FILE]\n"
+      "      [--counters-out=FILE]\n"
       "  workflow_tool profile FILE\n"
-      "  workflow_tool compare FILE [--schedulers=a,b,c]\n";
+      "  workflow_tool compare FILE [--schedulers=a,b,c]\n"
+      "      [--trace-out=FILE] [--counters-out=FILE]\n";
   return 2;
+}
+
+/// Dumps the process-wide metric registry as JSON ({"counters":..,...}).
+void write_counters_file(const std::string& path) {
+  std::ofstream out(path);
+  obs::write_counters_json(out, obs::MetricRegistry::global());
+  out << "\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 sim::Workload generate(const util::Cli& cli) {
@@ -135,14 +146,31 @@ int main(int argc, char** argv) {
         std::string token;
         while (std::getline(ls, token, ',')) names.push_back(token);
       }
+      obs::RecordingTrace recording;
+      const bool tracing = cli.has("trace-out");
+      if (tracing) obs::SpanLog::global().enable();
       util::Table table({"scheduler", "makespan", "SLR", "efficiency"});
       for (const auto& name : names) {
-        const sim::Schedule s = registry.make(name)->schedule(problem);
+        const auto scheduler = registry.make(name);
+        if (tracing) scheduler->set_trace_sink(&recording);
+        const sim::Schedule s = scheduler->schedule(problem);
         table.add_row({name, util::fmt(s.makespan(), 2),
                        util::fmt(metrics::slr(problem, s), 3),
                        util::fmt(metrics::efficiency(problem, s), 3)});
       }
       table.write_markdown(std::cout);
+      if (tracing) {
+        const std::string path = cli.get("trace-out", "trace.json");
+        std::ofstream out(path);
+        obs::ChromeTraceOptions trace_options;
+        trace_options.graph = &w.graph;
+        obs::write_chrome_trace(out, nullptr, &recording,
+                                &obs::SpanLog::global(), trace_options);
+        std::cout << "wrote " << path << "\n";
+      }
+      if (cli.has("counters-out")) {
+        write_counters_file(cli.get("counters-out", "counters.json"));
+      }
       return 0;
     }
 
@@ -152,6 +180,12 @@ int main(int argc, char** argv) {
       const sim::Problem problem(w);
       const auto scheduler =
           core::default_registry().make(cli.get("scheduler", "hdlts"));
+      obs::RecordingTrace recording;
+      const bool tracing = cli.has("trace-out");
+      if (tracing) {
+        scheduler->set_trace_sink(&recording);
+        obs::SpanLog::global().enable();
+      }
       const sim::Schedule schedule = scheduler->schedule(problem);
       const auto violations = schedule.validate(problem);
       if (!violations.empty()) {
@@ -180,6 +214,18 @@ int main(int argc, char** argv) {
         report::save_gantt_svg(cli.get("svg", "schedule.svg"), schedule,
                                gantt_options);
         std::cout << "wrote " << cli.get("svg", "schedule.svg") << "\n";
+      }
+      if (tracing) {
+        const std::string path = cli.get("trace-out", "trace.json");
+        std::ofstream out(path);
+        obs::ChromeTraceOptions trace_options;
+        trace_options.graph = &w.graph;
+        obs::write_chrome_trace(out, &schedule, &recording,
+                                &obs::SpanLog::global(), trace_options);
+        std::cout << "wrote " << path << "\n";
+      }
+      if (cli.has("counters-out")) {
+        write_counters_file(cli.get("counters-out", "counters.json"));
       }
       return 0;
     }

@@ -9,7 +9,10 @@
 # over the legacy layout, or when any scheduler cell regressed by more than
 # the allowed factor (wall-clock comparisons across machines are noisy, so
 # the factor is deliberately loose; override with
-# HDLTS_BENCH_REGRESSION_FACTOR).
+# HDLTS_BENCH_REGRESSION_FACTOR). Additionally gates the telemetry contract:
+# the hdlts null-sink path (telemetry compiled in, no sink attached) must
+# stay within HDLTS_NULL_SINK_FACTOR (default 1.02) of the committed
+# baseline, and the recording-sink overhead is reported alongside.
 #
 # Usage: scripts/bench.sh [--update]
 #   --update  rewrite the committed baselines with the fresh measurements
@@ -24,6 +27,10 @@ FRESH="${BUILD_DIR}/BENCH_sched_scale.json"
 LAYOUT_BASELINE=bench/BENCH_layout.json
 LAYOUT_FRESH="${BUILD_DIR}/BENCH_layout.json"
 FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-3.0}"
+# Telemetry gate: the null-sink (default) hdlts path must stay within this
+# factor of the committed baseline — the "telemetry compiled in but off adds
+# <2%" contract. Skipped when the baseline predates the field.
+NULL_SINK_FACTOR="${HDLTS_NULL_SINK_FACTOR:-1.02}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -37,8 +44,30 @@ echo "== running bench/micro_scale (this builds the perf trajectory) =="
 
 echo
 echo "== running bench/micro_layout (compiled vs legacy + allocation counts) =="
+# Wall-clock noise on shared machines easily exceeds the 2% telemetry bound,
+# so the telemetry cells take the best (min) over three runs with a deep
+# best-of per run; the scheduler cell diff uses the first run as before.
+export HDLTS_LAYOUT_REPS="${HDLTS_LAYOUT_REPS:-25}"
 (cd "${BUILD_DIR}" && HDLTS_LAYOUT_JSON=BENCH_layout.json \
   ./bench/micro_layout)
+if command -v python3 >/dev/null 2>&1; then
+  for extra in 2 3; do
+    (cd "${BUILD_DIR}" && HDLTS_LAYOUT_JSON="BENCH_layout_run${extra}.json" \
+      ./bench/micro_layout >/dev/null)
+  done
+  python3 - "${LAYOUT_FRESH}" "${BUILD_DIR}/BENCH_layout_run2.json" \
+    "${BUILD_DIR}/BENCH_layout_run3.json" <<'EOF'
+import json, sys
+paths = sys.argv[1:]
+docs = [json.load(open(p)) for p in paths]
+doc = docs[0]
+for key in ("hdlts_null_sink_ms", "hdlts_recording_ms"):
+    doc[key] = min(d[key] for d in docs)
+doc["hdlts_recording_overhead"] = (
+    doc["hdlts_recording_ms"] / doc["hdlts_null_sink_ms"])
+json.dump(doc, open(paths[0], "w"), indent=2)
+EOF
+fi
 
 echo
 echo "== running bench/micro_schedulers (google-benchmark sweep) =="
@@ -110,10 +139,11 @@ if worst[0] is not None:
 sys.exit(1 if failed else 0)
 EOF
 
-python3 - "$LAYOUT_BASELINE" "$LAYOUT_FRESH" "$FACTOR" <<'EOF'
+python3 - "$LAYOUT_BASELINE" "$LAYOUT_FRESH" "$FACTOR" "$NULL_SINK_FACTOR" <<'EOF'
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+null_sink_factor = float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
@@ -150,6 +180,33 @@ else:
     print(f"ok: hdlts layout speedup {speedup:.2f}x (baseline "
           f"{baseline.get('hdlts_layout_speedup', float('nan')):.2f}x), "
           f"compiled steady-state allocs all 0")
+
+# Telemetry rows: null-sink (telemetry compiled in, no sink attached) vs a
+# full RecordingTrace decision stream.
+null_ms = fresh.get("hdlts_null_sink_ms")
+rec_ms = fresh.get("hdlts_recording_ms")
+rec_overhead = fresh.get("hdlts_recording_overhead")
+if null_ms is None:
+    print("FAIL: fresh run has no hdlts_null_sink_ms (telemetry bench not run?)")
+    failed = True
+else:
+    print(f"telemetry: null-sink {null_ms:.3f} ms, recording "
+          f"{rec_ms:.3f} ms ({rec_overhead:.2f}x)")
+    base_null = baseline.get("hdlts_null_sink_ms")
+    if base_null is None:
+        print("note: baseline predates hdlts_null_sink_ms; null-sink gate "
+              "skipped (run scripts/bench.sh --update)")
+    else:
+        ratio = null_ms / base_null
+        if ratio > null_sink_factor:
+            print(f"FAIL: hdlts null-sink path regressed {ratio:.3f}x vs "
+                  f"baseline ({base_null:.3f} ms -> {null_ms:.3f} ms, "
+                  f"allowed {null_sink_factor:.2f}x) — telemetry is leaking "
+                  f"into the disabled path")
+            failed = True
+        else:
+            print(f"ok: hdlts null-sink path at {ratio:.3f}x of baseline "
+                  f"(allowed {null_sink_factor:.2f}x)")
 
 sys.exit(1 if failed else 0)
 EOF

@@ -1,12 +1,55 @@
 #include "hdlts/core/hdlts.hpp"
 
 #include <algorithm>
+#include <array>
+#include <limits>
 
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/span.hpp"
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 
 namespace hdlts::core {
 
 namespace {
+
+/// Registry references cached once (function-local static), so steady-state
+/// calls touch only relaxed atomics: the hot loops aggregate into plain
+/// locals and flush here once per schedule call.
+struct HdltsMetrics {
+  obs::Counter& calls;
+  obs::Counter& tasks_placed;
+  obs::Counter& duplicates_placed;
+  obs::Counter& eft_refreshes;
+  obs::Gauge& itq_high_water;
+  obs::Histogram& itq_peak_width;
+
+  static HdltsMetrics& get() {
+    static constexpr std::array<double, 8> kWidthBounds = {1.0,  2.0,  4.0,
+                                                           8.0,  16.0, 32.0,
+                                                           64.0, 128.0};
+    static HdltsMetrics m{
+        obs::MetricRegistry::global().counter("hdlts.schedule_calls"),
+        obs::MetricRegistry::global().counter("hdlts.tasks_placed"),
+        obs::MetricRegistry::global().counter("hdlts.duplicates_placed"),
+        obs::MetricRegistry::global().counter("hdlts.eft_refreshes"),
+        obs::MetricRegistry::global().gauge("hdlts.itq_high_water"),
+        obs::MetricRegistry::global().histogram("hdlts.itq_peak_width",
+                                                kWidthBounds),
+    };
+    return m;
+  }
+
+  void flush(std::uint64_t placed, std::uint64_t duplicates,
+             std::uint64_t refreshes, std::size_t high_water) {
+    calls.add(1);
+    tasks_placed.add(placed);
+    duplicates_placed.add(duplicates);
+    eft_refreshes.add(refreshes);
+    itq_high_water.record_max(static_cast<double>(high_water));
+    itq_peak_width.observe(static_cast<double>(high_water));
+  }
+};
 
 /// A task sitting in the ITQ (legacy path). Ready times are fixed once a
 /// task becomes independent (all parents are placed — and duplicated, if
@@ -34,6 +77,7 @@ sim::Schedule Hdlts::schedule(const sim::Problem& problem) const {
 
 void Hdlts::schedule_into(const sim::Problem& problem,
                           sim::Schedule& out) const {
+  const obs::TimingSpan span("hdlts.schedule_into");
   out.reset(problem.num_tasks(), problem.num_procs());
   if (use_compiled()) {
     run_compiled(problem.compiled(), out);
@@ -54,6 +98,15 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
   const auto& g = problem.graph();
   const auto& procs = problem.procs();
   const std::size_t np = procs.size();
+
+  obs::DecisionTrace* const sink = trace_sink();
+  if (sink != nullptr) {
+    sink->on_begin({name(), problem.num_tasks(), problem.num_procs()});
+  }
+  std::uint64_t eft_recomputes = 0;
+  std::uint64_t dup_count = 0;
+  std::size_t itq_high_water = 0;
+  std::size_t step_index = 0;
 
   const auto entries = g.entry_tasks();
   const bool unique_entry = entries.size() == 1;
@@ -107,6 +160,7 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
       }
     }
     for (const std::size_t pi : dirty) dirty_seen[pi] = false;
+    eft_recomputes += dirty.size() * itq.size();
     for (ItqEntry& e : itq) {
       for (const std::size_t pi : dirty) {
         const double eft = eft_of(e, pi);
@@ -165,23 +219,48 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
       // The duplicate "benefits" child j when it finishes before j's input
       // could arrive from the primary copy over the network.
       std::size_t benefits = 0;
+      double best_arrival = std::numeric_limits<double>::infinity();
       for (const graph::Adjacent& c : children) {
         const double arrival =
             primary.finish + problem.comm_time_data(c.data, primary.proc, k);
+        best_arrival = std::min(best_arrival, arrival);
         if (dup_finish < arrival) ++benefits;
       }
       const bool do_duplicate =
           options_.duplication == DuplicationRule::kAnyChildBenefits
               ? benefits > 0
               : benefits == children.size();
+      if (sink != nullptr) {
+        obs::DuplicationEvent ev;
+        ev.task = v;
+        ev.primary_proc = primary.proc;
+        ev.candidate_proc = k;
+        ev.dup_start = dup_start;
+        ev.dup_finish = dup_finish;
+        ev.best_arrival = best_arrival;
+        ev.benefits = benefits;
+        ev.num_children = children.size();
+        ev.accepted = do_duplicate;
+        sink->on_duplication(ev);
+      }
       if (do_duplicate) {
         schedule.place_duplicate(v, k, dup_start, dup_finish);
+        ++dup_count;
+        if (sink != nullptr) {
+          sink->on_placement({v, k, dup_start, dup_finish, true});
+        }
         if (trace != nullptr) trace->duplicated_on.push_back(k);
       }
     }
   };
 
+  // ITQ snapshot scratch for the sink (queue order, matching the compiled
+  // path's position-parallel arrays bit for bit).
+  std::vector<graph::TaskId> snap_tasks;
+  std::vector<double> snap_pvs;
+
   while (!itq.empty()) {
+    itq_high_water = std::max(itq_high_water, itq.size());
     // Prioritize: every entry's cached PV is current (refreshed after the
     // previous placement), so a round costs O(|ITQ|) instead of O(|ITQ| * P).
     auto pv_of = [&](const ItqEntry& e) {
@@ -223,6 +302,15 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
       trace->steps.push_back(std::move(sorted));
     }
 
+    if (sink != nullptr) {
+      snap_tasks.clear();
+      snap_pvs.clear();
+      for (const ItqEntry& e : itq) {
+        snap_tasks.push_back(e.task);
+        snap_pvs.push_back(pv_of(e));
+      }
+    }
+
     // Select the min-EFT processor (ties: lower processor id) from the
     // cached row, then drop the entry via swap-remove (O(1); the pick rule
     // above never depends on queue order).
@@ -239,8 +327,25 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
     const double start = finish - problem.exec_time(chosen_entry.task, proc);
     if (trace != nullptr) trace->steps.back().chosen = proc;
 
+    if (sink != nullptr) {
+      obs::StepEvent ev;
+      ev.step = step_index;
+      ev.itq_tasks = snap_tasks;
+      ev.itq_pv = snap_pvs;
+      ev.selected = chosen_entry.task;
+      ev.eft = row;
+      ev.chosen = proc;
+      ev.start = start;
+      ev.finish = finish;
+      sink->on_step(ev);
+    }
+    ++step_index;
+
     const std::uint64_t mark = schedule.state_version();
     schedule.place(chosen_entry.task, proc, start, finish);
+    if (sink != nullptr) {
+      sink->on_placement({chosen_entry.task, proc, start, finish, false});
+    }
     if (qualifies_for_duplication(chosen_entry.task)) {
       duplicate_task(chosen_entry.task);
     }
@@ -251,6 +356,29 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
   }
 
   HDLTS_ENSURES(schedule.num_placed() == problem.num_tasks());
+  if (sink != nullptr) {
+    obs::ScheduleEndEvent ev;
+    ev.makespan = schedule.makespan();
+    ev.steps = step_index;
+    ev.itq_high_water = itq_high_water;
+    ev.arena_bytes = 0;  // the legacy path does not use the scratch arena
+    ev.duplicates = dup_count;
+    sink->on_end(ev);
+  }
+  HdltsMetrics::get().flush(schedule.num_placed(), dup_count, eft_recomputes,
+                            itq_high_water);
+}
+
+// Dispatch on whether a sink is attached: the no-sink instantiation erases
+// every telemetry block at compile time (obs::NullSink::kEnabled is false),
+// so an uninstrumented schedule call runs the pre-telemetry hot loop.
+void Hdlts::run_compiled(const sim::CompiledProblem& problem,
+                         sim::Schedule& schedule) const {
+  if (trace_sink() == nullptr) {
+    run_compiled_impl(problem, schedule, obs::NullSink{});
+  } else {
+    run_compiled_impl(problem, schedule, obs::SinkRef{trace_sink()});
+  }
 }
 
 // Flat fast path. Same algorithm as run_legacy, with the per-entry
@@ -268,8 +396,10 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
 // cache lines instead of striding over V-sized arrays. PVs are additionally
 // mirrored into an ITQ-position-parallel array so the selection scan is a
 // single contiguous sweep.
-void Hdlts::run_compiled(const sim::CompiledProblem& problem,
-                         sim::Schedule& schedule) const {
+template <typename Sink>
+void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
+                              sim::Schedule& schedule,
+                              [[maybe_unused]] Sink sink) const {
   util::ScratchArena& arena = scratch();
   arena.reset();
 
@@ -284,6 +414,14 @@ void Hdlts::run_compiled(const sim::CompiledProblem& problem,
 
   const auto entries = problem.entry_tasks();
   const bool unique_entry = entries.size() == 1;
+
+  if constexpr (Sink::kEnabled) {
+    sink->on_begin({name(), problem.num_tasks(), problem.num_procs()});
+  }
+  std::uint64_t eft_recomputes = 0;
+  std::uint64_t dup_count = 0;
+  std::size_t itq_high_water = 0;
+  std::size_t step_index = 0;
 
   // Slot-indexed SoA state (uninitialized until a slot is acquired). Slot
   // ids are handed out sequentially and recycled LIFO, so although the
@@ -354,6 +492,7 @@ void Hdlts::run_compiled(const sim::CompiledProblem& problem,
       }
     }
     for (std::size_t di = 0; di < dirty_size; ++di) dirty_seen[dirty[di]] = 0;
+    eft_recomputes += dirty_size * itq_size;
     for (std::size_t i = 0; i < itq_size; ++i) {
       const graph::TaskId v = itq_task[i];
       const std::size_t slot = itq_slot[i];
@@ -422,11 +561,39 @@ void Hdlts::run_compiled(const sim::CompiledProblem& problem,
           options_.duplication == DuplicationRule::kAnyChildBenefits
               ? benefits > 0
               : benefits == children.size();
-      if (do_duplicate) schedule.place_duplicate(v, k, dup_start, dup_finish);
+      if constexpr (Sink::kEnabled) {
+        // A second pass (cold; sink attached only) for the min arrival the
+        // accept/reject verdict was compared against.
+        double best_arrival = std::numeric_limits<double>::infinity();
+        for (const graph::Adjacent& c : children) {
+          const double arrival =
+              primary.finish + problem.comm_time_data(c.data, primary.proc, k);
+          best_arrival = std::min(best_arrival, arrival);
+        }
+        obs::DuplicationEvent ev;
+        ev.task = v;
+        ev.primary_proc = primary.proc;
+        ev.candidate_proc = k;
+        ev.dup_start = dup_start;
+        ev.dup_finish = dup_finish;
+        ev.best_arrival = best_arrival;
+        ev.benefits = benefits;
+        ev.num_children = children.size();
+        ev.accepted = do_duplicate;
+        sink->on_duplication(ev);
+      }
+      if (do_duplicate) {
+        schedule.place_duplicate(v, k, dup_start, dup_finish);
+        ++dup_count;
+        if constexpr (Sink::kEnabled) {
+          sink->on_placement({v, k, dup_start, dup_finish, true});
+        }
+      }
     }
   };
 
   while (itq_size > 0) {
+    itq_high_water = std::max(itq_high_water, itq_size);
     // Highest PV wins; ties go to the lower task id (order-independent, so
     // the swap-remove compaction below cannot change picks).
     std::size_t pick = 0;
@@ -441,12 +608,9 @@ void Hdlts::run_compiled(const sim::CompiledProblem& problem,
 
     const graph::TaskId chosen = itq_task[pick];
     const std::uint32_t slot = itq_slot[pick];
-    const std::size_t last = itq_size - 1;
-    itq_task[pick] = itq_task[last];
-    itq_slot[pick] = itq_slot[last];
-    itq_pv[pick] = itq_pv[last];
-    itq_size = last;
 
+    // CPU selection from the cached row. The row is slot-indexed, so running
+    // the argmin before the queue compaction below reads the same bits.
     const auto row = eft.subspan(slot * np, np);
     std::size_t best = 0;
     for (std::size_t pi = 1; pi < np; ++pi) {
@@ -455,12 +619,36 @@ void Hdlts::run_compiled(const sim::CompiledProblem& problem,
     const platform::ProcId proc = procs[best];
     const double finish = row[best];
     const double start = finish - problem.exec_time(chosen, proc);
+
+    if constexpr (Sink::kEnabled) {
+      // Snapshot before the swap-remove so the ITQ spans are intact.
+      obs::StepEvent ev;
+      ev.step = step_index;
+      ev.itq_tasks = {itq_task.data(), itq_size};
+      ev.itq_pv = {itq_pv.data(), itq_size};
+      ev.selected = chosen;
+      ev.eft = row;
+      ev.chosen = proc;
+      ev.start = start;
+      ev.finish = finish;
+      sink->on_step(ev);
+    }
+    ++step_index;
+
+    const std::size_t last = itq_size - 1;
+    itq_task[pick] = itq_task[last];
+    itq_slot[pick] = itq_slot[last];
+    itq_pv[pick] = itq_pv[last];
+    itq_size = last;
     // The chosen task's rows are dead from here on; recycle the slot so the
     // next push reuses the hot cache lines.
     free_slots[free_size++] = slot;
 
     const std::uint64_t mark = schedule.state_version();
     schedule.place(chosen, proc, start, finish);
+    if constexpr (Sink::kEnabled) {
+      sink->on_placement({chosen, proc, start, finish, false});
+    }
     if (qualifies_for_duplication(chosen)) duplicate_task(chosen);
     refresh_dirty_columns(mark);
     for (const graph::Adjacent& c : problem.children(chosen)) {
@@ -469,6 +657,17 @@ void Hdlts::run_compiled(const sim::CompiledProblem& problem,
   }
 
   HDLTS_ENSURES(schedule.num_placed() == n);
+  if constexpr (Sink::kEnabled) {
+    obs::ScheduleEndEvent ev;
+    ev.makespan = schedule.makespan();
+    ev.steps = step_index;
+    ev.itq_high_water = itq_high_water;
+    ev.arena_bytes = arena.used();
+    ev.duplicates = dup_count;
+    sink->on_end(ev);
+  }
+  HdltsMetrics::get().flush(schedule.num_placed(), dup_count, eft_recomputes,
+                            itq_high_water);
 }
 
 sched::Registry default_registry() {

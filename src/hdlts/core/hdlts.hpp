@@ -101,13 +101,23 @@ class Hdlts final : public sched::Scheduler {
 
  private:
   /// Original implementation over the mutable TaskGraph/CostTable reads.
+  /// `sink` (sched::Scheduler::trace_sink, may be null) receives the same
+  /// decision events as the compiled path, in the same order.
   void run_legacy(const sim::Problem& problem, HdltsTrace* trace,
                   sim::Schedule& schedule) const;
   /// Flat fast path over sim::CompiledProblem: task-indexed SoA ready/EFT
   /// rows and arena-backed PV reduction trees, bit-identical to run_legacy
   /// (same FP op sequences; enforced in tests/compiled_equiv_test.cpp).
+  /// Dispatches to run_compiled_impl on whether a trace sink is attached.
   void run_compiled(const sim::CompiledProblem& problem,
                     sim::Schedule& schedule) const;
+  /// The hot loop, templated on a compile-time sink policy (obs::NullSink /
+  /// obs::SinkRef): with NullSink every telemetry block is erased by
+  /// `if constexpr`, so the uninstrumented path keeps its zero-allocation
+  /// steady state and bit-identical schedules.
+  template <typename Sink>
+  void run_compiled_impl(const sim::CompiledProblem& problem,
+                         sim::Schedule& schedule, Sink sink) const;
 
   HdltsOptions options_;
 };

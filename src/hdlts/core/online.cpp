@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/trace.hpp"
+
 namespace hdlts::core {
 
 namespace {
@@ -148,10 +151,15 @@ void run_phase(const sim::Problem& problem, sim::Schedule& schedule,
 
 OnlineResult run_online(const sim::Workload& workload,
                         std::span<const ProcFailure> failures,
-                        const HdltsOptions& options) {
+                        const HdltsOptions& options,
+                        obs::DecisionTrace* sink) {
   sim::Workload state = workload;
   state.validate();
   const std::size_t n = state.graph.num_tasks();
+
+  if (sink != nullptr) {
+    sink->on_begin({"online-hdlts", n, state.platform.num_procs()});
+  }
 
   std::vector<ProcFailure> pending_failures(failures.begin(), failures.end());
   std::sort(pending_failures.begin(), pending_failures.end(),
@@ -190,6 +198,7 @@ OnlineResult run_online(const sim::Workload& workload,
       }
     }
 
+    if (sink != nullptr) sink->on_note("online.phase_start", phase_start);
     std::vector<OnlineExec> fresh;
     run_phase(problem, schedule, done, phase_start, options, cold, fresh);
     cold = false;
@@ -207,6 +216,7 @@ OnlineResult run_online(const sim::Workload& workload,
     const ProcFailure fail = pending_failures.front();
     pending_failures.erase(pending_failures.begin());
     if (!state.platform.is_alive(fail.proc)) continue;  // duplicate failure
+    if (sink != nullptr) sink->on_note("online.failure", fail.time);
 
     for (OnlineExec& e : fresh) {
       const bool on_failed = e.proc == fail.proc;
@@ -219,6 +229,7 @@ OnlineResult run_online(const sim::Workload& workload,
           e.finish = fail.time;
           result.executions.push_back(e);
           ++result.lost_executions;
+          if (sink != nullptr) sink->on_note("online.lost_execution", fail.time);
         } else {
           committed.push_back(e);  // keeps running on a healthy machine
         }
@@ -243,6 +254,28 @@ OnlineResult run_online(const sim::Workload& workload,
               if (a.start != b.start) return a.start < b.start;
               return a.task < b.task;
             });
+
+  if (sink != nullptr) {
+    std::size_t duplicates = 0;
+    for (const OnlineExec& e : result.executions) {
+      if (e.lost) continue;  // lost attempts are notes, not placements
+      if (e.duplicate) ++duplicates;
+      sink->on_placement({e.task, e.proc, e.start, e.finish, e.duplicate});
+    }
+    obs::ScheduleEndEvent end;
+    end.makespan = result.makespan;
+    end.steps = result.executions.size() - result.lost_executions;
+    end.duplicates = duplicates;
+    sink->on_end(end);
+  }
+  {
+    static obs::Counter& runs =
+        obs::MetricRegistry::global().counter("online.runs");
+    static obs::Counter& lost =
+        obs::MetricRegistry::global().counter("online.lost_executions");
+    runs.add(1);
+    lost.add(result.lost_executions);
+  }
   return result;
 }
 

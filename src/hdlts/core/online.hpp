@@ -22,6 +22,10 @@
 
 #include "hdlts/core/hdlts.hpp"
 
+namespace hdlts::obs {
+class DecisionTrace;
+}
+
 namespace hdlts::core {
 
 struct ProcFailure {
@@ -50,8 +54,12 @@ struct OnlineResult {
 /// Runs the workflow to completion under the given failures (which must not
 /// kill every processor if completion is expected). Failures are applied in
 /// time order; duplicate failures of the same processor are ignored.
+/// `sink` (optional) receives the run as structured events: begin, a note
+/// per phase start / applied failure / lost execution, every surviving
+/// execution as a placement, and an end event with the online makespan.
 OnlineResult run_online(const sim::Workload& workload,
                         std::span<const ProcFailure> failures,
-                        const HdltsOptions& options = {});
+                        const HdltsOptions& options = {},
+                        obs::DecisionTrace* sink = nullptr);
 
 }  // namespace hdlts::core

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/trace.hpp"
+
 namespace hdlts::core {
 
 namespace {
@@ -19,7 +22,7 @@ struct ItqEntry {
 }  // namespace
 
 StreamResult run_stream(std::span<const StreamArrival> arrivals,
-                        const StreamOptions& options) {
+                        const StreamOptions& options, obs::DecisionTrace* sink) {
   if (arrivals.empty()) {
     throw InvalidArgument("workflow stream must not be empty");
   }
@@ -73,6 +76,12 @@ StreamResult run_stream(std::span<const StreamArrival> arrivals,
   const sim::Problem problem(combined);
   const auto& procs = problem.procs();
   const std::size_t np = procs.size();
+
+  if (sink != nullptr) {
+    sink->on_begin({options.policy == StreamPolicy::kHdltsPv ? "stream-hdlts"
+                                                             : "stream-fifo",
+                    total, num_procs});
+  }
 
   // Arrival phases in time order.
   std::vector<std::size_t> phase_order(arrivals.size());
@@ -141,6 +150,9 @@ StreamResult run_stream(std::span<const StreamArrival> arrivals,
       const platform::ProcId proc = procs[best];
       const double start = best_eft - problem.exec_time(chosen.task, proc);
       schedule.place(chosen.task, proc, start, best_eft);
+      if (sink != nullptr) {
+        sink->on_placement({chosen.task, proc, start, best_eft, false});
+      }
       for (const graph::Adjacent& c : problem.graph().children(chosen.task)) {
         if (released[c.task] && --pending[c.task] == 0) push_ready(c.task);
       }
@@ -148,6 +160,7 @@ StreamResult run_stream(std::span<const StreamArrival> arrivals,
   };
 
   for (const std::size_t w : phase_order) {
+    if (sink != nullptr) sink->on_note("stream.arrival", arrivals[w].arrival);
     // Release workflow w's tasks into the scheduler's universe.
     for (std::size_t t = offset[w]; t < offset[w + 1]; ++t) {
       const auto v = static_cast<graph::TaskId>(t);
@@ -182,6 +195,21 @@ StreamResult run_stream(std::span<const StreamArrival> arrivals,
               if (a.start != b.start) return a.start < b.start;
               return a.task < b.task;
             });
+
+  if (sink != nullptr) {
+    obs::ScheduleEndEvent end;
+    end.makespan = result.makespan;
+    end.steps = total;
+    sink->on_end(end);
+  }
+  {
+    static obs::Counter& runs =
+        obs::MetricRegistry::global().counter("stream.runs");
+    static obs::Counter& workflows =
+        obs::MetricRegistry::global().counter("stream.workflows");
+    runs.add(1);
+    workflows.add(arrivals.size());
+  }
   return result;
 }
 

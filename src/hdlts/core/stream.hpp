@@ -16,6 +16,10 @@
 
 #include "hdlts/core/hdlts.hpp"
 
+namespace hdlts::obs {
+class DecisionTrace;
+}
+
 namespace hdlts::core {
 
 /// One workflow in the stream. Workloads must all target a platform with
@@ -56,8 +60,13 @@ struct StreamOptions {
 };
 
 /// Runs the stream to completion. Throws InvalidArgument on inconsistent
-/// processor counts or an empty stream.
+/// processor counts or an empty stream. `sink` (optional) receives a note
+/// per workflow arrival, every execution as a placement (in the combined id
+/// space), and an end event with the stream makespan; exported through
+/// obs::write_chrome_trace this reconstructs the per-processor lanes even
+/// though no sim::Schedule is returned.
 StreamResult run_stream(std::span<const StreamArrival> arrivals,
-                        const StreamOptions& options = {});
+                        const StreamOptions& options = {},
+                        obs::DecisionTrace* sink = nullptr);
 
 }  // namespace hdlts::core

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "hdlts/metrics/metrics.hpp"
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/span.hpp"
 #include "hdlts/util/rng.hpp"
 
 namespace hdlts::metrics {
@@ -58,11 +60,13 @@ void run_repetitions(const WorkloadFactory& factory,
     }
   };
   auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    const obs::TimingSpan chunk_span("experiment.chunk");
     std::vector<sched::SchedulerPtr> schedulers;
     schedulers.reserve(ns);
     try {
       for (const std::string& name : scheduler_names) {
         schedulers.push_back(registry.make(name));
+        schedulers.back()->set_trace_sink(options.trace_sink);
       }
     } catch (const std::exception& e) {
       // Pool tasks must not throw; surface the construction failure the same
@@ -77,10 +81,22 @@ void run_repetitions(const WorkloadFactory& factory,
       run_rep(rep, schedulers, schedule);
     }
   };
-  if (options.pool != nullptr) {
-    util::parallel_for_chunked(*options.pool, options.repetitions, run_chunk);
-  } else {
-    run_chunk(0, options.repetitions);
+  {
+    const obs::TimingSpan span("experiment.run_repetitions");
+    if (options.pool != nullptr) {
+      util::parallel_for_chunked(*options.pool, options.repetitions,
+                                 run_chunk);
+    } else {
+      run_chunk(0, options.repetitions);
+    }
+  }
+  {
+    static obs::Counter& reps_counter =
+        obs::MetricRegistry::global().counter("experiment.repetitions");
+    static obs::Counter& schedules_counter =
+        obs::MetricRegistry::global().counter("experiment.schedules");
+    reps_counter.add(options.repetitions);
+    schedules_counter.add(options.repetitions * ns);
   }
   for (const std::string& f : failures) {
     if (!f.empty()) throw Error("experiment repetition failed: " + f);

@@ -13,6 +13,10 @@
 #include "hdlts/util/stats.hpp"
 #include "hdlts/util/thread_pool.hpp"
 
+namespace hdlts::obs {
+class DecisionTrace;
+}
+
 namespace hdlts::metrics {
 
 /// Produces a fresh workload for a repetition seed.
@@ -37,6 +41,10 @@ struct CompareOptions {
   bool check_schedules = false;
   /// Optional pool; when null the repetitions run sequentially.
   util::ThreadPool* pool = nullptr;
+  /// Optional decision-trace sink attached to every scheduler instance. The
+  /// sink must be thread-safe when `pool` is set (obs::RecordingTrace is);
+  /// events from different repetitions interleave in arrival order.
+  obs::DecisionTrace* trace_sink = nullptr;
 };
 
 /// Runs every named scheduler from `registry` on `repetitions` workloads

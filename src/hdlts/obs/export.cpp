@@ -1,0 +1,253 @@
+#include "hdlts/obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hdlts/graph/task_graph.hpp"
+#include "hdlts/sim/schedule.hpp"
+#include "hdlts/util/json.hpp"
+
+namespace hdlts::obs {
+
+namespace {
+
+// One pre-rendered trace event: everything after "ts" is carried verbatim in
+// `payload`, so the emitter only has to sort by (pid, tid, ts) and stream.
+struct TraceEvent {
+  int pid = 0;
+  std::int64_t tid = 0;
+  double ts = 0.0;  // µs
+  std::string payload;
+};
+
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+constexpr std::int64_t kDecisionTid = 0;  // sim lane 0; procs are tid p + 1
+
+std::string task_label(const graph::TaskGraph* graph, graph::TaskId task) {
+  if (graph != nullptr && graph->contains(task) &&
+      !graph->name(task).empty()) {
+    return graph->name(task);
+  }
+  return "T" + std::to_string(task);
+}
+
+void append_complete(std::vector<TraceEvent>& out, int pid, std::int64_t tid,
+                     double ts_us, double dur_us, const std::string& name,
+                     const std::string& args_json) {
+  TraceEvent ev;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = ts_us;
+  ev.payload = ",\"dur\":" + util::json_number(dur_us) +
+               ",\"ph\":\"X\",\"name\":\"" + util::json_escape(name) + "\"";
+  if (!args_json.empty()) ev.payload += ",\"args\":{" + args_json + "}";
+  out.push_back(std::move(ev));
+}
+
+void append_instant(std::vector<TraceEvent>& out, int pid, std::int64_t tid,
+                    double ts_us, const std::string& name,
+                    const std::string& args_json) {
+  TraceEvent ev;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = ts_us;
+  ev.payload = ",\"ph\":\"i\",\"s\":\"t\",\"name\":\"" +
+               util::json_escape(name) + "\"";
+  if (!args_json.empty()) ev.payload += ",\"args\":{" + args_json + "}";
+  out.push_back(std::move(ev));
+}
+
+void append_metadata(std::vector<TraceEvent>& out, int pid, std::int64_t tid,
+                     const char* what, const std::string& name,
+                     double sort_index) {
+  // Metadata events carry ts 0 and sort before real events in their lane.
+  TraceEvent ev;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = -1.0;
+  ev.payload = ",\"ph\":\"M\",\"name\":\"";
+  ev.payload += what;
+  ev.payload += "\",\"args\":{\"name\":\"" + util::json_escape(name) + "\"";
+  if (sort_index >= 0.0) {
+    ev.payload += ",\"sort_index\":" + util::json_number(sort_index);
+  }
+  ev.payload += "}";
+  out.push_back(std::move(ev));
+}
+
+std::string joined_numbers(std::span<const double> xs) {
+  std::string s;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) s += ",";
+    s += util::json_number(xs[i]);
+  }
+  return s;
+}
+
+void collect_sim_events(std::vector<TraceEvent>& events,
+                        const sim::Schedule* schedule,
+                        const RecordingTrace* decisions,
+                        const ChromeTraceOptions& options) {
+  const double scale = options.sim_scale;
+  std::size_t num_procs = 0;
+
+  if (schedule != nullptr) {
+    num_procs = schedule->num_procs();
+    for (platform::ProcId p = 0; p < schedule->num_procs(); ++p) {
+      for (const sim::Placement& pl : schedule->timeline(p)) {
+        std::string args = "\"task\":" + std::to_string(pl.task) +
+                           ",\"start\":" + util::json_number(pl.start) +
+                           ",\"finish\":" + util::json_number(pl.finish);
+        std::string name = task_label(options.graph, pl.task);
+        if (pl.duplicate) {
+          name += " (dup)";
+          args += ",\"duplicate\":true";
+        }
+        append_complete(events, kSimPid, static_cast<std::int64_t>(p) + 1,
+                        pl.start * scale, (pl.finish - pl.start) * scale, name,
+                        args);
+      }
+    }
+  } else if (decisions != nullptr) {
+    // No Schedule object (online/stream): rebuild processor lanes from the
+    // recorded placement events.
+    for (const PlacementEvent& pl : decisions->placements()) {
+      if (pl.proc != platform::kInvalidProc) {
+        num_procs = std::max(num_procs, static_cast<std::size_t>(pl.proc) + 1);
+      }
+      std::string args = "\"task\":" + std::to_string(pl.task) +
+                         ",\"start\":" + util::json_number(pl.start) +
+                         ",\"finish\":" + util::json_number(pl.finish);
+      std::string name = task_label(options.graph, pl.task);
+      if (pl.duplicate) {
+        name += " (dup)";
+        args += ",\"duplicate\":true";
+      }
+      append_complete(events, kSimPid, static_cast<std::int64_t>(pl.proc) + 1,
+                      pl.start * scale, (pl.finish - pl.start) * scale, name,
+                      args);
+    }
+  }
+
+  if (decisions != nullptr) {
+    if (decisions->num_procs() > 0) {
+      num_procs = std::max(num_procs, decisions->num_procs());
+    }
+    for (const RecordingTrace::StepRecord& st : decisions->steps()) {
+      std::string args = "\"step\":" + std::to_string(st.step) +
+                         ",\"selected\":" + std::to_string(st.selected) +
+                         ",\"itq_size\":" + std::to_string(st.itq_tasks.size());
+      if (st.chosen != platform::kInvalidProc) {
+        args += ",\"chosen\":" + std::to_string(st.chosen);
+      }
+      if (!st.eft.empty()) {
+        args += ",\"eft\":[" +
+                joined_numbers({st.eft.data(), st.eft.size()}) + "]";
+      }
+      if (!st.itq_pv.empty()) {
+        args += ",\"itq_pv\":[" +
+                joined_numbers({st.itq_pv.data(), st.itq_pv.size()}) + "]";
+      }
+      append_instant(events, kSimPid, kDecisionTid, st.start * scale,
+                     "select " + task_label(options.graph, st.selected), args);
+    }
+    for (const DuplicationEvent& d : decisions->duplications()) {
+      std::string args =
+          "\"task\":" + std::to_string(d.task) +
+          ",\"candidate_proc\":" + std::to_string(d.candidate_proc) +
+          ",\"dup_finish\":" + util::json_number(d.dup_finish) +
+          ",\"best_arrival\":" + util::json_number(d.best_arrival) +
+          ",\"benefits\":" + std::to_string(d.benefits) +
+          ",\"accepted\":" + (d.accepted ? "true" : "false");
+      append_instant(events, kSimPid, kDecisionTid, d.dup_start * scale,
+                     std::string(d.accepted ? "dup accept " : "dup reject ") +
+                         task_label(options.graph, d.task),
+                     args);
+    }
+    for (const RecordingTrace::NoteRecord& n : decisions->notes()) {
+      append_instant(events, kSimPid, kDecisionTid, n.value * scale, n.kind,
+                     "\"value\":" + util::json_number(n.value));
+    }
+  }
+
+  if (num_procs > 0 || decisions != nullptr) {
+    append_metadata(events, kSimPid, 0, "process_name", "simulated schedule",
+                    -1.0);
+    append_metadata(events, kSimPid, 0, "process_sort_index", "", 2);
+    if (decisions != nullptr) {
+      append_metadata(events, kSimPid, kDecisionTid, "thread_name",
+                      "decisions", -1.0);
+    }
+    for (std::size_t p = 0; p < num_procs; ++p) {
+      append_metadata(events, kSimPid, static_cast<std::int64_t>(p) + 1,
+                      "thread_name", "P" + std::to_string(p + 1), -1.0);
+    }
+  }
+}
+
+void collect_wall_events(std::vector<TraceEvent>& events,
+                         const SpanLog* spans) {
+  if (spans == nullptr) return;
+  const std::vector<SpanEvent> log = spans->snapshot();
+  if (log.empty()) return;
+  append_metadata(events, kWallPid, 0, "process_name",
+                  "scheduler (wall clock)", -1.0);
+  append_metadata(events, kWallPid, 0, "process_sort_index", "", 1);
+  std::vector<std::int64_t> named_tids;
+  for (const SpanEvent& sp : log) {
+    const auto tid = static_cast<std::int64_t>(sp.tid);
+    if (std::find(named_tids.begin(), named_tids.end(), tid) ==
+        named_tids.end()) {
+      named_tids.push_back(tid);
+      append_metadata(events, kWallPid, tid, "thread_name",
+                      "thread " + std::to_string(sp.tid), -1.0);
+    }
+    append_complete(events, kWallPid, tid,
+                    static_cast<double>(sp.start_ns) / 1000.0,
+                    static_cast<double>(sp.dur_ns) / 1000.0,
+                    sp.name != nullptr ? sp.name : "span",
+                    "\"depth\":" + std::to_string(sp.depth));
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const sim::Schedule* schedule,
+                        const RecordingTrace* decisions, const SpanLog* spans,
+                        const ChromeTraceOptions& options) {
+  std::vector<TraceEvent> events;
+  collect_wall_events(events, spans);
+  collect_sim_events(events, schedule, decisions, options);
+
+  // Stable-sort per lane by ts so every lane reads monotonically; metadata
+  // (ts -1) floats to each lane's front. Clamp after sorting.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts < b.ts;
+                   });
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    const double ts = std::max(ev.ts, 0.0);
+    os << "\n{\"pid\":" << ev.pid << ",\"tid\":" << ev.tid << ",\"ts\":";
+    util::write_json_number(os, ts);
+    os << ev.payload << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_counters_json(std::ostream& os, const MetricRegistry& registry) {
+  registry.write_json(os);
+}
+
+}  // namespace hdlts::obs

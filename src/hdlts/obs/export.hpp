@@ -1,0 +1,47 @@
+// Telemetry exporters: Chrome trace-event JSON (chrome://tracing, Perfetto)
+// and a flat counters dump.
+//
+// The Chrome export overlays two clock domains as separate trace processes:
+//   pid 1 "scheduler (wall clock)"  — real TimingSpan events from a SpanLog,
+//                                     one lane (tid) per thread, ts in real µs
+//   pid 2 "simulated schedule"      — the produced schedule's timeline, one
+//                                     lane per processor ("P1".."PN"), plus a
+//                                     "decisions" lane of instant events (ITQ
+//                                     steps, Algorithm-1 duplication
+//                                     verdicts, notes), ts = simulated time
+//                                     scaled by `sim_scale`
+// Events are sorted by ts within each lane, so any lane reads monotonically
+// in a viewer (pinned by tests/trace_test.cpp).
+#pragma once
+
+#include <iosfwd>
+
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/span.hpp"
+#include "hdlts/obs/trace.hpp"
+
+namespace hdlts::graph {
+class TaskGraph;
+}
+
+namespace hdlts::obs {
+
+struct ChromeTraceOptions {
+  /// Simulated time units -> trace µs (the trace format's native unit).
+  double sim_scale = 1000.0;
+  /// When set, task blocks are labelled with graph names instead of "T<id>".
+  const graph::TaskGraph* graph = nullptr;
+};
+
+/// Any of `schedule`, `decisions`, `spans` may be null; whatever is present
+/// is exported. When `schedule` is null but `decisions` recorded placements,
+/// the simulated lanes are rebuilt from the recorded placement events (the
+/// online/stream case, which produces no sim::Schedule).
+void write_chrome_trace(std::ostream& os, const sim::Schedule* schedule,
+                        const RecordingTrace* decisions, const SpanLog* spans,
+                        const ChromeTraceOptions& options = {});
+
+/// The registry's {"counters":…,"gauges":…,"histograms":…} document.
+void write_counters_json(std::ostream& os, const MetricRegistry& registry);
+
+}  // namespace hdlts::obs

@@ -1,0 +1,167 @@
+#include "hdlts/obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "hdlts/util/error.hpp"
+#include "hdlts/util/json.hpp"
+
+namespace hdlts::obs {
+
+void Gauge::record_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw InvalidArgument("histogram needs >= 1 bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw InvalidArgument("histogram bounds must be strictly ascending");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t bucket = bounds_.size();  // overflow (also where NaN lands)
+  if (!std::isnan(x)) {
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (x <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  HDLTS_EXPECTS(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_create(std::string_view name,
+                                                      Kind kind) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      if (e.kind != kind) {
+        throw InvalidArgument("metric '" + e.name +
+                              "' already registered as a different kind");
+      }
+      return e;
+    }
+  }
+  entries_.push_back(Entry{std::string(name), kind, nullptr, nullptr, nullptr});
+  return entries_.back();
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, Kind::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, Kind::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, Kind::kHistogram);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(
+        std::vector<double>(bounds.begin(), bounds.end()));
+  }
+  return *e.histogram;
+}
+
+std::size_t MetricRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MetricRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{";
+  const char* kind_names[] = {"counters", "gauges", "histograms"};
+  const Kind kinds[] = {Kind::kCounter, Kind::kGauge, Kind::kHistogram};
+  for (std::size_t k = 0; k < 3; ++k) {
+    if (k > 0) os << ",";
+    os << "\"" << kind_names[k] << "\":{";
+    bool first = true;
+    for (const Entry& e : entries_) {
+      if (e.kind != kinds[k]) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << util::json_escape(e.name) << "\":";
+      switch (e.kind) {
+        case Kind::kCounter:
+          os << e.counter->value();
+          break;
+        case Kind::kGauge:
+          util::write_json_number(os, e.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *e.histogram;
+          os << "{\"count\":" << h.count() << ",\"sum\":";
+          util::write_json_number(os, h.sum());
+          os << ",\"bounds\":[";
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            if (i > 0) os << ",";
+            util::write_json_number(os, h.bounds()[i]);
+          }
+          os << "],\"buckets\":[";
+          for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+            if (i > 0) os << ",";
+            os << h.bucket_count(i);
+          }
+          os << "]}";
+          break;
+        }
+      }
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+void MetricRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace hdlts::obs

@@ -1,0 +1,124 @@
+// Process-wide metric registry: named counters, gauges, and fixed-bucket
+// histograms for the scheduler hot paths.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//  * Updates are lock-free relaxed atomics — safe from any thread, including
+//    metrics::run_repetitions worker pools, and never allocate. Hot loops are
+//    expected to aggregate into plain locals and flush once per schedule
+//    call, so the per-decision cost of telemetry is zero even when enabled.
+//  * Registration (counter()/gauge()/histogram()) takes a mutex and may
+//    allocate; callers cache the returned reference (it is stable for the
+//    registry's lifetime). The zero-allocation steady state of the compiled
+//    scheduler path is preserved because registration happens once, during
+//    warm-up.
+//  * Iteration order is stable: registration order within each kind, so JSON
+//    dumps diff cleanly across runs.
+//
+// Naming convention: dotted lower-case paths, "<subsystem>.<what>"
+// ("hdlts.schedule_calls", "online.lost_executions").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdlts::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written (or maximum) scalar, e.g. a high-water mark.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (lock-free CAS loop).
+  void record_max(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations x <= bounds[i]
+/// (first matching bucket); values above the last bound land in the implicit
+/// overflow bucket. NaN observations count toward the total and the overflow
+/// bucket but are excluded from the sum, so one bad value cannot poison it.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::span<const double> bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every built-in metric lands in.
+  static MetricRegistry& global();
+
+  /// Finds or creates the named metric. Throws InvalidArgument when the name
+  /// is already registered as a different kind. For histogram(), `bounds` is
+  /// only consulted on first registration.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  std::size_t size() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} in
+  /// registration order, all doubles via util::json_number (non-finite ->
+  /// null).
+  void write_json(std::ostream& os) const;
+
+  /// Zeroes every value; registrations (and cached references) survive.
+  void reset_values();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hdlts::obs

@@ -1,0 +1,115 @@
+#include "hdlts/obs/span.hpp"
+
+#include <chrono>
+
+namespace hdlts::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small dense thread ordinal for trace lanes (stable within a run).
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Per-thread open-span depth (TimingSpan nesting level).
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+SpanLog& SpanLog::global() {
+  static SpanLog log;
+  return log;
+}
+
+void SpanLog::enable(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, SpanEvent{});
+  next_ = 0;
+  epoch_ns_ = steady_ns();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanLog::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::int64_t SpanLog::now_ns() const {
+  if (!enabled()) return 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  return steady_ns() - epoch_ns_;
+}
+
+void SpanLog::record(const SpanEvent& ev) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;
+  ring_[next_ % ring_.size()] = ev;
+  ++next_;
+}
+
+std::vector<SpanEvent> SpanLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  if (ring_.empty()) return out;
+  const std::uint64_t count =
+      next_ < ring_.size() ? next_ : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(count));
+  const std::uint64_t first = next_ - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t SpanLog::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+std::uint64_t SpanLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_ < ring_.size() ? 0 : next_ - ring_.size();
+}
+
+std::size_t SpanLog::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void SpanLog::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (SpanEvent& ev : ring_) ev = SpanEvent{};
+  next_ = 0;
+  epoch_ns_ = steady_ns();
+}
+
+TimingSpan::TimingSpan(const char* name) : name_(name) {
+  SpanLog& log = SpanLog::global();
+  if (!log.enabled()) return;
+  active_ = true;
+  depth_ = t_depth++;
+  start_ns_ = log.now_ns();
+}
+
+TimingSpan::~TimingSpan() {
+  if (!active_) return;
+  --t_depth;
+  SpanLog& log = SpanLog::global();
+  SpanEvent ev;
+  ev.name = name_;
+  ev.tid = thread_ordinal();
+  ev.depth = depth_;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = log.now_ns() - start_ns_;
+  log.record(ev);
+}
+
+}  // namespace hdlts::obs

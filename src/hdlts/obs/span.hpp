@@ -1,0 +1,83 @@
+// RAII timing spans feeding a bounded ring-buffer event log.
+//
+// A TimingSpan brackets a region of real (wall-clock) work — a schedule_into
+// call, a compile step, an experiment chunk. When the process-wide SpanLog is
+// disabled (the default) constructing a span costs one relaxed atomic load
+// and touches no clock, so spans can stay in the hot paths permanently; the
+// zero-allocation steady state of the compiled scheduler path is unaffected
+// either way because recording writes into a pre-allocated ring.
+//
+// Nesting is tracked per thread (a thread-local depth counter), so exports
+// can reconstruct the span tree; completed spans are recorded at close time,
+// which means children appear before their parents in the log — consumers
+// order by start_ns.
+//
+// Span names must be string literals (or otherwise outlive the log): the log
+// stores the pointer, not a copy, to keep record() allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hdlts::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;  ///< static-lifetime label
+  std::uint32_t tid = 0;       ///< small per-thread ordinal (not the OS tid)
+  std::uint32_t depth = 0;     ///< nesting depth at open (0 = top level)
+  std::int64_t start_ns = 0;   ///< steady-clock ns since SpanLog::enable()
+  std::int64_t dur_ns = 0;
+};
+
+class SpanLog {
+ public:
+  static SpanLog& global();
+
+  /// Allocates (or re-sizes) the ring, clears it, and restarts the epoch.
+  void enable(std::size_t capacity = std::size_t{1} << 14);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Steady-clock ns since enable(); 0 when disabled.
+  std::int64_t now_ns() const;
+
+  /// Appends one completed span; silently drops when disabled. When the ring
+  /// is full the oldest events are overwritten (dropped() reports how many).
+  void record(const SpanEvent& ev);
+
+  /// Recorded events, oldest first (by completion order).
+  std::vector<SpanEvent> snapshot() const;
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+  std::size_t capacity() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;
+  std::uint64_t next_ = 0;  // total events ever recorded since enable/clear
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  // steady_clock at enable()
+};
+
+/// RAII span against SpanLog::global(). `name` must be static-lifetime.
+class TimingSpan {
+ public:
+  explicit TimingSpan(const char* name);
+  ~TimingSpan();
+
+  TimingSpan(const TimingSpan&) = delete;
+  TimingSpan& operator=(const TimingSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace hdlts::obs

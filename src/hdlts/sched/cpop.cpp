@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
@@ -117,6 +118,7 @@ void Cpop::schedule_into(const sim::Problem& problem,
   } else {
     run_cpop(sim::LegacyView(problem), scratch(), insertion_, out);
   }
+  obs::emit_schedule(trace_sink(), name(), out);
 }
 
 }  // namespace hdlts::sched

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <vector>
 
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
@@ -12,7 +14,7 @@ namespace {
 
 template <typename View>
 void run_heft(const View& view, util::ScratchArena& arena, bool insertion,
-              sim::Schedule& schedule) {
+              sim::Schedule& schedule, obs::DecisionTrace* sink) {
   const std::size_t n = view.num_tasks();
   const auto rank = arena.alloc<double>(n);
   upward_rank_mean(view, rank);
@@ -30,8 +32,38 @@ void run_heft(const View& view, util::ScratchArena& arena, bool insertion,
     return topo_pos[a] < topo_pos[b];
   });
 
+  if (sink != nullptr) {
+    sink->on_begin({"heft", n, view.procs().size()});
+  }
+  std::vector<double> eft_row;  // sink-attached only; empty ITQ (static list)
+  std::size_t step = 0;
   for (const graph::TaskId v : list) {
-    commit(schedule, v, best_eft(view, schedule, v, insertion));
+    const PlacementChoice choice = best_eft(view, schedule, v, insertion);
+    if (sink != nullptr) {
+      eft_row.clear();
+      for (const platform::ProcId p : view.procs()) {
+        eft_row.push_back(eft_on(view, schedule, v, p, insertion).eft);
+      }
+      obs::StepEvent ev;
+      ev.step = step;
+      ev.selected = v;
+      ev.eft = eft_row;
+      ev.chosen = choice.proc;
+      ev.start = choice.est;
+      ev.finish = choice.eft;
+      sink->on_step(ev);
+    }
+    ++step;
+    commit(schedule, v, choice);
+    if (sink != nullptr) {
+      sink->on_placement({v, choice.proc, choice.est, choice.eft, false});
+    }
+  }
+  if (sink != nullptr) {
+    obs::ScheduleEndEvent end;
+    end.makespan = schedule.makespan();
+    end.steps = step;
+    sink->on_end(end);
   }
 }
 
@@ -48,9 +80,10 @@ void Heft::schedule_into(const sim::Problem& problem,
   out.reset(problem.num_tasks(), problem.num_procs());
   scratch().reset();
   if (use_compiled()) {
-    run_heft(problem.compiled(), scratch(), insertion_, out);
+    run_heft(problem.compiled(), scratch(), insertion_, out, trace_sink());
   } else {
-    run_heft(sim::LegacyView(problem), scratch(), insertion_, out);
+    run_heft(sim::LegacyView(problem), scratch(), insertion_, out,
+             trace_sink());
   }
 }
 

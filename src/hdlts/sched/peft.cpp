@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
@@ -80,6 +81,7 @@ void Peft::schedule_into(const sim::Problem& problem,
   } else {
     run_peft(sim::LegacyView(problem), scratch(), insertion_, out);
   }
+  obs::emit_schedule(trace_sink(), name(), out);
 }
 
 }  // namespace hdlts::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
@@ -56,6 +57,7 @@ void Pets::schedule_into(const sim::Problem& problem,
   } else {
     run_pets(sim::LegacyView(problem), scratch(), insertion_, out);
   }
+  obs::emit_schedule(trace_sink(), name(), out);
 }
 
 }  // namespace hdlts::sched

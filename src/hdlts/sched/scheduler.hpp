@@ -8,6 +8,10 @@
 #include "hdlts/sim/schedule.hpp"
 #include "hdlts/util/arena.hpp"
 
+namespace hdlts::obs {
+class DecisionTrace;
+}
+
 namespace hdlts::sched {
 
 class Scheduler {
@@ -40,6 +44,15 @@ class Scheduler {
   bool use_compiled() const { return use_compiled_; }
   void set_use_compiled(bool use_compiled) { use_compiled_ = use_compiled; }
 
+  /// Optional per-decision trace sink (obs::DecisionTrace). Null by default;
+  /// instrumented schedulers emit structured events into it, the rest fall
+  /// back to obs::emit_schedule's begin/placement/end replay. Attaching a
+  /// sink never changes the produced schedule; with the sink null the
+  /// compiled HDLTS path runs the exact uninstrumented instruction stream
+  /// (the hot loop is templated on a compile-time sink policy).
+  obs::DecisionTrace* trace_sink() const { return trace_sink_; }
+  void set_trace_sink(obs::DecisionTrace* sink) { trace_sink_ = sink; }
+
  protected:
   /// Per-scheduler scratch memory, rewound at the top of every
   /// schedule()/schedule_into() call. Mutable for the same reason a memo
@@ -50,6 +63,7 @@ class Scheduler {
 
  private:
   bool use_compiled_ = true;
+  obs::DecisionTrace* trace_sink_ = nullptr;
   mutable util::ScratchArena scratch_;
 };
 

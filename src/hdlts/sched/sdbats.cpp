@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
 
@@ -66,6 +67,7 @@ void Sdbats::schedule_into(const sim::Problem& problem,
     run_sdbats(sim::LegacyView(problem), scratch(), insertion_,
                entry_duplication_, out);
   }
+  obs::emit_schedule(trace_sink(), name(), out);
 }
 
 }  // namespace hdlts::sched

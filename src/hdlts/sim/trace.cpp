@@ -1,45 +1,17 @@
 #include "hdlts/sim/trace.hpp"
 
-#include <cstdio>
 #include <ostream>
 #include <sstream>
 
+#include "hdlts/util/json.hpp"
+
 namespace hdlts::sim {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return util::json_escape(s); }
 
 namespace {
+
+using util::write_json_number;
 
 void write_block(std::ostream& os, const Placement& pl,
                  const graph::TaskGraph* graph) {
@@ -47,18 +19,20 @@ void write_block(std::ostream& os, const Placement& pl,
   if (graph != nullptr && graph->contains(pl.task)) {
     os << ",\"name\":\"" << json_escape(graph->name(pl.task)) << "\"";
   }
-  os << ",\"proc\":" << pl.proc << ",\"start\":" << pl.start
-     << ",\"finish\":" << pl.finish
-     << ",\"duplicate\":" << (pl.duplicate ? "true" : "false") << "}";
+  os << ",\"proc\":" << pl.proc << ",\"start\":";
+  write_json_number(os, pl.start);
+  os << ",\"finish\":";
+  write_json_number(os, pl.finish);
+  os << ",\"duplicate\":" << (pl.duplicate ? "true" : "false") << "}";
 }
 
 }  // namespace
 
 void write_schedule_json(std::ostream& os, const Schedule& schedule,
                          const graph::TaskGraph* graph) {
-  os.precision(15);
-  os << "{\"makespan\":" << schedule.makespan()
-     << ",\"processors\":" << schedule.num_procs() << ",\"blocks\":[";
+  os << "{\"makespan\":";
+  write_json_number(os, schedule.makespan());
+  os << ",\"processors\":" << schedule.num_procs() << ",\"blocks\":[";
   bool first = true;
   for (platform::ProcId p = 0; p < schedule.num_procs(); ++p) {
     for (const Placement& pl : schedule.timeline(p)) {
@@ -78,8 +52,12 @@ std::string schedule_json(const Schedule& schedule,
 }
 
 void write_replay_json(std::ostream& os, const EngineResult& result) {
-  os.precision(15);
-  os << "{\"makespan\":" << result.makespan << ",\"matches_schedule\":"
+  // Every double funnels through util::write_json_number, which turns
+  // non-finite values into `null` so the document stays valid JSON no matter
+  // what times the engine hands us.
+  os << "{\"makespan\":";
+  write_json_number(os, result.makespan);
+  os << ",\"matches_schedule\":"
      << (result.matches_schedule ? "true" : "false") << ",\"exact_times\":"
      << (result.exact_times ? "true" : "false") << ",\"deadlocked\":"
      << (result.deadlocked ? "true" : "false") << ",\"blocks\":[";
@@ -88,9 +66,15 @@ void write_replay_json(std::ostream& os, const EngineResult& result) {
     if (i > 0) os << ",";
     os << "{\"task\":" << b.scheduled.task << ",\"proc\":" << b.scheduled.proc
        << ",\"duplicate\":" << (b.scheduled.duplicate ? "true" : "false")
-       << ",\"scheduled\":[" << b.scheduled.start << "," << b.scheduled.finish
-       << "],\"actual\":[" << b.actual_start << "," << b.actual_finish
-       << "]}";
+       << ",\"scheduled\":[";
+    write_json_number(os, b.scheduled.start);
+    os << ",";
+    write_json_number(os, b.scheduled.finish);
+    os << "],\"actual\":[";
+    write_json_number(os, b.actual_start);
+    os << ",";
+    write_json_number(os, b.actual_finish);
+    os << "]}";
   }
   os << "]}";
 }

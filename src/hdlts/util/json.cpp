@@ -1,0 +1,67 @@
+#include "hdlts/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace hdlts::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// %.17g round-trips every finite double; snprintf never uses more than ~26
+/// characters for one.
+int format_number(char (&buf)[32], double v) {
+  if (!std::isfinite(v)) {
+    return std::snprintf(buf, sizeof buf, "null");
+  }
+  return std::snprintf(buf, sizeof buf, "%.17g", v);
+}
+
+}  // namespace
+
+std::string json_number(double v) {
+  char buf[32];
+  const int n = format_number(buf, v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void write_json_number(std::ostream& os, double v) {
+  char buf[32];
+  const int n = format_number(buf, v);
+  os.write(buf, n);
+}
+
+}  // namespace hdlts::util

@@ -1,0 +1,28 @@
+// Minimal JSON token helpers shared by every hand-rolled JSON writer in the
+// library (sim/trace.cpp, obs/export.cpp, obs/metrics.cpp) so escaping and
+// number formatting follow one policy instead of N copies.
+//
+// Numbers: JSON has no NaN/Infinity literals. Non-finite doubles are emitted
+// as `null` — the convention both `python3 -m json.tool` and Chrome's trace
+// viewer accept — so a deadlocked replay (infinite actual times) still
+// serializes to valid JSON. Finite values use %.17g, which round-trips every
+// double exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace hdlts::util {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Formats a double as a single valid JSON token (`null` when non-finite).
+std::string json_number(double v);
+
+/// json_number straight into a stream (no allocation for finite values).
+void write_json_number(std::ostream& os, double v);
+
+}  // namespace hdlts::util
