@@ -4,10 +4,15 @@
 //   $ ./workflow_tool generate --kind=montage --nodes=50 --out=m.wl
 //   $ ./workflow_tool schedule m.wl --scheduler=hdlts --gantt
 //   $ ./workflow_tool schedule m.wl --scheduler=heft --csv=placements.csv
+//   $ ./workflow_tool batch workloads.txt --schedulers=hdlts,heft --threads=8
 //   $ ./workflow_tool list
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <tuple>
 
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/graph/analysis.hpp"
@@ -16,7 +21,9 @@
 #include "hdlts/obs/export.hpp"
 #include "hdlts/report/gantt_svg.hpp"
 #include "hdlts/sim/gantt.hpp"
+#include "hdlts/svc/batch_engine.hpp"
 #include "hdlts/util/cli.hpp"
+#include "hdlts/util/json.hpp"
 #include "hdlts/util/table.hpp"
 #include "hdlts/workload/fft.hpp"
 #include "hdlts/workload/gauss.hpp"
@@ -40,8 +47,21 @@ int usage() {
       "      [--counters-out=FILE]\n"
       "  workflow_tool profile FILE\n"
       "  workflow_tool compare FILE [--schedulers=a,b,c]\n"
+      "      [--trace-out=FILE] [--counters-out=FILE]\n"
+      "  workflow_tool batch WORKLOADS.txt [--schedulers=a,b,c]\n"
+      "      [--threads=N] [--queue-cap=N] [--out=FILE.jsonl] [--check]\n"
       "      [--trace-out=FILE] [--counters-out=FILE]\n";
   return 2;
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::istringstream ls(csv);
+  std::string token;
+  while (std::getline(ls, token, ',')) {
+    if (!token.empty()) names.push_back(token);
+  }
+  return names;
 }
 
 /// Dumps the process-wide metric registry as JSON ({"counters":..,...}).
@@ -139,13 +159,8 @@ int main(int argc, char** argv) {
       const sim::Workload w = io::load_workload(cli.positional()[1]);
       const sim::Problem problem(w);
       const auto registry = core::default_registry();
-      std::vector<std::string> names;
-      {
-        std::istringstream ls(
-            cli.get("schedulers", "hdlts,heft,pets,cpop,peft,sdbats,dheft"));
-        std::string token;
-        while (std::getline(ls, token, ',')) names.push_back(token);
-      }
+      const std::vector<std::string> names = split_names(
+          cli.get("schedulers", "hdlts,heft,pets,cpop,peft,sdbats,dheft"));
       obs::RecordingTrace recording;
       const bool tracing = cli.has("trace-out");
       if (tracing) obs::SpanLog::global().enable();
@@ -172,6 +187,150 @@ int main(int argc, char** argv) {
         write_counters_file(cli.get("counters-out", "counters.json"));
       }
       return 0;
+    }
+
+    if (command == "batch") {
+      // Concurrent batch mode: a file naming one workload per line goes in,
+      // one JSON object per (workload, scheduler) comes out (JSONL, sorted
+      // by request id then scheduler), scheduled by svc::BatchEngine across
+      // --threads workers with a --queue-cap-bounded submission queue.
+      if (cli.positional().size() < 2) return usage();
+      std::vector<std::string> paths;
+      {
+        std::ifstream list(cli.positional()[1]);
+        if (!list) {
+          throw InvalidArgument("cannot open workload list '" +
+                                cli.positional()[1] + "'");
+        }
+        std::string line;
+        while (std::getline(list, line)) {
+          const auto start = line.find_first_not_of(" \t\r");
+          if (start == std::string::npos || line[start] == '#') continue;
+          const auto stop = line.find_last_not_of(" \t\r");
+          paths.push_back(line.substr(start, stop - start + 1));
+        }
+      }
+      if (paths.empty()) {
+        throw InvalidArgument("workload list '" + cli.positional()[1] +
+                              "' names no workload files");
+      }
+      std::vector<sim::Workload> workloads;
+      workloads.reserve(paths.size());
+      for (const auto& path : paths) {
+        workloads.push_back(io::load_workload(path));
+      }
+      std::vector<sim::Problem> problems;
+      problems.reserve(workloads.size());
+      for (const auto& w : workloads) problems.emplace_back(w);
+
+      const auto registry = core::default_registry();
+      const std::vector<std::string> names =
+          split_names(cli.get("schedulers", "hdlts,heft,cpop"));
+
+      obs::RecordingTrace recording;
+      const bool tracing = cli.has("trace-out");
+      if (tracing) obs::SpanLog::global().enable();
+
+      struct Row {
+        std::uint64_t id = 0;
+        std::size_t scheduler_index = 0;
+        std::string scheduler;
+        bool ok = false;
+        std::string error;
+        double makespan = 0.0, slr = 0.0, speedup = 0.0, efficiency = 0.0;
+      };
+      std::vector<Row> rows;
+      std::mutex rows_mu;
+      auto on_result = [&](const svc::BatchResult& r) {
+        Row row;
+        row.id = r.id;
+        row.scheduler_index = r.scheduler_index;
+        row.scheduler = std::string(r.scheduler);
+        row.ok = r.ok;
+        row.error = std::string(r.error);
+        if (r.ok) {
+          row.makespan = r.makespan;
+          row.slr = metrics::slr(*r.problem, *r.schedule);
+          row.speedup = metrics::speedup(*r.problem, *r.schedule);
+          row.efficiency = metrics::efficiency(*r.problem, *r.schedule);
+        }
+        std::lock_guard lock(rows_mu);
+        rows.push_back(std::move(row));
+      };
+
+      svc::BatchEngineOptions engine_options;
+      engine_options.threads =
+          static_cast<std::size_t>(cli.get_int("threads", 0));
+      engine_options.queue_capacity =
+          static_cast<std::size_t>(cli.get_int("queue-cap", 256));
+      engine_options.check_schedules = cli.get_bool("check", false);
+      if (tracing) engine_options.trace_sink = &recording;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      svc::BatchEngine engine(registry, on_result, engine_options);
+      svc::BatchRequest request;
+      request.schedulers = names;
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        request.id = i;
+        request.problem = &problems[i];
+        engine.submit(request);  // bounded queue: blocks, never drops
+      }
+      engine.shutdown(svc::BatchEngine::Drain::kDrain);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+      std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+        return std::tie(a.id, a.scheduler_index) <
+               std::tie(b.id, b.scheduler_index);
+      });
+      const std::string out_path = cli.get("out", "-");
+      std::ofstream out_file;
+      if (out_path != "-") {
+        out_file.open(out_path);
+        if (!out_file) {
+          throw InvalidArgument("cannot write '" + out_path + "'");
+        }
+      }
+      std::ostream& out = out_path == "-" ? std::cout : out_file;
+      for (const Row& row : rows) {
+        out << "{\"id\": " << row.id << ", \"workload\": \""
+            << util::json_escape(paths[row.id]) << "\", \"scheduler\": \""
+            << util::json_escape(row.scheduler) << "\", \"ok\": "
+            << (row.ok ? "true" : "false");
+        if (row.ok) {
+          out << ", \"makespan\": " << util::json_number(row.makespan)
+              << ", \"slr\": " << util::json_number(row.slr)
+              << ", \"speedup\": " << util::json_number(row.speedup)
+              << ", \"efficiency\": " << util::json_number(row.efficiency);
+        } else {
+          out << ", \"error\": \"" << util::json_escape(row.error) << "\"";
+        }
+        out << "}\n";
+      }
+
+      const auto stats = engine.stats();
+      std::cerr << "batch: " << stats.completed << "/" << stats.submitted
+                << " requests (" << rows.size() << " results) on "
+                << engine.threads() << " threads in " << util::fmt(wall_ms, 1)
+                << " ms ("
+                << util::fmt(1000.0 * static_cast<double>(stats.completed) /
+                                 wall_ms,
+                             1)
+                << " req/s), queue high-water " << stats.queue_high_water
+                << ", failures " << stats.sched_failures << "\n";
+      if (out_path != "-") std::cout << "wrote " << out_path << "\n";
+      if (tracing) {
+        const std::string path = cli.get("trace-out", "trace.json");
+        std::ofstream trace_out(path);
+        obs::write_chrome_trace(trace_out, nullptr, &recording,
+                                &obs::SpanLog::global(), {});
+        std::cout << "wrote " << path << "\n";
+      }
+      if (cli.has("counters-out")) {
+        write_counters_file(cli.get("counters-out", "counters.json"));
+      }
+      return stats.sched_failures == 0 ? 0 : 1;
     }
 
     if (command == "schedule") {

@@ -14,29 +14,68 @@
 # stay within HDLTS_NULL_SINK_FACTOR (default 1.02) of the committed
 # baseline, and the recording-sink overhead is reported alongside.
 #
-# Usage: scripts/bench.sh [--update]
+# Also runs bench/micro_batch (svc::BatchEngine throughput scaling) and diffs
+# BENCH_batch.json: per-thread-count req/s cells against the regression
+# factor, plus the >=HDLTS_BATCH_SPEEDUP_MIN (default 3.0) scaling bar at the
+# highest thread count vs 1 — enforced only when the host's
+# hardware_concurrency covers the highest thread count (a 1-core container
+# can prove determinism but not scaling; the gate says so and skips).
+#
+# Usage: scripts/bench.sh [--update|--smoke]
 #   --update  rewrite the committed baselines with the fresh measurements
+#   --smoke   CI mode: identical cell shapes (the baseline diff needs them)
+#             but fewer repetitions and loose wall-clock gates — shared
+#             runners are slow and noisy, so smoke proves the benches run and
+#             the structural contracts hold (zero allocs, determinism, cells
+#             present), not the exact numbers. Ratio-based gates (incremental
+#             and layout speedups) are loosened, not dropped.
+#
+# Gate overrides (env):
+#   HDLTS_BENCH_REGRESSION_FACTOR   per-cell wall-clock slack   (default 3.0)
+#   HDLTS_NULL_SINK_FACTOR          null-sink telemetry slack   (default 1.02)
+#   HDLTS_MIN_INCREMENTAL_SPEEDUP   hdlts-vs-reference bar      (default 5.0)
+#   HDLTS_MIN_LAYOUT_SPEEDUP        compiled-vs-legacy bar      (default 1.05)
+#   HDLTS_BATCH_SPEEDUP_MIN         batch hi-vs-1-thread bar    (default 3.0)
 #
 # Tier-1 (`ctest`) is untouched: this script uses its own build directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+MODE="${1:-}"
 BUILD_DIR=build-bench
 BASELINE=bench/BENCH_sched_scale.json
 FRESH="${BUILD_DIR}/BENCH_sched_scale.json"
 LAYOUT_BASELINE=bench/BENCH_layout.json
 LAYOUT_FRESH="${BUILD_DIR}/BENCH_layout.json"
-FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-3.0}"
-# Telemetry gate: the null-sink (default) hdlts path must stay within this
-# factor of the committed baseline — the "telemetry compiled in but off adds
-# <2%" contract. Skipped when the baseline predates the field.
-NULL_SINK_FACTOR="${HDLTS_NULL_SINK_FACTOR:-1.02}"
+BATCH_BASELINE=bench/BENCH_batch.json
+BATCH_FRESH="${BUILD_DIR}/BENCH_batch.json"
+
+if [[ "${MODE}" == "--smoke" ]]; then
+  # Reduced effort, same cell shapes. Each default below still honours an
+  # explicit env override from the caller.
+  export HDLTS_LAYOUT_REPS="${HDLTS_LAYOUT_REPS:-3}"
+  export HDLTS_BATCH_REQUESTS="${HDLTS_BATCH_REQUESTS:-12}"
+  export HDLTS_BATCH_REPS="${HDLTS_BATCH_REPS:-1}"
+  export HDLTS_BENCH_MIN_TIME="${HDLTS_BENCH_MIN_TIME:-0.01}"
+  FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-25.0}"
+  NULL_SINK_FACTOR="${HDLTS_NULL_SINK_FACTOR:-5.0}"
+  MIN_INCREMENTAL="${HDLTS_MIN_INCREMENTAL_SPEEDUP:-3.0}"
+else
+  FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-3.0}"
+  # Telemetry gate: the null-sink (default) hdlts path must stay within this
+  # factor of the committed baseline — the "telemetry compiled in but off
+  # adds <2%" contract. Skipped when the baseline predates the field.
+  NULL_SINK_FACTOR="${HDLTS_NULL_SINK_FACTOR:-1.02}"
+  MIN_INCREMENTAL="${HDLTS_MIN_INCREMENTAL_SPEEDUP:-5.0}"
+fi
+MIN_LAYOUT="${HDLTS_MIN_LAYOUT_SPEEDUP:-1.05}"
+BATCH_SPEEDUP_MIN="${HDLTS_BATCH_SPEEDUP_MIN:-3.0}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
 cmake --build "${BUILD_DIR}" -j \
-  --target micro_scale micro_layout micro_schedulers >/dev/null
+  --target micro_scale micro_layout micro_schedulers micro_batch >/dev/null
 
 echo "== running bench/micro_scale (this builds the perf trajectory) =="
 (cd "${BUILD_DIR}" && HDLTS_SCALE_JSON=BENCH_sched_scale.json \
@@ -70,18 +109,24 @@ EOF
 fi
 
 echo
+echo "== running bench/micro_batch (svc::BatchEngine throughput scaling) =="
+(cd "${BUILD_DIR}" && HDLTS_BATCH_JSON=BENCH_batch.json ./bench/micro_batch)
+
+echo
 echo "== running bench/micro_schedulers (google-benchmark sweep) =="
 (cd "${BUILD_DIR}" && ./bench/micro_schedulers \
   --benchmark_min_time="${HDLTS_BENCH_MIN_TIME:-0.05}")
 
-if [[ "${1:-}" == "--update" ]]; then
+if [[ "${MODE}" == "--update" ]]; then
   cp "${FRESH}" "${BASELINE}"
   cp "${LAYOUT_FRESH}" "${LAYOUT_BASELINE}"
-  echo "baselines updated: ${BASELINE}, ${LAYOUT_BASELINE}"
+  cp "${BATCH_FRESH}" "${BATCH_BASELINE}"
+  echo "baselines updated: ${BASELINE}, ${LAYOUT_BASELINE}, ${BATCH_BASELINE}"
   exit 0
 fi
 
-if [[ ! -f "${BASELINE}" || ! -f "${LAYOUT_BASELINE}" ]]; then
+if [[ ! -f "${BASELINE}" || ! -f "${LAYOUT_BASELINE}" \
+      || ! -f "${BATCH_BASELINE}" ]]; then
   echo "no committed baselines in bench/; run scripts/bench.sh --update"
   exit 1
 fi
@@ -91,10 +136,11 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
-python3 - "$BASELINE" "$FRESH" "$FACTOR" <<'EOF'
+python3 - "$BASELINE" "$FRESH" "$FACTOR" "$MIN_INCREMENTAL" <<'EOF'
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+min_incremental = float(sys.argv[4])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
@@ -116,8 +162,9 @@ speedup = fresh.get("hdlts_speedup_5k_32")
 if speedup is None:
     print("FAIL: fresh run has no hdlts_speedup_5k_32 (reference not run?)")
     failed = True
-elif speedup < 5.0:
-    print(f"FAIL: hdlts incremental speedup {speedup:.1f}x < 5x acceptance bar")
+elif speedup < min_incremental:
+    print(f"FAIL: hdlts incremental speedup {speedup:.1f}x < "
+          f"{min_incremental:.1f}x acceptance bar")
     failed = True
 else:
     print(f"ok: hdlts incremental speedup {speedup:.1f}x (baseline "
@@ -139,11 +186,13 @@ if worst[0] is not None:
 sys.exit(1 if failed else 0)
 EOF
 
-python3 - "$LAYOUT_BASELINE" "$LAYOUT_FRESH" "$FACTOR" "$NULL_SINK_FACTOR" <<'EOF'
+python3 - "$LAYOUT_BASELINE" "$LAYOUT_FRESH" "$FACTOR" "$NULL_SINK_FACTOR" \
+  "$MIN_LAYOUT" <<'EOF'
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
 null_sink_factor = float(sys.argv[4])
+min_layout = float(sys.argv[5])
 baseline = json.load(open(baseline_path))
 fresh = json.load(open(fresh_path))
 
@@ -172,7 +221,7 @@ for name, row in sorted(fresh_cells.items()):
             failed = True
 
 speedup = fresh.get("hdlts_layout_speedup", 0.0)
-if speedup < 1.05:
+if speedup < min_layout:
     print(f"FAIL: hdlts layout speedup {speedup:.2f}x — compiled path no "
           f"longer beats the legacy layout")
     failed = True
@@ -207,6 +256,58 @@ else:
         else:
             print(f"ok: hdlts null-sink path at {ratio:.3f}x of baseline "
                   f"(allowed {null_sink_factor:.2f}x)")
+
+sys.exit(1 if failed else 0)
+EOF
+
+python3 - "$BATCH_BASELINE" "$BATCH_FRESH" "$FACTOR" "$BATCH_SPEEDUP_MIN" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+speedup_min = float(sys.argv[4])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def cells(doc):
+    return {r["threads"]: r for r in doc["rows"]}
+
+base_cells, fresh_cells = cells(baseline), cells(fresh)
+failed = False
+
+missing = sorted(set(base_cells) - set(fresh_cells))
+if missing:
+    print(f"FAIL: batch thread-count cells missing vs baseline: {missing}")
+    failed = True
+
+# Throughput regression per thread-count cell (higher rps is better, so the
+# gate is on base/fresh). Requests-per-pass may differ between baseline and
+# a smoke run; rps normalises that away.
+for threads in sorted(set(base_cells) & set(fresh_cells)):
+    ratio = base_cells[threads]["rps"] / fresh_cells[threads]["rps"]
+    if ratio > factor:
+        print(f"FAIL: batch throughput at {threads} threads regressed "
+              f"{ratio:.2f}x vs baseline ({base_cells[threads]['rps']:.0f} "
+              f"-> {fresh_cells[threads]['rps']:.0f} req/s)")
+        failed = True
+
+# The scaling bar needs real cores: a 1-core container runs the 8-thread row
+# (the determinism check inside micro_batch is just as strong there) but its
+# speedup number is oversubscription noise, so the gate only binds when the
+# host covers the highest thread count.
+hardware = fresh.get("hardware_concurrency", 0)
+hi = fresh.get("threads_hi", 0)
+speedup = fresh.get("batch_speedup", 0.0)
+if hardware >= hi and hi > 0:
+    if speedup < speedup_min:
+        print(f"FAIL: batch throughput speedup {speedup:.2f}x at {hi} vs 1 "
+              f"threads < {speedup_min:.1f}x bar (host has {hardware} cores)")
+        failed = True
+    else:
+        print(f"ok: batch throughput speedup {speedup:.2f}x at {hi} vs 1 "
+              f"threads (bar {speedup_min:.1f}x, host has {hardware} cores)")
+else:
+    print(f"note: host has {hardware} cores < {hi} threads — batch scaling "
+          f"bar skipped (measured {speedup:.2f}x, not meaningful here)")
 
 sys.exit(1 if failed else 0)
 EOF

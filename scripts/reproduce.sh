@@ -4,18 +4,30 @@
 #   scripts/reproduce.sh [results_dir]
 #
 # Environment: HDLTS_REPS (default 100), HDLTS_FULL=1 to include the
-# V=5000/10000 rows of Fig. 3 and the full grid range of table2_grid.
+# V=5000/10000 rows of Fig. 3 and the full grid range of table2_grid,
+# HDLTS_JOBS to cap build/test parallelism (default: all cores).
 set -euo pipefail
 
 here="$(cd "$(dirname "$0")/.." && pwd)"
 out="${1:-$here/results}"
 mkdir -p "$out"
 
-cmake -B "$here/build" -G Ninja -S "$here"
-cmake --build "$here/build"
+jobs="${HDLTS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+# Ninja is faster when present but not guaranteed; fall back to the default
+# generator (Make) rather than failing on a bare container.
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+cmake -B "$here/build" "${generator[@]}" -S "$here" \
+  -DCMAKE_BUILD_TYPE=Release
+cmake --build "$here/build" -j "$jobs"
 
 echo "== tests ==" | tee "$out/tests.txt"
-ctest --test-dir "$here/build" 2>&1 | tail -3 | tee -a "$out/tests.txt"
+ctest --test-dir "$here/build" -j "$jobs" --output-on-failure 2>&1 \
+  | tail -3 | tee -a "$out/tests.txt"
 
 export HDLTS_CSV_DIR="$out"
 export HDLTS_SVG_DIR="$out"

@@ -6,6 +6,7 @@
 #include "hdlts/metrics/metrics.hpp"
 #include "hdlts/obs/metrics.hpp"
 #include "hdlts/obs/span.hpp"
+#include "hdlts/svc/batch_engine.hpp"
 #include "hdlts/util/rng.hpp"
 
 namespace hdlts::metrics {
@@ -20,9 +21,14 @@ struct CellResult {
 };
 
 /// Shared rep runner: fills `cells` (rep-major) or records a failure.
-/// Scheduler construction is hoisted out of the repetition loop: schedulers
-/// are stateless between schedule() calls, so each worker chunk instantiates
-/// its set once via Registry::make instead of once per repetition.
+///
+/// With a pool the repetitions run through svc::BatchEngine (one request per
+/// repetition, carrying the workload factory and the derived seed), whose
+/// drain loops occupy the caller's otherwise-idle pool; each engine worker
+/// caches its scheduler instances, so construction stays hoisted out of the
+/// repetition loop exactly as in the serial path. Results are keyed by
+/// (repetition, scheduler index), so the cells are identical regardless of
+/// worker interleaving.
 void run_repetitions(const WorkloadFactory& factory,
                      const std::vector<std::string>& scheduler_names,
                      const sched::Registry& registry,
@@ -81,11 +87,53 @@ void run_repetitions(const WorkloadFactory& factory,
       run_rep(rep, schedulers, schedule);
     }
   };
+  auto run_batched = [&] {
+    // Validation happens in the callback (not via the engine's own
+    // check_schedules) so the failure messages match the serial path
+    // byte-for-byte. The callback runs on the engine workers: every write
+    // lands in a cell owned by this (repetition, scheduler) pair, and
+    // failures[rep] is only written by the single worker processing `rep`.
+    auto on_result = [&](const svc::BatchResult& r) {
+      if (!r.ok) {
+        if (failures[r.id].empty()) failures[r.id] = std::string(r.error);
+        return;
+      }
+      if (options.check_schedules) {
+        const auto violations = r.schedule->validate(*r.problem);
+        if (!violations.empty()) {
+          if (failures[r.id].empty()) {
+            failures[r.id] =
+                scheduler_names[r.scheduler_index] + ": " + violations.front();
+          }
+          return;
+        }
+      }
+      CellResult& cell = cells[r.id * ns + r.scheduler_index];
+      cell.slr = slr(*r.problem, *r.schedule);
+      cell.speedup = speedup(*r.problem, *r.schedule);
+      cell.efficiency = efficiency(*r.problem, *r.schedule);
+      cell.makespan = r.schedule->makespan();
+    };
+    svc::BatchEngineOptions engine_options;
+    engine_options.pool = options.pool;
+    engine_options.queue_capacity = std::max<std::size_t>(
+        std::size_t{64}, options.pool->size() * 4);
+    engine_options.trace_sink = options.trace_sink;
+    svc::BatchEngine engine(registry, on_result, engine_options);
+    svc::BatchRequest request;
+    request.generator = &factory;
+    request.schedulers = scheduler_names;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      request.id = rep;
+      request.seed = util::derive_seed(options.base_seed, 0x9d1cULL, rep);
+      engine.submit(request);  // blocking: the bounded queue is backpressure
+    }
+    engine.shutdown(svc::BatchEngine::Drain::kDrain);
+  };
   {
     const obs::TimingSpan span("experiment.run_repetitions");
     if (options.pool != nullptr) {
-      util::parallel_for_chunked(*options.pool, options.repetitions,
-                                 run_chunk);
+      run_batched();
     } else {
       run_chunk(0, options.repetitions);
     }

@@ -1,0 +1,322 @@
+#include "hdlts/svc/batch_engine.hpp"
+
+#include <array>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/span.hpp"
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::svc {
+
+namespace {
+
+/// Latency buckets in milliseconds: a 1k-task compiled schedule call sits
+/// around a few ms, the fig-bench cells well under 1 ms.
+constexpr std::array<double, 13> kLatencyBoundsMs = {
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    1000.0};
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+/// Per-worker recycled state. Everything here reaches its high-water mark
+/// during warm-up and is only rewound/overwritten afterwards, which is what
+/// keeps the steady state allocation-free for direct-problem requests.
+struct BatchEngine::Worker {
+  struct CacheEntry {
+    sched::SchedulerPtr scheduler;
+    obs::Histogram* latency = nullptr;
+  };
+
+  BatchRequest request;          // pop target; strings keep their capacity
+  sim::Schedule schedule{0, 1};  // recycled via Schedule::reset
+  std::string error;             // failure-path message buffer
+  std::optional<sim::Workload> workload;  // generated-request storage
+  std::optional<sim::Problem> problem;
+  std::map<std::string, CacheEntry, std::less<>> cache;  // by scheduler name
+};
+
+BatchEngine::BatchEngine(const sched::Registry& registry, ResultFn on_result,
+                         BatchEngineOptions options)
+    : registry_(registry),
+      on_result_(std::move(on_result)),
+      options_(options) {
+  if (options_.queue_capacity == 0) {
+    throw InvalidArgument("BatchEngine queue_capacity must be >= 1");
+  }
+  if (!on_result_) {
+    throw InvalidArgument("BatchEngine needs a result callback");
+  }
+  slots_.resize(options_.queue_capacity);
+
+  util::ThreadPool* pool = options_.pool;
+  if (pool == nullptr) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    pool = owned_pool_.get();
+  }
+  drain_loops_ = pool->size();
+  workers_.reserve(drain_loops_);
+  for (std::size_t i = 0; i < drain_loops_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  loops_running_ = drain_loops_;
+  for (std::size_t i = 0; i < drain_loops_; ++i) {
+    Worker* worker = workers_[i].get();
+    pool->submit([this, worker] { worker_loop(*worker); });
+  }
+}
+
+BatchEngine::~BatchEngine() {
+  shutdown(Drain::kDrain);
+  // Own pool: joining its threads here (after every drain loop exited) is
+  // immediate. External pool: the loops have already returned its workers.
+  owned_pool_.reset();
+}
+
+bool BatchEngine::enqueue_locked(const BatchRequest& request) {
+  // Copy-assign into the recycled ring slot: after one lap around the ring
+  // the slot's strings/vector are at capacity and the copy allocates
+  // nothing (same-shape steady state).
+  slots_[(head_ + size_) % slots_.size()] = request;
+  ++size_;
+  ++stats_.submitted;
+  if (!saw_submit_) {
+    saw_submit_ = true;
+    first_submit_ = std::chrono::steady_clock::now();
+  }
+  if (size_ > stats_.queue_high_water) {
+    stats_.queue_high_water = size_;
+    static obs::Gauge& high_water =
+        obs::MetricRegistry::global().gauge("svc.batch.queue_high_water");
+    high_water.record_max(static_cast<double>(size_));
+  }
+  static obs::Counter& submitted =
+      obs::MetricRegistry::global().counter("svc.batch.submitted");
+  submitted.add(1);
+  not_empty_.notify_one();
+  return true;
+}
+
+namespace {
+
+void check_request(const BatchRequest& request) {
+  if ((request.problem == nullptr) == (request.generator == nullptr)) {
+    throw InvalidArgument(
+        "BatchRequest needs exactly one of problem/generator");
+  }
+  if (request.schedulers.empty()) {
+    throw InvalidArgument("BatchRequest needs >= 1 scheduler name");
+  }
+}
+
+}  // namespace
+
+bool BatchEngine::try_submit(const BatchRequest& request) {
+  check_request(request);
+  std::lock_guard lock(mu_);
+  if (closed_ || size_ == slots_.size()) {
+    ++stats_.rejected;
+    static obs::Counter& rejected =
+        obs::MetricRegistry::global().counter("svc.batch.rejected");
+    rejected.add(1);
+    return false;
+  }
+  return enqueue_locked(request);
+}
+
+bool BatchEngine::submit(const BatchRequest& request) {
+  check_request(request);
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [this] { return closed_ || size_ < slots_.size(); });
+  if (closed_) {
+    ++stats_.rejected;
+    static obs::Counter& rejected =
+        obs::MetricRegistry::global().counter("svc.batch.rejected");
+    rejected.add(1);
+    return false;
+  }
+  return enqueue_locked(request);
+}
+
+bool BatchEngine::submit(const BatchRequest& request,
+                         std::chrono::nanoseconds timeout) {
+  check_request(request);
+  std::unique_lock lock(mu_);
+  const bool space = not_full_.wait_for(
+      lock, timeout, [this] { return closed_ || size_ < slots_.size(); });
+  if (!space || closed_) {
+    ++stats_.rejected;
+    static obs::Counter& rejected =
+        obs::MetricRegistry::global().counter("svc.batch.rejected");
+    rejected.add(1);
+    return false;
+  }
+  return enqueue_locked(request);
+}
+
+void BatchEngine::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return size_ == 0 && in_flight_ == 0; });
+  if (saw_submit_ && stats_.completed > 0) {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      first_submit_)
+            .count();
+    if (secs > 0.0) {
+      static obs::Gauge& rps =
+          obs::MetricRegistry::global().gauge("svc.batch.throughput_rps");
+      rps.set(static_cast<double>(stats_.completed) / secs);
+    }
+  }
+}
+
+void BatchEngine::shutdown(Drain mode) {
+  {
+    std::unique_lock lock(mu_);
+    if (!closed_) {
+      closed_ = true;
+      if (mode == Drain::kCancel && size_ > 0) {
+        stats_.cancelled += size_;
+        static obs::Counter& cancelled =
+            obs::MetricRegistry::global().counter("svc.batch.cancelled");
+        cancelled.add(size_);
+        size_ = 0;  // slots keep their capacity for nothing — engine is done
+      }
+      not_empty_.notify_all();
+      not_full_.notify_all();
+    }
+    exited_.wait(lock, [this] { return loops_running_ == 0; });
+  }
+  wait_idle();  // no-op by now; refreshes the throughput gauge
+}
+
+BatchEngineStats BatchEngine::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+bool BatchEngine::pop(BatchRequest& out) {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+  if (size_ == 0) return false;  // closed and drained (or cancelled)
+  out = slots_[head_];
+  head_ = (head_ + 1) % slots_.size();
+  --size_;
+  ++in_flight_;
+  not_full_.notify_one();
+  return true;
+}
+
+void BatchEngine::note_request_done() {
+  std::lock_guard lock(mu_);
+  --in_flight_;
+  ++stats_.completed;
+  static obs::Counter& completed =
+      obs::MetricRegistry::global().counter("svc.batch.completed");
+  completed.add(1);
+  if (size_ == 0 && in_flight_ == 0) idle_.notify_all();
+}
+
+void BatchEngine::worker_loop(Worker& worker) {
+  for (;;) {
+    if (!pop(worker.request)) break;
+    process(worker, worker.request);
+    note_request_done();
+  }
+  std::lock_guard lock(mu_);
+  --loops_running_;
+  if (loops_running_ == 0) exited_.notify_all();
+}
+
+void BatchEngine::process(Worker& worker, const BatchRequest& request) {
+  const obs::TimingSpan span("svc.batch.request");
+
+  const sim::Problem* problem = request.problem;
+  if (request.generator != nullptr) {
+    try {
+      worker.problem.reset();  // points into the workload being replaced
+      worker.workload.emplace((*request.generator)(request.seed));
+      worker.problem.emplace(*worker.workload);
+      problem = &*worker.problem;
+    } catch (const std::exception& e) {
+      worker.error = e.what();
+      for (std::size_t i = 0; i < request.schedulers.size(); ++i) {
+        BatchResult result;
+        result.id = request.id;
+        result.seed = request.seed;
+        result.scheduler = request.schedulers[i];
+        result.scheduler_index = i;
+        result.error = worker.error;
+        note_sched_failure();
+        on_result_(result);
+      }
+      return;
+    }
+  }
+
+  for (std::size_t i = 0; i < request.schedulers.size(); ++i) {
+    const std::string& name = request.schedulers[i];
+    BatchResult result;
+    result.id = request.id;
+    result.seed = request.seed;
+    result.scheduler = name;
+    result.scheduler_index = i;
+    result.problem = problem;
+    try {
+      auto it = worker.cache.find(name);
+      if (it == worker.cache.end()) {
+        // Once per (worker, scheduler name): instantiate and configure the
+        // scheduler and register its latency histogram. Steady-state
+        // requests only hit the map lookup above.
+        Worker::CacheEntry entry;
+        entry.scheduler = registry_.make(name);
+        entry.scheduler->set_use_compiled(options_.use_compiled);
+        entry.scheduler->set_trace_sink(options_.trace_sink);
+        entry.latency = &obs::MetricRegistry::global().histogram(
+            "svc.batch.latency_ms." + name, kLatencyBoundsMs);
+        it = worker.cache.emplace(name, std::move(entry)).first;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      it->second.scheduler->schedule_into(*problem, worker.schedule);
+      const auto t1 = std::chrono::steady_clock::now();
+      it->second.latency->observe(elapsed_ms(t0, t1));
+      if (options_.check_schedules) {
+        const auto violations = worker.schedule.validate(*problem);
+        if (!violations.empty()) {
+          worker.error = violations.front();
+          result.error = worker.error;
+          note_sched_failure();
+          on_result_(result);
+          continue;
+        }
+      }
+      result.ok = true;
+      result.makespan = worker.schedule.makespan();
+      result.schedule = &worker.schedule;
+    } catch (const std::exception& e) {
+      worker.error = e.what();
+      result.error = worker.error;
+      note_sched_failure();
+    }
+    on_result_(result);
+  }
+}
+
+void BatchEngine::note_sched_failure() {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.sched_failures;
+  }
+  static obs::Counter& failures =
+      obs::MetricRegistry::global().counter("svc.batch.sched_failures");
+  failures.add(1);
+}
+
+}  // namespace hdlts::svc

@@ -1,0 +1,204 @@
+// Concurrent batch-scheduling engine: many independent scheduling requests
+// drained across a fixed worker pool (docs/CONCURRENCY.md).
+//
+// The per-decision kernels (PR 1/2) are fast but serial — one workflow at a
+// time on one thread. BatchEngine is the service layer on top: callers
+// submit (problem, scheduler names, seed) requests into a bounded MPMC ring
+// and a util::ThreadPool of drain loops executes them, each worker owning a
+// recycled sim::Schedule, a per-scheduler instance cache (whose ScratchArena
+// warms once), and a reusable error buffer — so the steady state stays
+// zero-allocation per request on the compiled path
+// (tests/alloc_test.cpp::BatchEngineSteadyState).
+//
+// Determinism: a request's result depends only on the request's content,
+// never on worker interleaving — every scheduler in the registry is a pure
+// function of the Problem. tests/batch_test.cpp enforces bit-identical
+// schedules between the engine (any thread count) and a serial loop.
+//
+// Backpressure: the submission queue is bounded. try_submit() fails
+// immediately when full; submit() blocks until space frees, optionally with
+// a timeout. Both count rejected requests in the stats and in
+// obs::MetricRegistry ("svc.batch.rejected").
+//
+// Shutdown: shutdown(Drain::kDrain) closes the queue and finishes every
+// queued request; shutdown(Drain::kCancel) drops queued requests (counted
+// as cancelled, no callback) but still lets in-flight work finish — threads
+// cannot be interrupted mid-schedule. The destructor drains.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hdlts/sched/registry.hpp"
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/sim/schedule.hpp"
+#include "hdlts/util/thread_pool.hpp"
+
+namespace hdlts::obs {
+class DecisionTrace;
+}
+
+namespace hdlts::svc {
+
+/// Produces a fresh workload for a request seed (same shape as
+/// metrics::WorkloadFactory, so experiment factories plug in directly).
+using WorkloadFn = std::function<sim::Workload(std::uint64_t seed)>;
+
+/// One unit of work: a problem (given directly, or generated on the worker
+/// from `generator` + `seed`) scheduled by each named algorithm in turn.
+/// Exactly one of `problem` / `generator` must be set; both are non-owning
+/// and must outlive the request's completion.
+struct BatchRequest {
+  /// Caller-chosen key; results are correlated by it (ids need not be
+  /// unique or dense, the engine only echoes them).
+  std::uint64_t id = 0;
+  const sim::Problem* problem = nullptr;
+  const WorkloadFn* generator = nullptr;
+  /// Passed to `generator` when set; echoed into the result either way
+  /// (workload provenance for JSONL outputs).
+  std::uint64_t seed = 0;
+  /// Registry names, run in order; one result per entry.
+  std::vector<std::string> schedulers;
+};
+
+/// Delivered to the result callback once per (request, scheduler), on the
+/// worker thread that ran it. The pointers and views are valid ONLY for the
+/// duration of the callback — the schedule is the worker's recycled buffer.
+struct BatchResult {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 0;
+  std::string_view scheduler;
+  std::size_t scheduler_index = 0;
+  bool ok = false;
+  /// Failure description when !ok (unknown scheduler, generator throw,
+  /// validation violation); empty on success.
+  std::string_view error;
+  double makespan = 0.0;
+  /// Null when the request carried a generator that failed.
+  const sim::Problem* problem = nullptr;
+  /// Null when !ok.
+  const sim::Schedule* schedule = nullptr;
+};
+
+/// Must be thread-safe: workers invoke it concurrently.
+using ResultFn = std::function<void(const BatchResult&)>;
+
+struct BatchEngineOptions {
+  /// Worker count when the engine owns its pool (0 = hardware concurrency).
+  /// Ignored when `pool` is set.
+  std::size_t threads = 0;
+  /// Submission ring capacity (>= 1). Submissions beyond it block/reject.
+  std::size_t queue_capacity = 256;
+  /// Run sim::Schedule::validate on every produced schedule; violations
+  /// surface as failed results (costs time, on in tests).
+  bool check_schedules = false;
+  /// Forwarded to every scheduler instance (sched::Scheduler::set_use_compiled).
+  bool use_compiled = true;
+  /// Optional decision-trace sink attached to every scheduler instance;
+  /// must be thread-safe (obs::RecordingTrace is).
+  obs::DecisionTrace* trace_sink = nullptr;
+  /// External pool to run the drain loops on. The engine occupies EVERY
+  /// worker of the pool until shutdown, so the pool must not have other
+  /// concurrent users (metrics::run_repetitions lends its otherwise-idle
+  /// pool this way). Null: the engine owns a pool of `threads` workers.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Monotone totals since construction. After shutdown:
+///   submitted == completed + cancelled,  attempts == submitted + rejected.
+struct BatchEngineStats {
+  std::uint64_t submitted = 0;  ///< requests accepted into the queue
+  std::uint64_t completed = 0;  ///< requests fully processed (incl. failures)
+  std::uint64_t rejected = 0;   ///< submissions refused (full/timeout/closed)
+  std::uint64_t cancelled = 0;  ///< queued requests dropped by kCancel
+  std::uint64_t sched_failures = 0;  ///< per-scheduler failed results
+  std::size_t queue_high_water = 0;  ///< max queue depth ever observed
+};
+
+class BatchEngine {
+ public:
+  /// `registry` and `on_result` are used from worker threads for the
+  /// engine's whole lifetime; the registry must outlive the engine and its
+  /// factories must be callable concurrently (stateless factories are).
+  BatchEngine(const sched::Registry& registry, ResultFn on_result,
+              BatchEngineOptions options = {});
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  std::size_t threads() const { return drain_loops_; }
+  std::size_t queue_capacity() const { return slots_.size(); }
+
+  /// Enqueues without blocking; false (and ++rejected) when the queue is
+  /// full or the engine is shut down. Throws InvalidArgument for malformed
+  /// requests (no problem/generator, empty scheduler list) — caller bugs,
+  /// not backpressure.
+  bool try_submit(const BatchRequest& request);
+
+  /// Blocks until space frees; false (and ++rejected) only after shutdown.
+  bool submit(const BatchRequest& request);
+
+  /// Blocks up to `timeout`; false (and ++rejected) on timeout or shutdown.
+  bool submit(const BatchRequest& request, std::chrono::nanoseconds timeout);
+
+  /// Blocks until the queue is empty and no request is in flight. Does not
+  /// close the queue — callers may keep submitting afterwards.
+  void wait_idle();
+
+  enum class Drain {
+    kDrain,   ///< finish every queued request, then stop
+    kCancel,  ///< drop queued requests (counted, no callback); in-flight
+              ///< work still finishes
+  };
+
+  /// Closes the queue (subsequent submissions are rejected) and blocks
+  /// until every worker has exited its drain loop. Idempotent; the second
+  /// call's mode is ignored.
+  void shutdown(Drain mode = Drain::kDrain);
+
+  BatchEngineStats stats() const;
+
+ private:
+  struct Worker;
+
+  void worker_loop(Worker& worker);
+  bool pop(BatchRequest& out);
+  void process(Worker& worker, const BatchRequest& request);
+  bool enqueue_locked(const BatchRequest& request);
+  void note_request_done();
+  void note_sched_failure();
+
+  const sched::Registry& registry_;
+  ResultFn on_result_;
+  BatchEngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::condition_variable exited_;
+  std::vector<BatchRequest> slots_;  // fixed-capacity ring; slots recycled
+  std::size_t head_ = 0;             // next slot to pop
+  std::size_t size_ = 0;             // queued requests
+  std::size_t in_flight_ = 0;        // popped, not yet completed
+  bool closed_ = false;
+  BatchEngineStats stats_;
+  std::chrono::steady_clock::time_point first_submit_{};
+  bool saw_submit_ = false;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t drain_loops_ = 0;
+  std::size_t loops_running_ = 0;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+};
+
+}  // namespace hdlts::svc

@@ -18,6 +18,7 @@
 
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/sched/registry.hpp"
+#include "hdlts/svc/batch_engine.hpp"
 #include "hdlts/workload/random_dag.hpp"
 
 namespace hdlts {
@@ -98,6 +99,46 @@ TEST(ZeroAlloc, PortedListSchedulersSteadyState) {
     SCOPED_TRACE(name);
     expect_zero_traffic(*scheduler, problem);
   }
+}
+
+TEST(ZeroAlloc, BatchEngineSteadyState) {
+  // The engine contract: once the ring slots, the per-worker scheduler
+  // caches/arenas, and the recycled Schedules are warm, a direct-problem
+  // batch request costs zero heap allocations end to end — submit (slot
+  // copy-assign), pop, schedule_into, result callback, completion
+  // accounting. Single worker so the counter deltas are exact: the main
+  // thread waits idle between submissions, hence never races the worker.
+  const sim::Workload w = make_workload(300, 6, 17);
+  const sim::Problem problem(w);
+  const sched::Registry registry = sched::baseline_registry();
+  std::vector<double> makespans(1, 0.0);  // preallocated result slot
+  svc::BatchEngineOptions options;
+  options.threads = 1;
+  options.queue_capacity = 4;
+  svc::BatchEngine engine(
+      registry,
+      [&](const svc::BatchResult& r) { makespans[0] = r.makespan; }, options);
+
+  svc::BatchRequest request;
+  request.problem = &problem;
+  request.schedulers = {"heft", "cpop"};
+  // Warm every ring slot (the ring advances one slot per request) plus the
+  // worker's scheduler cache and arenas.
+  for (std::size_t i = 0; i < 2 * options.queue_capacity + 2; ++i) {
+    request.id = i;
+    ASSERT_TRUE(engine.submit(request));
+    engine.wait_idle();
+  }
+
+  const auto before = tests::alloc_counters();
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.submit(request));
+    engine.wait_idle();
+  }
+  const auto after = tests::alloc_counters();
+  EXPECT_EQ(after.allocations - before.allocations, 0u);
+  EXPECT_EQ(after.frees - before.frees, 0u);
+  EXPECT_GT(makespans[0], 0.0);
 }
 
 TEST(ZeroAlloc, LegacyPathStillAllocates) {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "hdlts/util/cli.hpp"
@@ -211,6 +212,41 @@ TEST(ThreadPool, ManySmallSubmissions) {
 TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  std::atomic<int> chunks{0};
+  parallel_for_chunked(pool, hits.size(),
+                       [&](std::size_t begin, std::size_t end) {
+                         EXPECT_LT(begin, end);
+                         chunks.fetch_add(1);
+                         for (std::size_t i = begin; i < end; ++i) {
+                           hits[i].fetch_add(1);
+                         }
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Chunking bounds queue churn: no more chunks than 4x the worker count.
+  EXPECT_LE(chunks.load(), static_cast<int>(pool.size() * 4));
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAreSafe) {
+  // Multiple producer threads race pool.submit against the workers — the
+  // shape the CI ThreadSanitizer job checks for queue races.
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        pool.submit([&sum] { sum.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 400);
 }
 
 TEST(Table, RejectsMismatchedRow) {
