@@ -2,15 +2,44 @@
 // online, kill processors mid-flight, and watch the dynamic ITQ remap the
 // remaining work.
 //
-//   $ ./failure_resilience --tasks=80 --cpus=4 --fail=1@0.4 --fail=... is not
-//   supported; use --fail-proc / --fail-frac for a single failure, or
-//   --failures=2 for the default scenario.
+//   $ ./failure_resilience --tasks=80 --cpus=4 --fail=1@0.4 --fail=2@0.7
+//
+// Each --fail=proc@frac kills one processor at the given fraction of the
+// clean makespan and may be repeated. Without --fail, --failures=N injects a
+// default staggered scenario (--fail-proc / --fail-frac tune its first
+// failure). Add --validate to replay the run through check::OnlineValidator.
 #include <iostream>
 
+#include "hdlts/check/validate.hpp"
 #include "hdlts/core/online.hpp"
 #include "hdlts/util/cli.hpp"
 #include "hdlts/util/table.hpp"
 #include "hdlts/workload/random_dag.hpp"
+
+namespace {
+
+/// Parses "proc@frac" (e.g. "1@0.4"). Throws InvalidArgument on junk.
+hdlts::core::ProcFailure parse_fail(const std::string& spec,
+                                    double clean_makespan) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+    throw hdlts::InvalidArgument("--fail expects proc@frac, got '" + spec +
+                                 "'");
+  }
+  try {
+    const auto proc =
+        static_cast<hdlts::platform::ProcId>(std::stoul(spec.substr(0, at)));
+    const double frac = std::stod(spec.substr(at + 1));
+    return {proc, clean_makespan * frac};
+  } catch (const hdlts::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw hdlts::InvalidArgument("--fail expects proc@frac, got '" + spec +
+                                 "'");
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hdlts;
@@ -26,19 +55,37 @@ int main(int argc, char** argv) {
   std::cout << "clean run: makespan " << clean.makespan << " on "
             << params.costs.num_procs << " CPUs\n";
 
-  const auto failures = static_cast<std::size_t>(cli.get_int("failures", 1));
   std::vector<core::ProcFailure> fails;
-  for (std::size_t f = 0; f < failures; ++f) {
-    const auto proc = static_cast<platform::ProcId>(
-        cli.get_int("fail-proc", static_cast<std::int64_t>(f)));
-    const double frac = cli.get_double("fail-frac", 0.4);
-    fails.push_back({proc, clean.makespan * frac * (1.0 + 0.3 * static_cast<double>(f))});
+  const auto specs = cli.get_all("fail");
+  if (!specs.empty()) {
+    for (const std::string& spec : specs) {
+      fails.push_back(parse_fail(spec, clean.makespan));
+    }
+  } else {
+    const auto failures = static_cast<std::size_t>(cli.get_int("failures", 1));
+    for (std::size_t f = 0; f < failures; ++f) {
+      const auto proc = static_cast<platform::ProcId>(
+          cli.get_int("fail-proc", static_cast<std::int64_t>(f)));
+      const double frac = cli.get_double("fail-frac", 0.4);
+      fails.push_back(
+          {proc, clean.makespan * frac * (1.0 + 0.3 * static_cast<double>(f))});
+    }
   }
 
   const core::OnlineResult r = core::run_online(w, fails);
   for (const core::ProcFailure& f : fails) {
     std::cout << "injected failure: " << w.platform.proc_name(f.proc)
               << " dies at t = " << f.time << "\n";
+  }
+  if (cli.get_bool("validate", false)) {
+    const check::OnlineValidator validator;
+    const auto violations = validator.validate(w, fails, r);
+    if (!violations.empty()) {
+      std::cout << "VALIDATION FAILED: " << violations.front() << "\n";
+      return 1;
+    }
+    std::cout << "validation: " << r.executions.size()
+              << " executions replayed, all invariants hold\n";
   }
   if (!r.completed) {
     std::cout << "workflow could NOT complete (no machines left)\n";

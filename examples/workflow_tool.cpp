@@ -14,6 +14,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "hdlts/check/validate.hpp"
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/graph/analysis.hpp"
 #include "hdlts/io/workload_io.hpp"
@@ -50,8 +51,30 @@ int usage() {
       "      [--trace-out=FILE] [--counters-out=FILE]\n"
       "  workflow_tool batch WORKLOADS.txt [--schedulers=a,b,c]\n"
       "      [--threads=N] [--queue-cap=N] [--out=FILE.jsonl] [--check]\n"
-      "      [--trace-out=FILE] [--counters-out=FILE]\n";
+      "      [--trace-out=FILE] [--counters-out=FILE]\n"
+      "  workflow_tool online FILE [--fail=proc@frac ...] [--validate]\n"
+      "  workflow_tool stream FILE [FILE ...] [--arrivals=t1,t2,...]\n"
+      "      [--policy=pv|fifo] [--validate]\n";
   return 2;
+}
+
+/// Parses a --fail spec "proc@frac"; frac scales the clean makespan.
+core::ProcFailure parse_fail_spec(const std::string& spec,
+                                  double clean_makespan) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+    throw InvalidArgument("--fail expects proc@frac, got '" + spec + "'");
+  }
+  try {
+    const auto proc =
+        static_cast<platform::ProcId>(std::stoul(spec.substr(0, at)));
+    const double frac = std::stod(spec.substr(at + 1));
+    return {proc, clean_makespan * frac};
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("--fail expects proc@frac, got '" + spec + "'");
+  }
 }
 
 std::vector<std::string> split_names(const std::string& csv) {
@@ -331,6 +354,84 @@ int main(int argc, char** argv) {
         write_counters_file(cli.get("counters-out", "counters.json"));
       }
       return stats.sched_failures == 0 ? 0 : 1;
+    }
+
+    if (command == "online") {
+      // Failure-injected online run of one workload; --validate replays the
+      // result through check::OnlineValidator (the dynamic oracle described
+      // in docs/TESTING.md).
+      if (cli.positional().size() < 2) return usage();
+      const sim::Workload w = io::load_workload(cli.positional()[1]);
+      const double clean =
+          core::Hdlts().schedule(sim::Problem(w)).makespan();
+      std::vector<core::ProcFailure> fails;
+      for (const std::string& spec : cli.get_all("fail")) {
+        fails.push_back(parse_fail_spec(spec, clean));
+      }
+      const core::OnlineResult r = core::run_online(w, fails);
+      std::cout << "clean makespan  = " << clean
+                << "\nonline makespan = " << r.makespan
+                << "\ncompleted       = " << (r.completed ? "yes" : "no")
+                << "\nlost executions = " << r.lost_executions << "\n";
+      if (cli.get_bool("validate", false)) {
+        const check::OnlineValidator validator;
+        const auto violations = validator.validate(w, fails, r);
+        if (!violations.empty()) {
+          std::cerr << "INVALID online result: " << violations.front()
+                    << "\n";
+          return 1;
+        }
+        std::cout << "validation      = " << r.executions.size()
+                  << " executions replayed, all invariants hold\n";
+      }
+      return r.completed ? 0 : 1;
+    }
+
+    if (command == "stream") {
+      // Multi-workflow stream run; arrival times come from --arrivals (CSV,
+      // padded with the last gap) and default to 20 time units apart.
+      if (cli.positional().size() < 2) return usage();
+      std::vector<core::StreamArrival> arrivals;
+      const std::vector<std::string> times =
+          split_names(cli.get("arrivals", ""));
+      for (std::size_t i = 1; i < cli.positional().size(); ++i) {
+        const std::size_t w = i - 1;
+        const double arrival = w < times.size()
+                                   ? std::stod(times[w])
+                                   : 20.0 * static_cast<double>(w);
+        arrivals.push_back(
+            {io::load_workload(cli.positional()[i]), arrival});
+      }
+      core::StreamOptions stream_options;
+      const std::string policy = cli.get("policy", "pv");
+      if (policy == "fifo") {
+        stream_options.policy = core::StreamPolicy::kFifoEft;
+      } else if (policy != "pv") {
+        throw InvalidArgument("--policy expects pv or fifo, got '" + policy +
+                              "'");
+      }
+      const core::StreamResult r = core::run_stream(arrivals, stream_options);
+      util::Table table({"workflow", "arrival", "finish", "flow time"});
+      for (std::size_t w = 0; w < arrivals.size(); ++w) {
+        table.add_row({cli.positional()[w + 1],
+                       util::fmt(arrivals[w].arrival, 2),
+                       util::fmt(r.finish[w], 2),
+                       util::fmt(r.flow_time[w], 2)});
+      }
+      table.write_markdown(std::cout);
+      std::cout << "stream makespan = " << r.makespan << "\n";
+      if (cli.get_bool("validate", false)) {
+        const check::StreamValidator validator(stream_options);
+        const auto violations = validator.validate(arrivals, r);
+        if (!violations.empty()) {
+          std::cerr << "INVALID stream result: " << violations.front()
+                    << "\n";
+          return 1;
+        }
+        std::cout << "validation      = " << r.executions.size()
+                  << " executions replayed, all invariants hold\n";
+      }
+      return 0;
     }
 
     if (command == "schedule") {

@@ -1,0 +1,130 @@
+#include "hdlts/check/faultplan.hpp"
+
+#include <algorithm>
+
+#include "hdlts/util/rng.hpp"
+
+namespace hdlts::check {
+
+namespace {
+
+/// A uniformly drawn set of `count` distinct processors.
+std::vector<platform::ProcId> draw_procs(std::size_t num_procs,
+                                         std::size_t count, util::Rng& rng) {
+  std::vector<platform::ProcId> all(num_procs);
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    all[p] = static_cast<platform::ProcId>(p);
+  }
+  // Partial Fisher-Yates: the first `count` entries are the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(num_procs - 1)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace
+
+std::vector<FaultPlan> make_fault_plans(std::size_t num_procs,
+                                        double clean_makespan,
+                                        std::uint64_t seed) {
+  HDLTS_EXPECTS(num_procs >= 2 && clean_makespan > 0.0);
+  util::Rng rng(util::derive_seed(seed, 0xfa017a9ULL));
+  std::vector<FaultPlan> plans;
+
+  // 1. Empty plan: the online path must reproduce the static schedule.
+  plans.push_back({{}, PlanExpectation::kMustComplete, "no failures"});
+
+  // 2. Single failures at makespan quantiles (jittered so the instant does
+  // not sit exactly on a task boundary every time).
+  for (const double q : {0.1, 0.5, 0.9}) {
+    FaultPlan plan;
+    const auto proc = static_cast<platform::ProcId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_procs) - 1));
+    const double t =
+        clean_makespan * (q + rng.uniform(-0.05, 0.05));
+    plan.failures.push_back({proc, std::max(0.0, t)});
+    plan.expectation = PlanExpectation::kMustComplete;
+    plan.description = "single failure of processor " + std::to_string(proc) +
+                       " near the " + std::to_string(q) +
+                       " makespan quantile";
+    plans.push_back(std::move(plan));
+  }
+
+  // 3. Staggered multi-failures leaving at least one processor alive.
+  {
+    FaultPlan plan;
+    const std::size_t count = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(num_procs) - 1));
+    for (const platform::ProcId p : draw_procs(num_procs, count, rng)) {
+      plan.failures.push_back({p, rng.uniform(0.0, 1.2 * clean_makespan)});
+    }
+    plan.expectation = PlanExpectation::kMustComplete;
+    plan.description = "staggered failures of " + std::to_string(count) +
+                       " processors";
+    plans.push_back(std::move(plan));
+  }
+
+  // 4. Correlated failure: several processors die at the same instant
+  // (shared rack / power domain).
+  if (num_procs >= 3) {
+    FaultPlan plan;
+    const std::size_t count = static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(num_procs) - 1));
+    const double t = rng.uniform(0.05, 0.95) * clean_makespan;
+    for (const platform::ProcId p : draw_procs(num_procs, count, rng)) {
+      plan.failures.push_back({p, t});
+    }
+    plan.expectation = PlanExpectation::kMustComplete;
+    plan.description = "correlated failure of " + std::to_string(count) +
+                       " processors at t = " + std::to_string(t);
+    plans.push_back(std::move(plan));
+  }
+
+  // 5. Duplicate entries for one processor: only the earliest may count.
+  {
+    FaultPlan plan;
+    const auto proc = static_cast<platform::ProcId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_procs) - 1));
+    const double t = rng.uniform(0.1, 0.6) * clean_makespan;
+    plan.failures.push_back({proc, t});
+    plan.failures.push_back({proc, t + 0.2 * clean_makespan});
+    plan.expectation = PlanExpectation::kMustComplete;
+    plan.description = "duplicate failure entries for processor " +
+                       std::to_string(proc);
+    plans.push_back(std::move(plan));
+  }
+
+  // 6. Every processor dies at t = 0: nothing can start, so the run must
+  // report completed == false (pseudo tasks with zero work may still
+  // commit, but no real work can).
+  {
+    FaultPlan plan;
+    for (std::size_t p = 0; p < num_procs; ++p) {
+      plan.failures.push_back({static_cast<platform::ProcId>(p), 0.0});
+    }
+    plan.expectation = PlanExpectation::kMustFail;
+    plan.description = "all processors fail at t = 0";
+    plans.push_back(std::move(plan));
+  }
+
+  // 7. Every processor dies eventually, at staggered positive times; the
+  // workflow may or may not beat the failures.
+  {
+    FaultPlan plan;
+    for (std::size_t p = 0; p < num_procs; ++p) {
+      plan.failures.push_back({static_cast<platform::ProcId>(p),
+                               rng.uniform(0.2, 2.0) * clean_makespan});
+    }
+    plan.expectation = PlanExpectation::kEither;
+    plan.description = "all processors fail at staggered times";
+    plans.push_back(std::move(plan));
+  }
+
+  return plans;
+}
+
+}  // namespace hdlts::check

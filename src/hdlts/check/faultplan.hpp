@@ -1,0 +1,44 @@
+// Seeded fault-plan generation for deterministic simulation testing.
+//
+// A FaultPlan is a processor-failure scenario plus the outcome it forces:
+// plans that leave at least one processor alive must complete, plans that
+// kill every processor at t = 0 must not, and plans that kill everything
+// later may or may not finish first. make_fault_plans() draws a seeded
+// family of such scenarios around a run's clean makespan so failures land
+// where they matter (while work is in flight, not after everything is done).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdlts/core/online.hpp"
+
+namespace hdlts::check {
+
+/// What a plan forces run_online's `completed` flag to be.
+enum class PlanExpectation {
+  kMustComplete,  ///< at least one processor never fails
+  kMustFail,      ///< every processor dies at t = 0: nothing can run
+  kEither,        ///< every processor dies eventually; the race decides
+};
+
+struct FaultPlan {
+  std::vector<core::ProcFailure> failures;
+  PlanExpectation expectation = PlanExpectation::kEither;
+  /// Human-readable scenario label for reproducer messages.
+  std::string description;
+};
+
+/// Draws a deterministic family of fault plans for `num_procs` processors.
+/// `clean_makespan` anchors the failure times: single failures at makespan
+/// quantiles, correlated multi-processor failures at one instant, staggered
+/// multi-failures, a duplicate-failure plan (exercising the ignore path),
+/// the empty plan, and all-processors-die plans at t = 0 (kMustFail) and at
+/// a later instant (kEither). Same (num_procs, clean_makespan, seed) ⇒ same
+/// plans. Requires num_procs >= 2 and clean_makespan > 0.
+std::vector<FaultPlan> make_fault_plans(std::size_t num_procs,
+                                        double clean_makespan,
+                                        std::uint64_t seed);
+
+}  // namespace hdlts::check

@@ -1,0 +1,440 @@
+#include "hdlts/check/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace hdlts::check {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+// Finishes are never negative, so -1 marks "not scheduled yet".
+constexpr double kNeverFinish = -1.0;
+
+std::string fmt(double x) { return std::to_string(x); }
+
+/// Positive-length blocks on one lane must not overlap; zero-length records
+/// (pseudo tasks, instantly-killed attempts) occupy no time. Same rule as
+/// sim::Schedule::validate, applied to a flat attempt list.
+struct LaneBlock {
+  double start = 0.0;
+  double finish = 0.0;
+  std::string label;
+};
+
+void check_lane_exclusivity(std::vector<std::vector<LaneBlock>>& lanes,
+                            std::vector<std::string>& violations) {
+  for (std::size_t p = 0; p < lanes.size(); ++p) {
+    auto& lane = lanes[p];
+    std::sort(lane.begin(), lane.end(),
+              [](const LaneBlock& a, const LaneBlock& b) {
+                return a.start < b.start;
+              });
+    const LaneBlock* prev = nullptr;
+    for (const LaneBlock& b : lane) {
+      if (b.finish - b.start <= kEps) continue;
+      if (prev != nullptr && prev->finish > b.start + kEps) {
+        violations.push_back("attempts overlap on processor " +
+                             std::to_string(p) + ": " + prev->label +
+                             " and " + b.label);
+      }
+      prev = &b;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> OnlineValidator::validate(
+    const sim::Workload& workload,
+    std::span<const core::ProcFailure> failures,
+    const core::OnlineResult& result) const {
+  std::vector<std::string> violations;
+  auto complain = [&violations](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+
+  const auto& g = workload.graph;
+  const std::size_t n = g.num_tasks();
+  const std::size_t np = workload.platform.num_procs();
+
+  // Effective failure time per processor: failures are applied in time
+  // order and repeats of a dead processor are ignored, so only the earliest
+  // entry per processor takes effect.
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  std::vector<double> fail_time(np, kNever);
+  for (const core::ProcFailure& f : failures) {
+    if (f.proc >= np) {
+      complain("fault plan names unknown processor " + std::to_string(f.proc));
+      return violations;
+    }
+    fail_time[f.proc] = std::min(fail_time[f.proc], f.time);
+  }
+
+  // --- Structural sanity + failure isolation, one pass over the attempts.
+  std::size_t lost_seen = 0;
+  std::vector<std::size_t> primaries(n, 0);
+  std::vector<bool> covered(n, false);  // has a surviving copy
+  std::vector<std::vector<LaneBlock>> lanes(np);
+  const auto entries = g.entry_tasks();
+  const bool unique_entry = entries.size() == 1;
+
+  for (const core::OnlineExec& e : result.executions) {
+    if (e.task >= n) {
+      complain("execution names unknown task " + std::to_string(e.task));
+      return violations;
+    }
+    if (e.proc >= np) {
+      complain("execution of task " + std::to_string(e.task) +
+               " names unknown processor " + std::to_string(e.proc));
+      return violations;
+    }
+    const std::string label =
+        "task " + std::to_string(e.task) + (e.duplicate ? " (duplicate)" : "") +
+        (e.lost ? " (lost)" : "");
+    if (e.start < -kEps || e.finish + kEps < e.start) {
+      complain(label + " has a malformed interval [" + fmt(e.start) + ", " +
+               fmt(e.finish) + ")");
+      continue;
+    }
+    lanes[e.proc].push_back({e.start, e.finish, label});
+
+    const double w = workload.costs(e.task, e.proc);
+    if (e.lost) {
+      ++lost_seen;
+      const double ft = fail_time[e.proc];
+      if (ft == kNever) {
+        complain(label + " was lost on processor " + std::to_string(e.proc) +
+                 " which never fails");
+        continue;
+      }
+      if (std::abs(e.finish - ft) > kEps) {
+        complain(label + " was truncated at " + fmt(e.finish) +
+                 " but its processor fails at " + fmt(ft));
+      }
+      // Strict, no tolerance: the runtime kills exactly the attempts with
+      // start < fail.time as doubles, and a re-queued task can legitimately
+      // restart within any epsilon below the next failure instant.
+      if (e.start >= ft) {
+        complain(label + " started at " + fmt(e.start) +
+                 ", at or after its processor's failure at " + fmt(ft));
+      }
+      if (e.start + w <= ft - kEps) {
+        complain(label + " would have finished at " + fmt(e.start + w) +
+                 " before the failure at " + fmt(ft) +
+                 " — it was not actually running when killed");
+      }
+      continue;
+    }
+
+    // Surviving attempt.
+    if (std::abs((e.finish - e.start) - w) > kEps) {
+      complain(label + " has duration " + fmt(e.finish - e.start) +
+               " but W(v,p) = " + fmt(w));
+    }
+    if (e.finish > fail_time[e.proc] + kEps) {
+      complain(label + " runs until " + fmt(e.finish) +
+               " on processor " + std::to_string(e.proc) +
+               " after its failure at " + fmt(fail_time[e.proc]));
+    }
+    covered[e.task] = true;
+    if (!e.duplicate) ++primaries[e.task];
+    if (e.duplicate) {
+      if (!unique_entry || e.task != entries.front() ||
+          options_.duplication == core::DuplicationRule::kOff) {
+        complain(label + " is a duplicate of a task that is not the unique "
+                 "entry (Algorithm 1 only duplicates the entry)");
+      } else if (std::abs(e.start) > kEps) {
+        complain(label + " is an entry duplicate starting at " + fmt(e.start) +
+                 ", not at t = 0");
+      }
+    }
+  }
+
+  for (graph::TaskId v = 0; v < n; ++v) {
+    if (primaries[v] > 1) {
+      complain("task " + std::to_string(v) + " has " +
+               std::to_string(primaries[v]) +
+               " surviving primary executions (expected at most one)");
+    }
+  }
+
+  check_lane_exclusivity(lanes, violations);
+
+  // --- Precedence with communication delays. Commit/revoke semantics
+  // guarantee every recorded attempt (even one later killed) started at or
+  // after the cheapest *surviving* copy of each parent could deliver.
+  for (const core::OnlineExec& e : result.executions) {
+    if (e.task >= n || e.proc >= np) continue;  // complained above
+    for (const graph::Adjacent& parent : g.parents(e.task)) {
+      double arrival = kNever;
+      for (const core::OnlineExec& c : result.executions) {
+        if (c.task != parent.task || c.lost) continue;
+        const double comm =
+            c.proc == e.proc
+                ? 0.0
+                : parent.data / workload.platform.bandwidth(c.proc, e.proc);
+        arrival = std::min(arrival, c.finish + comm);
+      }
+      if (arrival == kNever) {
+        complain("task " + std::to_string(e.task) + " ran but parent " +
+                 std::to_string(parent.task) + " has no surviving copy");
+      } else if (e.start + kEps < arrival) {
+        complain("task " + std::to_string(e.task) + " starts at " +
+                 fmt(e.start) + " before its data from parent " +
+                 std::to_string(parent.task) + " arrives at " + fmt(arrival));
+      }
+    }
+  }
+
+  // --- Bookkeeping.
+  double max_finish = 0.0;
+  for (const core::OnlineExec& e : result.executions) {
+    if (!e.lost) max_finish = std::max(max_finish, e.finish);
+  }
+  if (std::abs(result.makespan - max_finish) > kEps) {
+    complain("makespan " + fmt(result.makespan) +
+             " does not equal the max surviving finish " + fmt(max_finish));
+  }
+  if (result.lost_executions != lost_seen) {
+    complain("lost_executions = " + std::to_string(result.lost_executions) +
+             " but the replay kills " + std::to_string(lost_seen) +
+             " attempts");
+  }
+  const bool all_covered =
+      std::all_of(covered.begin(), covered.end(), [](bool c) { return c; });
+  if (result.completed && !all_covered) {
+    for (graph::TaskId v = 0; v < n; ++v) {
+      if (!covered[v]) {
+        complain("completed run leaves task " + std::to_string(v) +
+                 " with no surviving execution");
+      }
+    }
+  }
+  if (!result.completed) {
+    if (all_covered && n > 0) {
+      complain("run reports completed == false but every task has a "
+               "surviving execution");
+    }
+    for (platform::ProcId p = 0; p < np; ++p) {
+      if (fail_time[p] == kNever) {
+        complain("run reports completed == false but processor " +
+                 std::to_string(p) + " never fails");
+        break;
+      }
+    }
+  }
+
+  // --- Empty fault plan: the online path must reproduce the static HDLTS
+  // schedule bit for bit (same primaries, same duplicates, same makespan;
+  // exact floating-point equality).
+  if (failures.empty() && violations.empty()) {
+    const sim::Problem problem(workload);
+    const sim::Schedule reference = core::Hdlts(options_).schedule(problem);
+    if (!result.completed) {
+      complain("failure-free run did not complete");
+    }
+    std::size_t survivors = 0;
+    for (const core::OnlineExec& e : result.executions) {
+      if (e.lost) {
+        complain("failure-free run recorded a lost attempt of task " +
+                 std::to_string(e.task));
+        continue;
+      }
+      ++survivors;
+      if (e.duplicate) {
+        const auto dups = reference.duplicates(e.task);
+        const bool match = std::any_of(
+            dups.begin(), dups.end(), [&](const sim::Placement& d) {
+              return d.proc == e.proc && d.start == e.start &&
+                     d.finish == e.finish;
+            });
+        if (!match) {
+          complain("duplicate of task " + std::to_string(e.task) +
+                   " on processor " + std::to_string(e.proc) +
+                   " does not appear in the static schedule");
+        }
+      } else {
+        const sim::Placement& pl = reference.placement(e.task);
+        if (pl.proc != e.proc || pl.start != e.start ||
+            pl.finish != e.finish) {
+          complain("task " + std::to_string(e.task) + " diverges from the "
+                   "static schedule: online (" + std::to_string(e.proc) +
+                   ", " + fmt(e.start) + ", " + fmt(e.finish) +
+                   ") vs static (" + std::to_string(pl.proc) + ", " +
+                   fmt(pl.start) + ", " + fmt(pl.finish) + ")");
+        }
+      }
+    }
+    std::size_t reference_records = reference.num_placed();
+    for (graph::TaskId v = 0; v < n; ++v) {
+      reference_records += reference.duplicates(v).size();
+    }
+    if (survivors != reference_records) {
+      complain("failure-free run has " + std::to_string(survivors) +
+               " executions but the static schedule has " +
+               std::to_string(reference_records));
+    }
+    if (result.makespan != reference.makespan()) {
+      complain("failure-free makespan " + fmt(result.makespan) +
+               " is not bit-identical to the static makespan " +
+               fmt(reference.makespan()));
+    }
+  }
+
+  return violations;
+}
+
+std::vector<std::string> StreamValidator::validate(
+    std::span<const core::StreamArrival> arrivals,
+    const core::StreamResult& result) const {
+  std::vector<std::string> violations;
+  auto complain = [&violations](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+  if (arrivals.empty()) {
+    complain("stream has no arrivals");
+    return violations;
+  }
+  const platform::Platform& platform = arrivals.front().workload.platform;
+  const std::size_t np = platform.num_procs();
+
+  std::size_t total = 0;
+  for (const core::StreamArrival& a : arrivals) {
+    total += a.workload.graph.num_tasks();
+    if (a.workload.platform.num_procs() != np) {
+      complain("stream workflows disagree on processor count");
+      return violations;
+    }
+  }
+  if (result.executions.size() != total) {
+    complain("stream scheduled " + std::to_string(result.executions.size()) +
+             " executions for " + std::to_string(total) + " tasks");
+  }
+  if (result.finish.size() != arrivals.size() ||
+      result.flow_time.size() != arrivals.size()) {
+    complain("per-workflow finish/flow_time arrays do not match the "
+             "arrival count");
+    return violations;
+  }
+
+  // Finish time per (workflow, task); doubles as the seen-once check.
+  std::vector<std::vector<double>> finish_of(arrivals.size());
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    finish_of[w].assign(arrivals[w].workload.graph.num_tasks(), kNeverFinish);
+  }
+
+  std::vector<std::vector<LaneBlock>> lanes(np);
+  for (const core::StreamTaskExec& e : result.executions) {
+    if (e.workflow >= arrivals.size()) {
+      complain("execution names unknown workflow " +
+               std::to_string(e.workflow));
+      return violations;
+    }
+    const sim::Workload& w = arrivals[e.workflow].workload;
+    const std::string label = "workflow " + std::to_string(e.workflow) +
+                              " task " + std::to_string(e.task);
+    if (e.task >= w.graph.num_tasks()) {
+      complain(label + " is unknown in its workflow");
+      return violations;
+    }
+    if (e.proc >= np) {
+      complain(label + " names unknown processor " + std::to_string(e.proc));
+      return violations;
+    }
+    if (finish_of[e.workflow][e.task] != kNeverFinish) {
+      complain(label + " is scheduled more than once");
+      continue;
+    }
+    finish_of[e.workflow][e.task] = e.finish;
+    if (e.start < -kEps || e.finish + kEps < e.start) {
+      complain(label + " has a malformed interval [" + fmt(e.start) + ", " +
+               fmt(e.finish) + ")");
+      continue;
+    }
+    if (e.start + kEps < arrivals[e.workflow].arrival) {
+      complain(label + " starts at " + fmt(e.start) +
+               " before its workflow arrives at " +
+               fmt(arrivals[e.workflow].arrival));
+    }
+    const double exec = w.costs(e.task, e.proc);
+    if (std::abs((e.finish - e.start) - exec) > kEps) {
+      complain(label + " has duration " + fmt(e.finish - e.start) +
+               " but W(v,p) = " + fmt(exec));
+    }
+    lanes[e.proc].push_back({e.start, e.finish, label});
+  }
+
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    for (graph::TaskId v = 0;
+         v < arrivals[w].workload.graph.num_tasks(); ++v) {
+      if (finish_of[w][v] == kNeverFinish) {
+        complain("workflow " + std::to_string(w) + " task " +
+                 std::to_string(v) + " was never scheduled");
+      }
+    }
+  }
+
+  check_lane_exclusivity(lanes, violations);
+
+  // Precedence inside each workflow (assignments are never revoked in the
+  // stream model, so every parent has exactly one copy).
+  for (const core::StreamTaskExec& e : result.executions) {
+    if (e.workflow >= arrivals.size()) continue;
+    const sim::Workload& w = arrivals[e.workflow].workload;
+    if (e.task >= w.graph.num_tasks() || e.proc >= np) continue;
+    for (const graph::Adjacent& parent : w.graph.parents(e.task)) {
+      const core::StreamTaskExec* src = nullptr;
+      for (const core::StreamTaskExec& c : result.executions) {
+        if (c.workflow == e.workflow && c.task == parent.task) {
+          src = &c;
+          break;
+        }
+      }
+      if (src == nullptr) continue;  // missing-task complaint already filed
+      const double comm =
+          src->proc == e.proc
+              ? 0.0
+              : parent.data / platform.bandwidth(src->proc, e.proc);
+      const double arrival = src->finish + comm;
+      if (e.start + kEps < arrival) {
+        complain("workflow " + std::to_string(e.workflow) + " task " +
+                 std::to_string(e.task) + " starts at " + fmt(e.start) +
+                 " before its data from parent " +
+                 std::to_string(parent.task) + " arrives at " + fmt(arrival));
+      }
+    }
+  }
+
+  // Bookkeeping.
+  double makespan = 0.0;
+  std::vector<double> wf_finish(arrivals.size(), 0.0);
+  for (const core::StreamTaskExec& e : result.executions) {
+    if (e.workflow >= arrivals.size()) continue;
+    wf_finish[e.workflow] = std::max(wf_finish[e.workflow], e.finish);
+    makespan = std::max(makespan, e.finish);
+  }
+  for (std::size_t w = 0; w < arrivals.size(); ++w) {
+    if (std::abs(result.finish[w] - wf_finish[w]) > kEps) {
+      complain("workflow " + std::to_string(w) + " finish " +
+               fmt(result.finish[w]) + " does not equal its max execution "
+               "finish " + fmt(wf_finish[w]));
+    }
+    const double flow = result.finish[w] - arrivals[w].arrival;
+    if (std::abs(result.flow_time[w] - flow) > kEps) {
+      complain("workflow " + std::to_string(w) + " flow time " +
+               fmt(result.flow_time[w]) + " does not equal finish - arrival "
+               "= " + fmt(flow));
+    }
+  }
+  if (std::abs(result.makespan - makespan) > kEps) {
+    complain("stream makespan " + fmt(result.makespan) +
+             " does not equal the max execution finish " + fmt(makespan));
+  }
+
+  return violations;
+}
+
+}  // namespace hdlts::check

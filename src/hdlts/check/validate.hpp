@@ -1,0 +1,77 @@
+// Machine-checkable correctness oracles for the *dynamic* HDLTS paths.
+//
+// sim::Schedule::validate guards every static scheduler, but run_online /
+// run_stream return flat execution logs, not Schedules — until now their
+// behaviour under perturbation rested on spot checks. These validators
+// replay a result event-by-event against the workload, the fault plan, and
+// the commit/revoke semantics documented in core/online.hpp, and return
+// human-readable violations (empty == valid), mirroring the static oracle's
+// contract. docs/TESTING.md places them in the oracle hierarchy.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdlts/core/online.hpp"
+#include "hdlts/core/stream.hpp"
+
+namespace hdlts::check {
+
+/// Replays an OnlineResult and enforces the full invariant set:
+///  * structural sanity — known task/processor ids, ordered non-negative
+///    intervals, surviving durations equal to W(v, p);
+///  * per-processor exclusivity across every attempt, including lost
+///    attempts and entry duplicates (positive-length blocks never overlap);
+///  * at most one surviving primary per task; duplicates only of the unique
+///    entry task, starting at t = 0;
+///  * precedence with communication delays: every attempt starts at or
+///    after the cheapest surviving copy of each parent can deliver its data
+///    (commit/revoke semantics guarantee lost attempts obey this too);
+///  * failure isolation — no surviving execution overlaps its processor's
+///    failure time, lost attempts lie exactly on their processor's failure
+///    instant and were genuinely still running;
+///  * bookkeeping — makespan equals the max surviving finish,
+///    lost_executions equals the number of lost attempts the replay kills,
+///    and completed matches coverage (every task has a surviving copy);
+///  * with an empty fault plan, bit-identity with the static HDLTS
+///    schedule (same primaries, same duplicates, same makespan — exact
+///    floating-point equality, no tolerance).
+class OnlineValidator {
+ public:
+  explicit OnlineValidator(core::HdltsOptions options = {})
+      : options_(options) {}
+
+  /// Returns every violation found (empty means the result is valid).
+  /// `workload` and `failures` must be the exact run_online inputs.
+  std::vector<std::string> validate(const sim::Workload& workload,
+                                    std::span<const core::ProcFailure> failures,
+                                    const core::OnlineResult& result) const;
+
+ private:
+  core::HdltsOptions options_;
+};
+
+/// Replays a StreamResult and enforces:
+///  * exactly one execution per (workflow, task), known ids;
+///  * EST floored at the workflow's arrival time;
+///  * durations equal to the owning workload's W(v, p);
+///  * per-processor exclusivity across workflows;
+///  * precedence with communication delays inside each workflow (stream
+///    assignments are never revoked, so plain parent-feeds-child);
+///  * per-workflow finish / flow-time / global makespan bookkeeping.
+class StreamValidator {
+ public:
+  explicit StreamValidator(core::StreamOptions options = {})
+      : options_(options) {}
+
+  /// `arrivals` must be the exact run_stream input.
+  std::vector<std::string> validate(
+      std::span<const core::StreamArrival> arrivals,
+      const core::StreamResult& result) const;
+
+ private:
+  core::StreamOptions options_;
+};
+
+}  // namespace hdlts::check

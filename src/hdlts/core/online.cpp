@@ -176,40 +176,45 @@ OnlineResult run_online(const sim::Workload& workload,
   for (;;) {
     const bool all_done =
         std::all_of(done.begin(), done.end(), [](bool d) { return d; });
-    if (all_done) {
+    // Completion requires the whole fault plan to be consumed: a failure
+    // scheduled after every task acquired a committed copy can still kill a
+    // copy that is running past the failure instant (see the sweep below).
+    if (all_done && pending_failures.empty()) {
       result.completed = true;
       break;
     }
-    if (state.platform.num_alive() == 0) {
+    if (!all_done && state.platform.num_alive() == 0) {
       result.completed = false;
       break;
     }
 
-    // Rebuild the schedule state from committed executions.
-    const sim::Problem problem(state);
-    sim::Schedule schedule(n, state.platform.num_procs());
-    std::vector<bool> has_primary(n, false);
-    for (const OnlineExec& e : committed) {
-      if (!has_primary[e.task]) {
-        schedule.place(e.task, e.proc, e.start, e.finish);
-        has_primary[e.task] = true;
-      } else {
-        schedule.place_duplicate(e.task, e.proc, e.start, e.finish);
-      }
-    }
-
-    if (sink != nullptr) sink->on_note("online.phase_start", phase_start);
     std::vector<OnlineExec> fresh;
-    run_phase(problem, schedule, done, phase_start, options, cold, fresh);
-    cold = false;
-
-    if (pending_failures.empty()) {
-      for (OnlineExec& e : fresh) committed.push_back(e);
+    if (!all_done) {
+      // Rebuild the schedule state from committed executions.
+      const sim::Problem problem(state);
+      sim::Schedule schedule(n, state.platform.num_procs());
+      std::vector<bool> has_primary(n, false);
       for (const OnlineExec& e : committed) {
-        if (!e.duplicate) done[e.task] = true;
+        if (!has_primary[e.task]) {
+          schedule.place(e.task, e.proc, e.start, e.finish);
+          has_primary[e.task] = true;
+        } else {
+          schedule.place_duplicate(e.task, e.proc, e.start, e.finish);
+        }
       }
-      result.completed = true;
-      break;
+
+      if (sink != nullptr) sink->on_note("online.phase_start", phase_start);
+      run_phase(problem, schedule, done, phase_start, options, cold, fresh);
+      cold = false;
+
+      if (pending_failures.empty()) {
+        for (OnlineExec& e : fresh) committed.push_back(e);
+        for (const OnlineExec& e : committed) {
+          if (!e.duplicate) done[e.task] = true;
+        }
+        result.completed = true;
+        break;
+      }
     }
 
     // Apply the next failure: keep what physically happened before it.
@@ -218,23 +223,40 @@ OnlineResult run_online(const sim::Workload& workload,
     if (!state.platform.is_alive(fail.proc)) continue;  // duplicate failure
     if (sink != nullptr) sink->on_note("online.failure", fail.time);
 
+    auto kill = [&](OnlineExec e) {
+      e.lost = true;
+      e.finish = fail.time;
+      result.executions.push_back(e);
+      ++result.lost_executions;
+      if (sink != nullptr) sink->on_note("online.lost_execution", fail.time);
+    };
+
     for (OnlineExec& e : fresh) {
       const bool on_failed = e.proc == fail.proc;
       if (e.finish <= fail.time) {
         committed.push_back(e);  // finished before the failure
       } else if (e.start < fail.time) {
         if (on_failed) {
-          // Killed mid-execution: record the lost attempt, re-queue later.
-          e.lost = true;
-          e.finish = fail.time;
-          result.executions.push_back(e);
-          ++result.lost_executions;
-          if (sink != nullptr) sink->on_note("online.lost_execution", fail.time);
+          kill(e);  // killed mid-execution; the task is re-queued later
         } else {
           committed.push_back(e);  // keeps running on a healthy machine
         }
       }
       // start >= fail.time: revoked silently; the task will be reconsidered.
+    }
+    // An execution committed during an *earlier* failure ("keeps running on
+    // a healthy machine") is not unstoppable forever: if this failure kills
+    // the machine it is still running on, it dies now. Without this sweep a
+    // survivor could overlap its processor's failure time, which the online
+    // validator (check::OnlineValidator) rightly rejects.
+    for (std::size_t i = 0; i < committed.size();) {
+      const OnlineExec& e = committed[i];
+      if (e.proc == fail.proc && e.finish > fail.time) {
+        if (e.start < fail.time) kill(e);
+        committed.erase(committed.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
     }
     // A task is done when any committed copy of it completed (a surviving
     // duplicate covers a lost primary).
@@ -242,7 +264,7 @@ OnlineResult run_online(const sim::Workload& workload,
     for (const OnlineExec& e : committed) done[e.task] = true;
 
     state.platform.set_alive(fail.proc, false);
-    phase_start = fail.time;
+    phase_start = std::max(phase_start, fail.time);
   }
 
   for (const OnlineExec& e : committed) {

@@ -13,8 +13,12 @@
 //     machine set;
 //   * q accepts no further work, and every new execution starts at or
 //     after T.
-// With no failures the result is identical to the static schedule (verified
-// by the test suite).
+// An execution committed while running on a then-healthy machine is still
+// killed by a *later* failure of that machine: every failure in the plan is
+// applied before the run can declare completion, so no surviving execution
+// ever overlaps its processor's failure time. With no failures the result is
+// bit-identical to the static schedule (enforced by check::OnlineValidator
+// and the test suite).
 #pragma once
 
 #include <span>

@@ -290,8 +290,18 @@ void BatchEngine::process(Worker& worker, const BatchRequest& request) {
       if (options_.check_schedules) {
         const auto violations = worker.schedule.validate(*problem);
         if (!violations.empty()) {
+          // Report every violation, not just the first — a corrupted
+          // schedule usually trips several invariants and the full list is
+          // what identifies the bug.
           worker.error = violations.front();
+          for (std::size_t v = 1; v < violations.size(); ++v) {
+            worker.error += "; " + violations[v];
+          }
           result.error = worker.error;
+          static obs::Counter& check_violations =
+              obs::MetricRegistry::global().counter(
+                  "svc.batch.check_violations");
+          check_violations.add(violations.size());
           note_sched_failure();
           on_result_(result);
           continue;

@@ -97,8 +97,11 @@ struct BatchEngineOptions {
   std::size_t threads = 0;
   /// Submission ring capacity (>= 1). Submissions beyond it block/reject.
   std::size_t queue_capacity = 256;
-  /// Run sim::Schedule::validate on every produced schedule; violations
-  /// surface as failed results (costs time, on in tests).
+  /// Run sim::Schedule::validate on every produced schedule; all violations
+  /// surface joined in the failed result's error and are counted by the
+  /// svc.batch.check_violations counter (costs time, on in tests). This is
+  /// the static-oracle rung of the hierarchy in docs/TESTING.md; the
+  /// dynamic paths have their own validators in check/.
   bool check_schedules = false;
   /// Forwarded to every scheduler instance (sched::Scheduler::set_use_compiled).
   bool use_compiled = true;

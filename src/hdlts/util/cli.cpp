@@ -17,15 +17,22 @@ Cli::Cli(int argc, const char* const* argv) {
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
-    if (eq != std::string::npos) {
-      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else {
-      options_[arg] = "true";
-    }
+    std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    std::string value = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+    options_[key] = value;
+    ordered_.emplace_back(std::move(key), std::move(value));
   }
 }
 
 bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::vector<std::string> Cli::get_all(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : ordered_) {
+    if (k == key) values.push_back(v);
+  }
+  return values;
+}
 
 std::string Cli::get(const std::string& key,
                      const std::string& fallback) const {

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hdlts::util {
@@ -22,12 +23,19 @@ class Cli {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Every value given for a repeated option (--fail=1@0.4 --fail=2@0.7),
+  /// in command-line order; empty when the option never appears. The
+  /// single-value accessors above keep their last-one-wins behaviour.
+  std::vector<std::string> get_all(const std::string& key) const;
+
   /// Non-option arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::string program_;
   std::map<std::string, std::string> options_;
+  /// (key, value) in command-line order, backing get_all().
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positional_;
 };
 

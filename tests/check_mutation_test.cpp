@@ -1,0 +1,285 @@
+// Mutation tests for the dynamic validators — guard the guard. Each test
+// corrupts a *valid* OnlineResult / StreamResult in exactly one way and
+// requires a specific complaint: a validator that waves the corruption
+// through is itself broken (same idiom as tests/fuzz_validate_test.cpp for
+// the static oracle).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdlts/check/validate.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+
+namespace hdlts {
+namespace {
+
+bool any_contains(const std::vector<std::string>& violations,
+                  const std::string& needle) {
+  for (const std::string& v : violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string joined(const std::vector<std::string>& violations) {
+  std::string out;
+  for (const std::string& v : violations) out += v + "\n";
+  return out;
+}
+
+/// A deterministic scenario whose run loses at least one execution and
+/// still completes — the richest kind of result to mutate.
+class OnlineMutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::ForkJoinParams params;
+    params.chains = 3;
+    params.length = 4;
+    params.costs.num_procs = 3;
+    for (std::uint64_t seed = 0; seed < 64 && !found_; ++seed) {
+      sim::Workload w = workload::forkjoin_workload(params, seed);
+      const double clean =
+          core::Hdlts().schedule(sim::Problem(w)).makespan();
+      for (platform::ProcId p = 0; p < 3 && !found_; ++p) {
+        std::vector<core::ProcFailure> plan = {{p, 0.4 * clean}};
+        core::OnlineResult r = core::run_online(w, plan);
+        if (r.lost_executions > 0 && r.completed) {
+          workload_.emplace(std::move(w));
+          failures_ = std::move(plan);
+          result_ = std::move(r);
+          found_ = true;
+        }
+      }
+    }
+    ASSERT_TRUE(found_) << "no seed produced a lost execution";
+    const check::OnlineValidator validator;
+    ASSERT_TRUE(validator.validate(*workload_, failures_, result_).empty())
+        << "the unmutated result must be valid";
+  }
+
+  std::vector<std::string> validate(const core::OnlineResult& mutated) const {
+    const check::OnlineValidator validator;
+    return validator.validate(*workload_, failures_, mutated);
+  }
+
+  double exec_cost(const core::OnlineExec& e) const {
+    return workload_->costs(e.task, e.proc);
+  }
+
+  bool found_ = false;
+  std::optional<sim::Workload> workload_;
+  std::vector<core::ProcFailure> failures_;
+  core::OnlineResult result_;
+};
+
+TEST_F(OnlineMutationTest, StartShiftedBeforeParentArrivalIsCaught) {
+  // Find a surviving execution whose cheapest parent delivery is strictly
+  // positive, then slide it to start at t = 0.
+  core::OnlineResult mutated = result_;
+  bool mutated_one = false;
+  for (core::OnlineExec& e : mutated.executions) {
+    if (e.lost || e.duplicate || e.start <= 0.5 ||
+        workload_->graph.parents(e.task).empty()) {
+      continue;
+    }
+    e.finish = e.finish - e.start;  // keep the duration equal to W(v, p)
+    e.start = 0.0;
+    mutated_one = true;
+    break;
+  }
+  ASSERT_TRUE(mutated_one);
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "before its data from parent"))
+      << joined(violations);
+}
+
+TEST_F(OnlineMutationTest, WorkOnDeadProcessorIsCaught) {
+  // Move a surviving execution onto the failed processor, entirely after
+  // its failure instant.
+  const platform::ProcId dead = failures_.front().proc;
+  const double fail_time = failures_.front().time;
+  core::OnlineResult mutated = result_;
+  bool mutated_one = false;
+  for (core::OnlineExec& e : mutated.executions) {
+    if (e.lost || e.duplicate) continue;
+    if (workload_->costs(e.task, dead) <= 1e-6) continue;
+    e.proc = dead;
+    e.start = fail_time + 1.0;
+    e.finish = e.start + workload_->costs(e.task, dead);
+    mutated_one = true;
+    break;
+  }
+  ASSERT_TRUE(mutated_one);
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "after its failure at"))
+      << joined(violations);
+}
+
+TEST_F(OnlineMutationTest, OverlappingAttemptsOnOneLaneAreCaught) {
+  // Relocate one execution onto another's processor, overlapping it.
+  core::OnlineResult mutated = result_;
+  const core::OnlineExec* anchor = nullptr;
+  for (const core::OnlineExec& e : mutated.executions) {
+    if (!e.lost && !e.duplicate && exec_cost(e) > 1e-3) {
+      anchor = &e;
+      break;
+    }
+  }
+  ASSERT_NE(anchor, nullptr);
+  bool mutated_one = false;
+  for (core::OnlineExec& e : mutated.executions) {
+    if (&e == anchor || e.lost || e.duplicate || e.task == anchor->task) {
+      continue;
+    }
+    const double cost = workload_->costs(e.task, anchor->proc);
+    if (cost <= 1e-3) continue;
+    e.proc = anchor->proc;
+    e.start = anchor->start;
+    e.finish = e.start + cost;
+    mutated_one = true;
+    break;
+  }
+  ASSERT_TRUE(mutated_one);
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "attempts overlap on processor"))
+      << joined(violations);
+}
+
+TEST_F(OnlineMutationTest, DroppedLostFlagIsCaught) {
+  core::OnlineResult mutated = result_;
+  bool mutated_one = false;
+  for (core::OnlineExec& e : mutated.executions) {
+    if (e.lost) {
+      e.lost = false;
+      mutated_one = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated_one);
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "the replay kills"))
+      << joined(violations);
+}
+
+TEST_F(OnlineMutationTest, CorruptedMakespanIsCaught) {
+  core::OnlineResult mutated = result_;
+  mutated.makespan += 1.0;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(
+      any_contains(violations, "does not equal the max surviving finish"))
+      << joined(violations);
+}
+
+TEST_F(OnlineMutationTest, CorruptedLostCounterIsCaught) {
+  core::OnlineResult mutated = result_;
+  mutated.lost_executions += 1;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "lost_executions"))
+      << joined(violations);
+}
+
+TEST_F(OnlineMutationTest, FlippedCompletedFlagIsCaught) {
+  core::OnlineResult mutated = result_;
+  mutated.completed = false;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "completed == false"))
+      << joined(violations);
+}
+
+TEST(OnlineStaticIdentityTest, PerturbedStartDivergesFromStaticSchedule) {
+  workload::ForkJoinParams params;
+  params.chains = 3;
+  params.length = 4;
+  params.costs.num_procs = 3;
+  const sim::Workload workload = workload::forkjoin_workload(params, 7);
+  core::OnlineResult result = core::run_online(workload, {});
+  const check::OnlineValidator validator;
+  ASSERT_TRUE(validator.validate(workload, {}, result).empty());
+  // A perturbation far below every tolerance still breaks bit-identity.
+  for (core::OnlineExec& e : result.executions) {
+    if (!e.duplicate && e.start > 0.0) {
+      e.start += 1e-9;
+      e.finish += 1e-9;
+      break;
+    }
+  }
+  const auto violations = validator.validate(workload, {}, result);
+  EXPECT_TRUE(any_contains(violations, "diverges from the static schedule"))
+      << joined(violations);
+}
+
+class StreamMutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::ForkJoinParams params;
+    params.chains = 3;
+    params.length = 3;
+    params.costs.num_procs = 3;
+    arrivals_.push_back({workload::forkjoin_workload(params, 1), 0.0});
+    arrivals_.push_back({workload::forkjoin_workload(params, 2), 5.0});
+    result_ = core::run_stream(arrivals_);
+    const check::StreamValidator validator;
+    ASSERT_TRUE(validator.validate(arrivals_, result_).empty());
+  }
+
+  std::vector<std::string> validate(const core::StreamResult& mutated) const {
+    const check::StreamValidator validator;
+    return validator.validate(arrivals_, mutated);
+  }
+
+  std::vector<core::StreamArrival> arrivals_;
+  core::StreamResult result_;
+};
+
+TEST_F(StreamMutationTest, StartBeforeArrivalIsCaught) {
+  core::StreamResult mutated = result_;
+  bool mutated_one = false;
+  for (core::StreamTaskExec& e : mutated.executions) {
+    if (e.workflow == 1 && e.start >= 5.0) {
+      e.finish -= e.start;  // preserve the duration
+      e.start = 0.0;
+      mutated_one = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated_one);
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "before its workflow arrives"))
+      << joined(violations);
+}
+
+TEST_F(StreamMutationTest, DoubleScheduledTaskIsCaught) {
+  core::StreamResult mutated = result_;
+  ASSERT_FALSE(mutated.executions.empty());
+  mutated.executions.push_back(mutated.executions.front());
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "more than once")) << joined(violations);
+}
+
+TEST_F(StreamMutationTest, CorruptedFlowTimeIsCaught) {
+  core::StreamResult mutated = result_;
+  mutated.flow_time[0] += 3.0;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "flow time")) << joined(violations);
+}
+
+TEST_F(StreamMutationTest, WrongDurationIsCaught) {
+  core::StreamResult mutated = result_;
+  bool mutated_one = false;
+  for (core::StreamTaskExec& e : mutated.executions) {
+    if (e.finish - e.start > 1e-3) {
+      e.finish += 0.5;
+      mutated_one = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated_one);
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "W(v,p)")) << joined(violations);
+}
+
+}  // namespace
+}  // namespace hdlts

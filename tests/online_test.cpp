@@ -3,8 +3,14 @@
 
 #include <algorithm>
 
+#include "hdlts/check/faultplan.hpp"
+#include "hdlts/check/validate.hpp"
 #include "hdlts/core/online.hpp"
 #include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
 #include "hdlts/workload/random_dag.hpp"
 
 namespace hdlts::core {
@@ -135,6 +141,102 @@ TEST(Online, SurvivesAnEarlyFailureOnRandomGraph) {
   ASSERT_TRUE(clean.completed);
   ASSERT_TRUE(failed.completed);
   EXPECT_GT(failed.makespan, 0.0);
+}
+
+// --- Seeded properties across every workload family ---
+
+sim::Workload family_workload(int family, std::uint64_t seed) {
+  workload::CostParams costs;
+  costs.num_procs = 3;
+  switch (family) {
+    case 0: {
+      workload::RandomDagParams p;
+      p.num_tasks = 24;
+      p.costs = costs;
+      return workload::random_workload(p, seed);
+    }
+    case 1: {
+      workload::FftParams p;
+      p.points = 8;
+      p.costs = costs;
+      return workload::fft_workload(p, seed);
+    }
+    case 2: {
+      workload::MontageParams p;
+      p.num_nodes = 30;
+      p.costs = costs;
+      return workload::montage_workload(p, seed);
+    }
+    case 3: {
+      workload::MdParams p;
+      p.costs = costs;
+      return workload::md_workload(p, seed);
+    }
+    default: {
+      workload::ForkJoinParams p;
+      p.costs = costs;
+      return workload::forkjoin_workload(p, seed);
+    }
+  }
+}
+
+TEST(OnlineProperty, EverySeededFaultPlanValidatesAcrossFamilies) {
+  const check::OnlineValidator validator;
+  for (int family = 0; family < 5; ++family) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const sim::Workload w = family_workload(family, seed);
+      const double clean = Hdlts().schedule(sim::Problem(w)).makespan();
+      for (const check::FaultPlan& plan :
+           check::make_fault_plans(3, clean, seed)) {
+        const OnlineResult r = run_online(w, plan.failures);
+        const auto violations = validator.validate(w, plan.failures, r);
+        EXPECT_TRUE(violations.empty())
+            << "family " << family << " seed " << seed << " plan \""
+            << plan.description << "\": " << violations.front();
+        // lost_executions must equal the number of attempts the replay
+        // kills — recounted here independently of the validator.
+        std::size_t killed = 0;
+        for (const OnlineExec& e : r.executions) {
+          if (e.lost) ++killed;
+        }
+        EXPECT_EQ(r.lost_executions, killed);
+        if (plan.expectation == check::PlanExpectation::kMustComplete) {
+          EXPECT_TRUE(r.completed) << plan.description;
+        }
+        if (plan.expectation == check::PlanExpectation::kMustFail) {
+          EXPECT_FALSE(r.completed) << plan.description;
+        }
+      }
+    }
+  }
+}
+
+TEST(OnlineProperty, FailuresAlmostNeverImproveTheMakespan) {
+  // Greedy list scheduling admits Graham-type anomalies: removing a machine
+  // *can* shorten the schedule, so strict per-run monotonicity is false
+  // (empirically ~3% of completed degraded runs). The property that does
+  // hold — and that this test pins — is that anomalies stay rare and every
+  // other completed run is no faster than the clean schedule.
+  std::size_t completed = 0;
+  std::size_t anomalies = 0;
+  for (int family = 0; family < 5; ++family) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const sim::Workload w = family_workload(family, seed);
+      const double clean = Hdlts().schedule(sim::Problem(w)).makespan();
+      for (const check::FaultPlan& plan :
+           check::make_fault_plans(3, clean, seed)) {
+        if (plan.failures.empty()) continue;
+        const OnlineResult r = run_online(w, plan.failures);
+        if (!r.completed) continue;
+        ++completed;
+        if (r.makespan < clean - 1e-6) ++anomalies;
+      }
+    }
+  }
+  ASSERT_GT(completed, 100u);
+  EXPECT_LE(anomalies * 20, completed)  // anomaly rate bounded at 5%
+      << anomalies << " of " << completed
+      << " degraded runs beat the clean makespan";
 }
 
 }  // namespace

@@ -4,8 +4,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "hdlts/check/validate.hpp"
 #include "hdlts/core/stream.hpp"
 #include "hdlts/workload/classic.hpp"
+#include "hdlts/workload/fft.hpp"
+#include "hdlts/workload/forkjoin.hpp"
+#include "hdlts/workload/md.hpp"
+#include "hdlts/workload/montage.hpp"
 #include "hdlts/workload/random_dag.hpp"
 
 namespace hdlts::core {
@@ -142,6 +147,70 @@ TEST(Stream, DeterministicAcrossRuns) {
   for (std::size_t i = 0; i < a.executions.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.executions[i].start, b.executions[i].start);
     EXPECT_EQ(a.executions[i].proc, b.executions[i].proc);
+  }
+}
+
+// --- Seeded properties across every workload family ---
+
+sim::Workload stream_family_workload(int family, std::uint64_t seed) {
+  workload::CostParams costs;
+  costs.num_procs = 3;
+  switch (family) {
+    case 0: {
+      workload::RandomDagParams p;
+      p.num_tasks = 20;
+      p.costs = costs;
+      return workload::random_workload(p, seed);
+    }
+    case 1: {
+      workload::FftParams p;
+      p.points = 8;
+      p.costs = costs;
+      return workload::fft_workload(p, seed);
+    }
+    case 2: {
+      workload::MontageParams p;
+      p.num_nodes = 25;
+      p.costs = costs;
+      return workload::montage_workload(p, seed);
+    }
+    case 3: {
+      workload::MdParams p;
+      p.costs = costs;
+      return workload::md_workload(p, seed);
+    }
+    default: {
+      workload::ForkJoinParams p;
+      p.costs = costs;
+      return workload::forkjoin_workload(p, seed);
+    }
+  }
+}
+
+TEST(StreamProperty, EveryFamilyValidatesUnderBothPolicies) {
+  for (int family = 0; family < 5; ++family) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      std::vector<StreamArrival> arrivals;
+      arrivals.push_back({stream_family_workload(family, seed), 0.0});
+      arrivals.push_back({stream_family_workload(family, seed + 100), 12.0});
+      arrivals.push_back({stream_family_workload(family, seed + 200), 40.0});
+      for (const StreamPolicy policy :
+           {StreamPolicy::kHdltsPv, StreamPolicy::kFifoEft}) {
+        StreamOptions options;
+        options.policy = policy;
+        const StreamResult r = run_stream(arrivals, options);
+        const check::StreamValidator validator(options);
+        const auto violations = validator.validate(arrivals, r);
+        EXPECT_TRUE(violations.empty())
+            << "family " << family << " seed " << seed << " policy "
+            << (policy == StreamPolicy::kHdltsPv ? "pv" : "fifo") << ": "
+            << violations.front();
+        for (std::size_t i = 0; i < arrivals.size(); ++i) {
+          EXPECT_GE(r.flow_time[i], 0.0);
+          EXPECT_LE(r.finish[i], r.makespan + 1e-9);
+        }
+      }
+    }
   }
 }
 

@@ -302,6 +302,21 @@ TEST(Cli, FallbacksWhenMissing) {
   EXPECT_FALSE(cli.get_bool("k", false));
 }
 
+TEST(Cli, RepeatedOptionsKeepEveryValueInOrder) {
+  const char* argv[] = {"prog", "--fail=1@0.4", "--mode=a", "--fail=2@0.7",
+                        "--fail=0@0.1"};
+  Cli cli(5, argv);
+  const auto fails = cli.get_all("fail");
+  ASSERT_EQ(fails.size(), 3u);
+  EXPECT_EQ(fails[0], "1@0.4");
+  EXPECT_EQ(fails[1], "2@0.7");
+  EXPECT_EQ(fails[2], "0@0.1");
+  // Single-value accessors keep last-one-wins behaviour.
+  EXPECT_EQ(cli.get("fail", ""), "0@0.1");
+  EXPECT_TRUE(cli.get_all("absent").empty());
+  ASSERT_EQ(cli.get_all("mode").size(), 1u);
+}
+
 TEST(Cli, RejectsMalformedNumbers) {
   const char* argv[] = {"prog", "--n=abc"};
   Cli cli(2, argv);
