@@ -23,6 +23,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/alloc_hook.hpp"
@@ -186,7 +187,8 @@ int main() {
     return 1;
   }
   json << "{\n  \"bench\": \"micro_layout\",\n  \"seed\": " << seed
-       << ",\n  \"rows\": [\n"
+       << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n"
        << rows_json.str() << "  ],\n  \"hdlts_layout_speedup\": "
        << hdlts_speedup
        << ",\n  \"hdlts_null_sink_ms\": " << hdlts_null_sink_ms

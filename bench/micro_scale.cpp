@@ -29,6 +29,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hdlts/core/hdlts.hpp"
@@ -247,7 +248,8 @@ int main() {
     return 1;
   }
   json << "{\n  \"bench\": \"micro_scale\",\n  \"seed\": " << seed
-       << ",\n  \"rows\": [\n";
+       << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     json << json_row(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
   }

@@ -16,10 +16,11 @@
 #
 # Also runs bench/micro_batch (svc::BatchEngine throughput scaling) and diffs
 # BENCH_batch.json: per-thread-count req/s cells against the regression
-# factor, plus the >=HDLTS_BATCH_SPEEDUP_MIN (default 3.0) scaling bar at the
-# highest thread count vs 1 — enforced only when the host's
-# hardware_concurrency covers the highest thread count (a 1-core container
-# can prove determinism but not scaling; the gate says so and skips).
+# factor, plus the >=HDLTS_BATCH_SPEEDUP_MIN (default 3.0) scaling bar —
+# binding whenever the host has >= 4 cores, measured at the widest thread
+# row that fits within hardware_concurrency vs the 1-thread row (a 1-core
+# container can prove determinism but not scaling; the gate says so and
+# skips there).
 #
 # Usage: scripts/bench.sh [--update|--smoke]
 #   --update  rewrite the committed baselines with the fresh measurements
@@ -54,8 +55,11 @@ if [[ "${MODE}" == "--smoke" ]]; then
   # Reduced effort, same cell shapes. Each default below still honours an
   # explicit env override from the caller.
   export HDLTS_LAYOUT_REPS="${HDLTS_LAYOUT_REPS:-3}"
-  export HDLTS_BATCH_REQUESTS="${HDLTS_BATCH_REQUESTS:-12}"
-  export HDLTS_BATCH_REPS="${HDLTS_BATCH_REPS:-1}"
+  # Enough requests per pass that the 4-thread row on a 4-core runner can
+  # clear the >=3x scaling bar (the bar binds in smoke mode too), and a
+  # second rep so best-of smooths a single noisy pass.
+  export HDLTS_BATCH_REQUESTS="${HDLTS_BATCH_REQUESTS:-24}"
+  export HDLTS_BATCH_REPS="${HDLTS_BATCH_REPS:-2}"
   export HDLTS_BENCH_MIN_TIME="${HDLTS_BENCH_MIN_TIME:-0.01}"
   FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-25.0}"
   NULL_SINK_FACTOR="${HDLTS_NULL_SINK_FACTOR:-5.0}"
@@ -292,22 +296,30 @@ for threads in sorted(set(base_cells) & set(fresh_cells)):
 
 # The scaling bar needs real cores: a 1-core container runs the 8-thread row
 # (the determinism check inside micro_batch is just as strong there) but its
-# speedup number is oversubscription noise, so the gate only binds when the
-# host covers the highest thread count.
+# speedup number is oversubscription noise. The gate binds whenever the host
+# has >= 4 cores, using the WIDEST thread row that still fits in the cores —
+# a 4-core runner is judged on its 4-thread row even though the sweep also
+# ran (and oversubscribed) the 8-thread row.
 hardware = fresh.get("hardware_concurrency", 0)
-hi = fresh.get("threads_hi", 0)
-speedup = fresh.get("batch_speedup", 0.0)
-if hardware >= hi and hi > 0:
+lo = fresh.get("threads_lo", 0)
+fitting = [t for t in fresh_cells if lo < t <= hardware]
+if hardware >= 4 and lo in fresh_cells and fitting:
+    widest = max(fitting)
+    speedup = fresh_cells[widest]["rps"] / fresh_cells[lo]["rps"]
     if speedup < speedup_min:
-        print(f"FAIL: batch throughput speedup {speedup:.2f}x at {hi} vs 1 "
-              f"threads < {speedup_min:.1f}x bar (host has {hardware} cores)")
+        print(f"FAIL: batch throughput speedup {speedup:.2f}x at {widest} vs "
+              f"{lo} threads < {speedup_min:.1f}x bar (host has {hardware} "
+              f"cores)")
         failed = True
     else:
-        print(f"ok: batch throughput speedup {speedup:.2f}x at {hi} vs 1 "
-              f"threads (bar {speedup_min:.1f}x, host has {hardware} cores)")
+        print(f"ok: batch throughput speedup {speedup:.2f}x at {widest} vs "
+              f"{lo} threads (bar {speedup_min:.1f}x, host has {hardware} "
+              f"cores)")
 else:
-    print(f"note: host has {hardware} cores < {hi} threads — batch scaling "
-          f"bar skipped (measured {speedup:.2f}x, not meaningful here)")
+    speedup = fresh.get("batch_speedup", 0.0)
+    print(f"note: host has {hardware} cores (< 4, or no multi-thread row "
+          f"fits) — batch scaling bar skipped (full-sweep speedup "
+          f"{speedup:.2f}x, not meaningful here)")
 
 sys.exit(1 if failed else 0)
 EOF

@@ -8,6 +8,8 @@
 #include "hdlts/obs/span.hpp"
 #include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
+#include "hdlts/simd/kernels.hpp"
+#include "hdlts/util/thread_pool.hpp"
 
 namespace hdlts::core {
 
@@ -403,12 +405,19 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
   util::ScratchArena& arena = scratch();
   arena.reset();
 
+  // Kernel table resolved once per call; every backend is bit-identical to
+  // the scalar reference (src/hdlts/simd/kernels.hpp), so the compiled path
+  // stays exactly equivalent to run_legacy under any HDLTS_SIMD setting.
+  const simd::Dispatch& simd_k = simd::active();
+
   const std::size_t n = problem.num_tasks();
   const auto procs = problem.procs();
   const std::size_t np = procs.size();
   const PvKind kind = options_.pv;
   const auto op_a = pv_op_a(kind);
   const auto op_b = pv_op_b(kind);
+  const double id_a = util::tree_ops::identity(op_a);
+  const double id_b = util::tree_ops::identity(op_b);
   const std::size_t base = util::tree_ops::base_for(np);
   const std::size_t tree_len = 2 * base;
 
@@ -450,31 +459,63 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
     return est + duration;
   };
 
-  auto push_ready = [&](graph::TaskId v) {
+  // Newly-independent tasks are enqueued first (slot ids and queue
+  // positions assigned serially, exactly the order the one-at-a-time push
+  // used to produce) and their rows/trees/PV filled second. Each fill
+  // touches only its own slot and queue position and reads only state that
+  // is constant for the round, so a round's fills produce the same bits
+  // whether they run serially or across the team.
+  const auto fresh = arena.alloc<std::size_t>(n);  // queue positions to fill
+  std::size_t fresh_size = 0;
+  auto enqueue_ready = [&](graph::TaskId v) {
     const std::uint32_t slot =
         free_size > 0 ? free_slots[--free_size] : next_slot++;
+    itq_task[itq_size] = v;
+    itq_slot[itq_size] = slot;
+    fresh[fresh_size++] = itq_size;
+    ++itq_size;
+  };
+  auto fill_entry = [&](std::size_t qi) {
+    const graph::TaskId v = itq_task[qi];
+    const std::uint32_t slot = itq_slot[qi];
     const auto r = ready.subspan(slot * np, np);
     const auto e = eft.subspan(slot * np, np);
     for (std::size_t pi = 0; pi < np; ++pi) {
       r[pi] = schedule.ready_time(problem, v, procs[pi]);
       e[pi] = eft_of(v, slot, pi);
     }
-    const auto ta = tree_a.subspan(slot * tree_len, tree_len);
-    const auto tb = tree_b.subspan(slot * tree_len, tree_len);
-    util::tree_ops::fill_identity(op_a, ta);
-    util::tree_ops::fill_identity(op_b, tb);
-    for (std::size_t pi = 0; pi < np; ++pi) {
-      ta[base + pi] = e[pi];
-      tb[base + pi] = pv_leaf_b(kind, e[pi]);
+    double* const ta = tree_a.data() + slot * tree_len;
+    double* const tb = tree_b.data() + slot * tree_len;
+    // Leaves: the EFT row into A, pv_leaf_b into B, identity padding; then
+    // combine_up rebuilds every internal node — the same node values as
+    // tree_ops::fill_identity + leaf stores + tree_ops::combine_up.
+    std::copy(e.begin(), e.end(), ta + base);
+    if (kind == PvKind::kRange) {
+      std::copy(e.begin(), e.end(), tb + base);
+    } else {
+      simd_k.square(e.data(), tb + base, np);
     }
-    util::tree_ops::combine_up(op_a, ta, base);
-    util::tree_ops::combine_up(op_b, tb, base);
-    itq_task[itq_size] = v;
-    itq_slot[itq_size] = slot;
+    for (std::size_t pi = np; pi < base; ++pi) {
+      ta[base + pi] = id_a;
+      tb[base + pi] = id_b;
+    }
+    simd_k.combine_up(op_a, ta, base);
+    simd_k.combine_up(op_b, tb, base);
     // In dynamic mode this is refreshed whenever a column changes; in
     // static mode this initial value is the frozen PV.
-    itq_pv[itq_size] = pv_from_roots(kind, np, ta[1], tb[1]);
-    ++itq_size;
+    itq_pv[qi] = pv_from_roots(kind, np, ta[1], tb[1]);
+  };
+  util::ThreadPool* const pool = thread_pool();
+  auto fill_fresh = [&] {
+    if (pool != nullptr && fresh_size * np >= options_.parallel_min_work) {
+      pool->run_team(fresh_size, /*chunk=*/4,
+                     [&](std::size_t b, std::size_t e) {
+                       for (std::size_t i = b; i < e; ++i) fill_entry(fresh[i]);
+                     });
+    } else {
+      for (std::size_t i = 0; i < fresh_size; ++i) fill_entry(fresh[i]);
+    }
+    fresh_size = 0;
   };
 
   const auto dirty = arena.alloc<std::size_t>(np);
@@ -493,7 +534,7 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
     }
     for (std::size_t di = 0; di < dirty_size; ++di) dirty_seen[dirty[di]] = 0;
     eft_recomputes += dirty_size * itq_size;
-    for (std::size_t i = 0; i < itq_size; ++i) {
+    auto refresh_entry = [&](std::size_t i) {
       const graph::TaskId v = itq_task[i];
       const std::size_t slot = itq_slot[i];
       const auto e = eft.subspan(slot * np, np);
@@ -520,13 +561,26 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
         itq_pv[i] = pv_from_roots(kind, np, tree_a[slot * tree_len + 1],
                                   tree_b[slot * tree_len + 1]);
       }
+    };
+    // Entry i writes only its own slot's row/trees and itq_pv[i], and reads
+    // only the (frozen for the round) schedule state — disjoint writes, so
+    // the team fan-out is bit-identical to the serial sweep.
+    if (pool != nullptr &&
+        dirty_size * itq_size >= options_.parallel_min_work) {
+      pool->run_team(itq_size, /*chunk=*/16,
+                     [&](std::size_t b, std::size_t e) {
+                       for (std::size_t i = b; i < e; ++i) refresh_entry(i);
+                     });
+    } else {
+      for (std::size_t i = 0; i < itq_size; ++i) refresh_entry(i);
     }
   };
 
   for (graph::TaskId v = 0; v < n; ++v) {
     pending[v] = problem.in_degree(v);
-    if (pending[v] == 0) push_ready(v);
+    if (pending[v] == 0) enqueue_ready(v);
   }
+  fill_fresh();
 
   auto qualifies_for_duplication = [&](graph::TaskId v) {
     if (options_.duplication == DuplicationRule::kOff) return false;
@@ -596,15 +650,8 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
     itq_high_water = std::max(itq_high_water, itq_size);
     // Highest PV wins; ties go to the lower task id (order-independent, so
     // the swap-remove compaction below cannot change picks).
-    std::size_t pick = 0;
-    double pick_pv = itq_pv[0];
-    for (std::size_t i = 1; i < itq_size; ++i) {
-      const double p = itq_pv[i];
-      if (p > pick_pv || (p == pick_pv && itq_task[i] < itq_task[pick])) {
-        pick = i;
-        pick_pv = p;
-      }
-    }
+    const std::size_t pick =
+        simd_k.argmax_key(itq_pv.data(), itq_task.data(), itq_size);
 
     const graph::TaskId chosen = itq_task[pick];
     const std::uint32_t slot = itq_slot[pick];
@@ -612,10 +659,7 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
     // CPU selection from the cached row. The row is slot-indexed, so running
     // the argmin before the queue compaction below reads the same bits.
     const auto row = eft.subspan(slot * np, np);
-    std::size_t best = 0;
-    for (std::size_t pi = 1; pi < np; ++pi) {
-      if (row[pi] < row[best]) best = pi;
-    }
+    const std::size_t best = simd_k.argmin(row.data(), np);
     const platform::ProcId proc = procs[best];
     const double finish = row[best];
     const double start = finish - problem.exec_time(chosen, proc);
@@ -652,8 +696,9 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
     if (qualifies_for_duplication(chosen)) duplicate_task(chosen);
     refresh_dirty_columns(mark);
     for (const graph::Adjacent& c : problem.children(chosen)) {
-      if (--pending[c.task] == 0) push_ready(c.task);
+      if (--pending[c.task] == 0) enqueue_ready(c.task);
     }
+    fill_fresh();
   }
 
   HDLTS_ENSURES(schedule.num_placed() == n);

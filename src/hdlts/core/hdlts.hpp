@@ -62,6 +62,14 @@ struct HdltsOptions {
   /// single-entry graphs with the entry scheduled first this reduces to
   /// Algorithm 1 exactly.
   bool duplicate_all_sources = false;
+  /// Minimum work (EFT cells to recompute in one round) before the compiled
+  /// path fans the per-entry refresh out over the borrowed thread pool
+  /// (sched::Scheduler::set_thread_pool). Below it, or with no pool
+  /// attached, the refresh runs serially; either way the schedule is
+  /// bit-identical (entries write disjoint state, and the selection rule is
+  /// order-independent). Small rounds stay serial because a team dispatch
+  /// costs more than recomputing a few columns.
+  std::size_t parallel_min_work = 4096;
 };
 
 /// One scheduling step, mirroring a row of the paper's Table I.

@@ -7,6 +7,7 @@
 #include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/placement.hpp"
 #include "hdlts/sched/ranking.hpp"
+#include "hdlts/simd/kernels.hpp"
 
 namespace hdlts::sched {
 
@@ -35,15 +36,24 @@ void run_heft(const View& view, util::ScratchArena& arena, bool insertion,
   if (sink != nullptr) {
     sink->on_begin({"heft", n, view.procs().size()});
   }
-  std::vector<double> eft_row;  // sink-attached only; empty ITQ (static list)
+  // Processor selection goes through the SIMD argmin kernel: fill the EST/EFT
+  // row for the alive processors, then take the first minimum — the same
+  // index the strict-less scan in best_eft produces (EFTs are finite).
+  const simd::Dispatch& simd_k = simd::active();
+  const auto procs = view.procs();
+  const std::size_t np = procs.size();
+  const auto est_row = arena.alloc<double>(np);
+  const auto eft_row = arena.alloc<double>(np);
   std::size_t step = 0;
   for (const graph::TaskId v : list) {
-    const PlacementChoice choice = best_eft(view, schedule, v, insertion);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      const PlacementChoice c = eft_on(view, schedule, v, procs[pi], insertion);
+      est_row[pi] = c.est;
+      eft_row[pi] = c.eft;
+    }
+    const std::size_t bi = simd_k.argmin(eft_row.data(), np);
+    const PlacementChoice choice{procs[bi], est_row[bi], eft_row[bi]};
     if (sink != nullptr) {
-      eft_row.clear();
-      for (const platform::ProcId p : view.procs()) {
-        eft_row.push_back(eft_on(view, schedule, v, p, insertion).eft);
-      }
       obs::StepEvent ev;
       ev.step = step;
       ev.selected = v;

@@ -1,0 +1,220 @@
+// AVX2 kernel backend. This translation unit is compiled with -mavx2 (see
+// src/CMakeLists.txt) and must therefore contain ONLY the kernel bodies:
+// the CPUID gate that decides whether any of this code may run lives in
+// kernels.cpp, which is built without the flag.
+//
+// Bitwise contract with the scalar backend (kernels.cpp):
+//  - The selection kernels share the two-pass shape: pass 1 reduces to the
+//    extremum with a strict compare (NaN lanes never replace the running
+//    value, so lane decomposition cannot change the result), pass 2
+//    resolves the index / key tie-break by exact equality in array order.
+//  - min/max combines are expressed as blends on a strict-less mask,
+//    reproducing std::min/std::max exactly — _mm256_min_pd alone differs
+//    from std::min on (+0.0, -0.0) and NaN operand order.
+//  - Sums combine the same operand pairs as the scalar tree walk, so the
+//    pairwise reduction is exact regardless of vector width.
+#ifdef HDLTS_SIMD_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "hdlts/simd/kernels.hpp"
+
+namespace hdlts::simd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// std::min(a, b) per lane: (b < a) ? b : a.
+inline __m256d vmin(__m256d a, __m256d b) {
+  return _mm256_blendv_pd(a, b, _mm256_cmp_pd(b, a, _CMP_LT_OQ));
+}
+
+/// std::max(a, b) per lane: (a < b) ? b : a.
+inline __m256d vmax(__m256d a, __m256d b) {
+  return _mm256_blendv_pd(a, b, _mm256_cmp_pd(a, b, _CMP_LT_OQ));
+}
+
+/// Strict-less running-minimum fold of `row`, NaN entries skipped; +inf
+/// when every entry is NaN. The value (not its zero sign) is order-exact,
+/// which is all the equality pass consumes.
+double min_value(const double* row, std::size_t n) {
+  std::size_t i = 0;
+  double m = kInf;
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(kInf);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(row + i);
+      acc = _mm256_blendv_pd(acc, v, _mm256_cmp_pd(v, acc, _CMP_LT_OQ));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (const double lane : lanes) {
+      if (lane < m) m = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (row[i] < m) m = row[i];
+  }
+  return m;
+}
+
+/// First index with row[i] == x, or n.
+std::size_t find_equal(const double* row, std::size_t n, double x) {
+  std::size_t i = 0;
+  const __m256d needle = _mm256_set1_pd(x);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d eq =
+        _mm256_cmp_pd(_mm256_loadu_pd(row + i), needle, _CMP_EQ_OQ);
+    const int mask = _mm256_movemask_pd(eq);
+    if (mask != 0) return i + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+  for (; i < n; ++i) {
+    if (row[i] == x) return i;
+  }
+  return n;
+}
+
+std::size_t argmin_avx2(const double* row, std::size_t n) {
+  const std::size_t hit = find_equal(row, n, min_value(row, n));
+  return hit == n ? 0 : hit;  // all NaN
+}
+
+std::size_t argmin_masked_avx2(const double* row, const unsigned char* alive,
+                               std::size_t n) {
+  std::size_t i = 0;
+  double m = kInf;
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(kInf);
+    const __m256d inf = _mm256_set1_pd(kInf);
+    for (; i + 4 <= n; i += 4) {
+      std::uint32_t packed;
+      __builtin_memcpy(&packed, alive + i, 4);
+      const __m256i wide =
+          _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+      const __m256d dead = _mm256_castsi256_pd(
+          _mm256_cmpeq_epi64(wide, _mm256_setzero_si256()));
+      // Dead columns become +inf: they can never win the strict-less fold.
+      const __m256d v = _mm256_blendv_pd(_mm256_loadu_pd(row + i), inf, dead);
+      acc = _mm256_blendv_pd(acc, v, _mm256_cmp_pd(v, acc, _CMP_LT_OQ));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (const double lane : lanes) {
+      if (lane < m) m = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (alive[i] != 0 && row[i] < m) m = row[i];
+  }
+  // Equality pass. Note a dead +inf column must not satisfy row[i] == m when
+  // m == +inf (all alive entries NaN or +inf), hence the alive re-check.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (alive[j] != 0 && row[j] == m) return j;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (alive[j] != 0) return j;  // alive but all NaN
+  }
+  return n;  // nothing alive
+}
+
+std::size_t argmax_key_avx2(const double* pv, const std::uint32_t* key,
+                            std::size_t n) {
+  std::size_t i = 0;
+  double m = -kInf;
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(-kInf);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(pv + i);
+      acc = _mm256_blendv_pd(acc, v, _mm256_cmp_pd(v, acc, _CMP_GT_OQ));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (const double lane : lanes) {
+      if (lane > m) m = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (pv[i] > m) m = pv[i];
+  }
+
+  // Tie-break pass: smallest key among pv[i] == m. Equality hits are sparse
+  // (usually one), so resolve each masked lane scalar.
+  std::size_t best = n;
+  std::uint32_t best_key = 0;
+  const __m256d needle = _mm256_set1_pd(m);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(pv + j), needle, _CMP_EQ_OQ));
+    while (mask != 0) {
+      const std::size_t hit = j + static_cast<std::size_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      if (best == n || key[hit] < best_key) {
+        best = hit;
+        best_key = key[hit];
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    if (pv[j] == m && (best == n || key[j] < best_key)) {
+      best = j;
+      best_key = key[j];
+    }
+  }
+  return best == n ? 0 : best;  // all NaN
+}
+
+void combine_up_avx2(util::ReductionTree::Op op, double* nodes,
+                     std::size_t base) {
+  using Op = util::ReductionTree::Op;
+  for (std::size_t width = base / 2; width >= 1; width /= 2) {
+    std::size_t p = width;
+    const std::size_t end = 2 * width;
+    for (; p + 4 <= end; p += 4) {
+      // Children of parents [p, p+4): nodes[2p .. 2p+8).
+      const __m256d a = _mm256_loadu_pd(nodes + 2 * p);      // c0 c1 c2 c3
+      const __m256d b = _mm256_loadu_pd(nodes + 2 * p + 4);  // c4 c5 c6 c7
+      const __m256d even = _mm256_unpacklo_pd(a, b);         // c0 c4 c2 c6
+      const __m256d odd = _mm256_unpackhi_pd(a, b);          // c1 c5 c3 c7
+      __m256d r = even;
+      switch (op) {
+        case Op::kSum:
+          r = _mm256_add_pd(even, odd);
+          break;
+        case Op::kMin:
+          r = vmin(even, odd);
+          break;
+        case Op::kMax:
+          r = vmax(even, odd);
+          break;
+      }
+      // (c0.c1, c4.c5, c2.c3, c6.c7) -> parent order via [0, 2, 1, 3].
+      _mm256_storeu_pd(nodes + p, _mm256_permute4x64_pd(r, 0xD8));
+    }
+    for (; p < end; ++p) {
+      nodes[p] = util::tree_ops::combine(op, nodes[2 * p], nodes[2 * p + 1]);
+    }
+  }
+}
+
+void square_avx2(const double* src, double* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(v, v));
+  }
+  for (; i < n; ++i) dst[i] = src[i] * src[i];
+}
+
+}  // namespace
+
+extern const Dispatch kAvx2 = {argmin_avx2, argmin_masked_avx2,
+                               argmax_key_avx2, combine_up_avx2, square_avx2,
+                               "avx2"};
+
+}  // namespace hdlts::simd
+
+#endif  // HDLTS_SIMD_HAVE_AVX2

@@ -1,0 +1,153 @@
+// NEON (AArch64 Advanced SIMD) kernel backend. Compiled only on aarch64
+// builds (see src/CMakeLists.txt); baseline AArch64 mandates Advanced SIMD,
+// so no runtime feature probe is needed. The kernels mirror the AVX2
+// backend's two-pass semantics at 2-lane width; tie-break passes are scalar
+// (they touch at most a handful of equality hits). Differential coverage
+// comes from the same tests/simd_test.cpp comparisons against the scalar
+// backend when this backend is available.
+#ifdef HDLTS_SIMD_HAVE_NEON
+
+#include <arm_neon.h>
+
+#include <limits>
+
+#include "hdlts/simd/kernels.hpp"
+
+namespace hdlts::simd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// std::min(a, b) per lane: (b < a) ? b : a.
+inline float64x2_t vmin_std(float64x2_t a, float64x2_t b) {
+  return vbslq_f64(vcltq_f64(b, a), b, a);
+}
+
+/// std::max(a, b) per lane: (a < b) ? b : a.
+inline float64x2_t vmax_std(float64x2_t a, float64x2_t b) {
+  return vbslq_f64(vcltq_f64(a, b), b, a);
+}
+
+double min_value(const double* row, std::size_t n) {
+  std::size_t i = 0;
+  double m = kInf;
+  if (n >= 2) {
+    float64x2_t acc = vdupq_n_f64(kInf);
+    for (; i + 2 <= n; i += 2) {
+      const float64x2_t v = vld1q_f64(row + i);
+      acc = vbslq_f64(vcltq_f64(v, acc), v, acc);
+    }
+    const double lane0 = vgetq_lane_f64(acc, 0);
+    const double lane1 = vgetq_lane_f64(acc, 1);
+    if (lane0 < m) m = lane0;
+    if (lane1 < m) m = lane1;
+  }
+  for (; i < n; ++i) {
+    if (row[i] < m) m = row[i];
+  }
+  return m;
+}
+
+std::size_t argmin_neon(const double* row, std::size_t n) {
+  const double m = min_value(row, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row[i] == m) return i;
+  }
+  return 0;  // all NaN
+}
+
+std::size_t argmin_masked_neon(const double* row, const unsigned char* alive,
+                               std::size_t n) {
+  double m = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i] != 0 && row[i] < m) m = row[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i] != 0 && row[i] == m) return i;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i] != 0) return i;  // alive but all NaN
+  }
+  return n;  // nothing alive
+}
+
+std::size_t argmax_key_neon(const double* pv, const std::uint32_t* key,
+                            std::size_t n) {
+  std::size_t i = 0;
+  double m = -kInf;
+  if (n >= 2) {
+    float64x2_t acc = vdupq_n_f64(-kInf);
+    for (; i + 2 <= n; i += 2) {
+      const float64x2_t v = vld1q_f64(pv + i);
+      acc = vbslq_f64(vcgtq_f64(v, acc), v, acc);
+    }
+    const double lane0 = vgetq_lane_f64(acc, 0);
+    const double lane1 = vgetq_lane_f64(acc, 1);
+    if (lane0 > m) m = lane0;
+    if (lane1 > m) m = lane1;
+  }
+  for (; i < n; ++i) {
+    if (pv[i] > m) m = pv[i];
+  }
+  std::size_t best = n;
+  std::uint32_t best_key = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (pv[j] == m && (best == n || key[j] < best_key)) {
+      best = j;
+      best_key = key[j];
+    }
+  }
+  return best == n ? 0 : best;  // all NaN
+}
+
+void combine_up_neon(util::ReductionTree::Op op, double* nodes,
+                     std::size_t base) {
+  using Op = util::ReductionTree::Op;
+  for (std::size_t width = base / 2; width >= 1; width /= 2) {
+    std::size_t p = width;
+    const std::size_t end = 2 * width;
+    for (; p + 2 <= end; p += 2) {
+      // Children of parents [p, p+2): nodes[2p .. 2p+4).
+      const float64x2_t a = vld1q_f64(nodes + 2 * p);      // c0 c1
+      const float64x2_t b = vld1q_f64(nodes + 2 * p + 2);  // c2 c3
+      const float64x2_t even = vuzp1q_f64(a, b);           // c0 c2
+      const float64x2_t odd = vuzp2q_f64(a, b);            // c1 c3
+      float64x2_t r = even;
+      switch (op) {
+        case Op::kSum:
+          r = vaddq_f64(even, odd);
+          break;
+        case Op::kMin:
+          r = vmin_std(even, odd);
+          break;
+        case Op::kMax:
+          r = vmax_std(even, odd);
+          break;
+      }
+      vst1q_f64(nodes + p, r);
+    }
+    for (; p < end; ++p) {
+      nodes[p] = util::tree_ops::combine(op, nodes[2 * p], nodes[2 * p + 1]);
+    }
+  }
+}
+
+void square_neon(const double* src, double* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(src + i);
+    vst1q_f64(dst + i, vmulq_f64(v, v));
+  }
+  for (; i < n; ++i) dst[i] = src[i] * src[i];
+}
+
+}  // namespace
+
+extern const Dispatch kNeon = {argmin_neon, argmin_masked_neon,
+                               argmax_key_neon, combine_up_neon, square_neon,
+                               "neon"};
+
+}  // namespace hdlts::simd
+
+#endif  // HDLTS_SIMD_HAVE_NEON

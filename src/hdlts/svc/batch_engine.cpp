@@ -35,12 +35,30 @@ struct BatchEngine::Worker {
     obs::Histogram* latency = nullptr;
   };
 
+  std::size_t index = 0;         // this worker's shard
   BatchRequest request;          // pop target; strings keep their capacity
+  /// Steal transfer buffer (sized up front to the worst-case half-queue):
+  /// stolen requests are copied here under the victim's lock, then moved on
+  /// without ever holding two shard locks. Slots recycle their capacity the
+  /// same way the ring slots do.
+  std::vector<BatchRequest> staging;
   sim::Schedule schedule{0, 1};  // recycled via Schedule::reset
   std::string error;             // failure-path message buffer
   std::optional<sim::Workload> workload;  // generated-request storage
   std::optional<sim::Problem> problem;
   std::map<std::string, CacheEntry, std::less<>> cache;  // by scheduler name
+};
+
+/// One worker's bounded request ring. Slots are recycled (copy-assigned), so
+/// after one lap every slot's strings/vector hold their high-water capacity
+/// and steady-state traffic allocates nothing. Sized to the full engine
+/// capacity: round-robin submission plus stealing can concentrate every
+/// queued request into one shard in the worst case.
+struct BatchEngine::Shard {
+  std::mutex mu;
+  std::vector<BatchRequest> ring;
+  std::size_t head = 0;   // next slot to pop
+  std::size_t count = 0;  // queued requests in this shard
 };
 
 BatchEngine::BatchEngine(const sched::Registry& registry, ResultFn on_result,
@@ -54,7 +72,7 @@ BatchEngine::BatchEngine(const sched::Registry& registry, ResultFn on_result,
   if (!on_result_) {
     throw InvalidArgument("BatchEngine needs a result callback");
   }
-  slots_.resize(options_.queue_capacity);
+  capacity_ = options_.queue_capacity;
 
   util::ThreadPool* pool = options_.pool;
   if (pool == nullptr) {
@@ -62,9 +80,15 @@ BatchEngine::BatchEngine(const sched::Registry& registry, ResultFn on_result,
     pool = owned_pool_.get();
   }
   drain_loops_ = pool->size();
+  shards_.reserve(drain_loops_);
   workers_.reserve(drain_loops_);
   for (std::size_t i = 0; i < drain_loops_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->ring.resize(capacity_);
     workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = i;
+    // Worst-case steal is half of a full victim queue (rounded up).
+    workers_.back()->staging.resize(capacity_ / 2 + 1);
   }
   loops_running_ = drain_loops_;
   for (std::size_t i = 0; i < drain_loops_; ++i) {
@@ -81,21 +105,31 @@ BatchEngine::~BatchEngine() {
 }
 
 bool BatchEngine::enqueue_locked(const BatchRequest& request) {
-  // Copy-assign into the recycled ring slot: after one lap around the ring
-  // the slot's strings/vector are at capacity and the copy allocates
-  // nothing (same-shape steady state).
-  slots_[(head_ + size_) % slots_.size()] = request;
-  ++size_;
-  ++stats_.submitted;
+  // Deal round-robin across shards; copy-assign into the recycled ring slot
+  // (after one lap the slot's strings/vector are at capacity and the copy
+  // allocates nothing — same-shape steady state).
+  Shard& shard = *shards_[rr_next_];
+  rr_next_ = (rr_next_ + 1) % shards_.size();
+  {
+    std::lock_guard slock(shard.mu);
+    shard.ring[(shard.head + shard.count) % capacity_] = request;
+    ++shard.count;
+  }
+  const std::size_t total =
+      total_size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   if (!saw_submit_) {
     saw_submit_ = true;
     first_submit_ = std::chrono::steady_clock::now();
   }
-  if (size_ > stats_.queue_high_water) {
-    stats_.queue_high_water = size_;
+  std::size_t hw = high_water_.load(std::memory_order_relaxed);
+  while (total > hw && !high_water_.compare_exchange_weak(
+                           hw, total, std::memory_order_relaxed)) {
+  }
+  if (total > hw) {
     static obs::Gauge& high_water =
         obs::MetricRegistry::global().gauge("svc.batch.queue_high_water");
-    high_water.record_max(static_cast<double>(size_));
+    high_water.record_max(static_cast<double>(total));
   }
   static obs::Counter& submitted =
       obs::MetricRegistry::global().counter("svc.batch.submitted");
@@ -121,8 +155,9 @@ void check_request(const BatchRequest& request) {
 bool BatchEngine::try_submit(const BatchRequest& request) {
   check_request(request);
   std::lock_guard lock(mu_);
-  if (closed_ || size_ == slots_.size()) {
-    ++stats_.rejected;
+  if (closed_ ||
+      total_size_.load(std::memory_order_acquire) >= capacity_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter& rejected =
         obs::MetricRegistry::global().counter("svc.batch.rejected");
     rejected.add(1);
@@ -134,9 +169,11 @@ bool BatchEngine::try_submit(const BatchRequest& request) {
 bool BatchEngine::submit(const BatchRequest& request) {
   check_request(request);
   std::unique_lock lock(mu_);
-  not_full_.wait(lock, [this] { return closed_ || size_ < slots_.size(); });
+  not_full_.wait(lock, [this] {
+    return closed_ || total_size_.load(std::memory_order_acquire) < capacity_;
+  });
   if (closed_) {
-    ++stats_.rejected;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter& rejected =
         obs::MetricRegistry::global().counter("svc.batch.rejected");
     rejected.add(1);
@@ -149,10 +186,11 @@ bool BatchEngine::submit(const BatchRequest& request,
                          std::chrono::nanoseconds timeout) {
   check_request(request);
   std::unique_lock lock(mu_);
-  const bool space = not_full_.wait_for(
-      lock, timeout, [this] { return closed_ || size_ < slots_.size(); });
+  const bool space = not_full_.wait_for(lock, timeout, [this] {
+    return closed_ || total_size_.load(std::memory_order_acquire) < capacity_;
+  });
   if (!space || closed_) {
-    ++stats_.rejected;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter& rejected =
         obs::MetricRegistry::global().counter("svc.batch.rejected");
     rejected.add(1);
@@ -163,8 +201,13 @@ bool BatchEngine::submit(const BatchRequest& request,
 
 void BatchEngine::wait_idle() {
   std::unique_lock lock(mu_);
-  idle_.wait(lock, [this] { return size_ == 0 && in_flight_ == 0; });
-  if (saw_submit_ && stats_.completed > 0) {
+  idle_.wait(lock, [this] {
+    return total_size_.load(std::memory_order_acquire) == 0 &&
+           in_flight_.load(std::memory_order_acquire) == 0;
+  });
+  const std::uint64_t completed =
+      completed_.load(std::memory_order_relaxed);
+  if (saw_submit_ && completed > 0) {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       first_submit_)
@@ -172,7 +215,7 @@ void BatchEngine::wait_idle() {
     if (secs > 0.0) {
       static obs::Gauge& rps =
           obs::MetricRegistry::global().gauge("svc.batch.throughput_rps");
-      rps.set(static_cast<double>(stats_.completed) / secs);
+      rps.set(static_cast<double>(completed) / secs);
     }
   }
 }
@@ -182,15 +225,32 @@ void BatchEngine::shutdown(Drain mode) {
     std::unique_lock lock(mu_);
     if (!closed_) {
       closed_ = true;
-      if (mode == Drain::kCancel && size_ > 0) {
-        stats_.cancelled += size_;
-        static obs::Counter& cancelled =
-            obs::MetricRegistry::global().counter("svc.batch.cancelled");
-        cancelled.add(size_);
-        size_ = 0;  // slots keep their capacity for nothing — engine is done
+      if (mode == Drain::kCancel) {
+        // Sweep every shard. A batch a thief has already copied out of a
+        // victim ring is in flight from the engine's point of view and
+        // still finishes (threads cannot be interrupted mid-transfer any
+        // more than mid-schedule).
+        std::size_t removed = 0;
+        for (auto& shard : shards_) {
+          std::lock_guard slock(shard->mu);
+          removed += shard->count;
+          shard->count = 0;
+          shard->head = 0;
+        }
+        if (removed > 0) {
+          cancelled_.fetch_add(removed, std::memory_order_relaxed);
+          static obs::Counter& cancelled =
+              obs::MetricRegistry::global().counter("svc.batch.cancelled");
+          cancelled.add(removed);
+          total_size_.fetch_sub(removed, std::memory_order_acq_rel);
+        }
       }
       not_empty_.notify_all();
       not_full_.notify_all();
+      if (total_size_.load(std::memory_order_acquire) == 0 &&
+          in_flight_.load(std::memory_order_acquire) == 0) {
+        idle_.notify_all();
+      }
     }
     exited_.wait(lock, [this] { return loops_running_ == 0; });
   }
@@ -198,35 +258,111 @@ void BatchEngine::shutdown(Drain mode) {
 }
 
 BatchEngineStats BatchEngine::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  BatchEngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.sched_failures = sched_failures_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.queue_high_water = high_water_.load(std::memory_order_relaxed);
+  return s;
 }
 
-bool BatchEngine::pop(BatchRequest& out) {
-  std::unique_lock lock(mu_);
-  not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
-  if (size_ == 0) return false;  // closed and drained (or cancelled)
-  out = slots_[head_];
-  head_ = (head_ + 1) % slots_.size();
-  --size_;
-  ++in_flight_;
+bool BatchEngine::pop(Worker& worker) {
+  for (;;) {
+    if (pop_own(worker) || steal_into(worker)) return true;
+    std::unique_lock lock(mu_);
+    // total_size_ > 0 with every shard empty is possible for the instants a
+    // stolen batch sits in a thief's staging buffer; the wait predicate then
+    // passes immediately and the scan retries, which is a bounded busy loop
+    // because the thief re-queues its surplus before processing anything.
+    not_empty_.wait(lock, [this] {
+      return closed_ || total_size_.load(std::memory_order_acquire) > 0;
+    });
+    if (closed_ && total_size_.load(std::memory_order_acquire) == 0) {
+      return false;  // closed and drained (or cancelled)
+    }
+  }
+}
+
+bool BatchEngine::pop_own(Worker& worker) {
+  Shard& shard = *shards_[worker.index];
+  {
+    std::lock_guard slock(shard.mu);
+    if (shard.count == 0) return false;
+    // Copy-assign keeps worker.request's strings/vector at capacity.
+    worker.request = shard.ring[shard.head];
+    shard.head = (shard.head + 1) % capacity_;
+    --shard.count;
+  }
+  // Claim before releasing the queue slot so wait_idle can never observe
+  // total == 0 && in_flight == 0 while a request is between the two.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  total_size_.fetch_sub(1, std::memory_order_acq_rel);
+  { std::lock_guard lock(mu_); }  // pairs with the not_full_ wait predicate
   not_full_.notify_one();
   return true;
 }
 
+bool BatchEngine::steal_into(Worker& worker) {
+  const std::size_t nshards = shards_.size();
+  for (std::size_t d = 1; d < nshards; ++d) {
+    Shard& victim = *shards_[(worker.index + d) % nshards];
+    std::size_t k = 0;
+    {
+      std::lock_guard vlock(victim.mu);
+      if (victim.count == 0) continue;
+      // Steal the younger half (rounded up), leaving the victim the front
+      // half it is about to pop anyway. staging[0] gets the oldest stolen
+      // request so steals preserve rough FIFO order.
+      k = (victim.count + 1) / 2;
+      const std::size_t first = victim.count - k;
+      for (std::size_t j = 0; j < k; ++j) {
+        worker.staging[j] =
+            victim.ring[(victim.head + first + j) % capacity_];
+      }
+      victim.count -= k;
+    }
+    if (k > 1) {
+      // Re-queue the surplus before processing anything so other idle
+      // workers (and wait predicates) can see it.
+      Shard& own = *shards_[worker.index];
+      std::lock_guard olock(own.mu);
+      for (std::size_t j = 1; j < k; ++j) {
+        own.ring[(own.head + own.count) % capacity_] = worker.staging[j];
+        ++own.count;
+      }
+    }
+    worker.request = worker.staging[0];
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& steals =
+        obs::MetricRegistry::global().counter("svc.batch.steals");
+    steals.add(1);
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    total_size_.fetch_sub(1, std::memory_order_acq_rel);
+    { std::lock_guard lock(mu_); }  // pairs with the not_full_ wait predicate
+    not_full_.notify_one();
+    return true;
+  }
+  return false;
+}
+
 void BatchEngine::note_request_done() {
-  std::lock_guard lock(mu_);
-  --in_flight_;
-  ++stats_.completed;
+  completed_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter& completed =
       obs::MetricRegistry::global().counter("svc.batch.completed");
   completed.add(1);
-  if (size_ == 0 && in_flight_ == 0) idle_.notify_all();
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      total_size_.load(std::memory_order_acquire) == 0) {
+    { std::lock_guard lock(mu_); }  // pairs with the wait_idle predicate
+    idle_.notify_all();
+  }
 }
 
 void BatchEngine::worker_loop(Worker& worker) {
   for (;;) {
-    if (!pop(worker.request)) break;
+    if (!pop(worker)) break;
     process(worker, worker.request);
     note_request_done();
   }
@@ -320,10 +456,7 @@ void BatchEngine::process(Worker& worker, const BatchRequest& request) {
 }
 
 void BatchEngine::note_sched_failure() {
-  {
-    std::lock_guard lock(mu_);
-    ++stats_.sched_failures;
-  }
+  sched_failures_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter& failures =
       obs::MetricRegistry::global().counter("svc.batch.sched_failures");
   failures.add(1);

@@ -3,12 +3,21 @@
 //
 // The per-decision kernels (PR 1/2) are fast but serial — one workflow at a
 // time on one thread. BatchEngine is the service layer on top: callers
-// submit (problem, scheduler names, seed) requests into a bounded MPMC ring
-// and a util::ThreadPool of drain loops executes them, each worker owning a
-// recycled sim::Schedule, a per-scheduler instance cache (whose ScratchArena
-// warms once), and a reusable error buffer — so the steady state stays
-// zero-allocation per request on the compiled path
-// (tests/alloc_test.cpp::BatchEngineSteadyState).
+// submit (problem, scheduler names, seed) requests and a util::ThreadPool of
+// drain loops executes them, each worker owning a recycled sim::Schedule, a
+// per-scheduler instance cache (whose ScratchArena warms once), and a
+// reusable error buffer — so the steady state stays zero-allocation per
+// request on the compiled path (tests/alloc_test.cpp::BatchEngineSteadyState).
+//
+// Queueing is sharded: each worker owns a bounded ring (its shard) and
+// submissions are dealt round-robin across shards, so in the balanced case a
+// worker only ever touches its own shard's lock. When a worker's shard runs
+// dry it steals the younger half of another shard's queue (oldest stolen
+// request runs first, the rest move to the thief's ring), which keeps every
+// worker busy under skewed arrival or uneven request cost. Steals are
+// counted (stats().steals, "svc.batch.steals"). Total queued size is bounded
+// by queue_capacity across all shards, so backpressure behaves exactly like
+// the old single-ring engine (docs/CONCURRENCY.md).
 //
 // Determinism: a request's result depends only on the request's content,
 // never on worker interleaving — every scheduler in the registry is a pure
@@ -26,6 +35,7 @@
 // cannot be interrupted mid-schedule. The destructor drains.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -123,7 +133,8 @@ struct BatchEngineStats {
   std::uint64_t rejected = 0;   ///< submissions refused (full/timeout/closed)
   std::uint64_t cancelled = 0;  ///< queued requests dropped by kCancel
   std::uint64_t sched_failures = 0;  ///< per-scheduler failed results
-  std::size_t queue_high_water = 0;  ///< max queue depth ever observed
+  std::uint64_t steals = 0;  ///< requests taken from another worker's shard
+  std::size_t queue_high_water = 0;  ///< max total queue depth ever observed
 };
 
 class BatchEngine {
@@ -139,7 +150,7 @@ class BatchEngine {
   BatchEngine& operator=(const BatchEngine&) = delete;
 
   std::size_t threads() const { return drain_loops_; }
-  std::size_t queue_capacity() const { return slots_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
 
   /// Enqueues without blocking; false (and ++rejected) when the queue is
   /// full or the engine is shut down. Throws InvalidArgument for malformed
@@ -172,9 +183,14 @@ class BatchEngine {
 
  private:
   struct Worker;
+  struct Shard;
 
   void worker_loop(Worker& worker);
-  bool pop(BatchRequest& out);
+  /// Blocks until a request lands in `worker.request` (own shard first,
+  /// then stealing); false once the engine is closed and drained.
+  bool pop(Worker& worker);
+  bool pop_own(Worker& worker);
+  bool steal_into(Worker& worker);
   void process(Worker& worker, const BatchRequest& request);
   bool enqueue_locked(const BatchRequest& request);
   void note_request_done();
@@ -184,23 +200,36 @@ class BatchEngine {
   ResultFn on_result_;
   BatchEngineOptions options_;
 
+  // Locking: mu_ serializes submissions and guards closed_ / the condition
+  // variables; each shard's own mutex guards its ring. Lock order is
+  // mu_ -> shard.mu (submit) or shard.mu alone (workers); a thief never
+  // holds two shard locks at once (stolen requests go through the worker's
+  // staging buffer), so the order cannot cycle. Counters are atomics so the
+  // hot worker paths and stats() never touch mu_.
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::condition_variable idle_;
   std::condition_variable exited_;
-  std::vector<BatchRequest> slots_;  // fixed-capacity ring; slots recycled
-  std::size_t head_ = 0;             // next slot to pop
-  std::size_t size_ = 0;             // queued requests
-  std::size_t in_flight_ = 0;        // popped, not yet completed
-  bool closed_ = false;
-  BatchEngineStats stats_;
-  std::chrono::steady_clock::time_point first_submit_{};
-  bool saw_submit_ = false;
+  std::size_t capacity_ = 0;  // total bound across all shards
+  std::size_t rr_next_ = 0;   // round-robin submit cursor; guarded by mu_
+  bool closed_ = false;       // guarded by mu_
+  std::atomic<std::size_t> total_size_{0};  // queued across all shards
+  std::atomic<std::size_t> in_flight_{0};   // popped, not yet completed
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> sched_failures_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::chrono::steady_clock::time_point first_submit_{};  // guarded by mu_
+  bool saw_submit_ = false;                               // guarded by mu_
 
+  std::vector<std::unique_ptr<Shard>> shards_;  // one per drain loop
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t drain_loops_ = 0;
-  std::size_t loops_running_ = 0;
+  std::size_t loops_running_ = 0;  // guarded by mu_
   std::unique_ptr<util::ThreadPool> owned_pool_;
 };
 

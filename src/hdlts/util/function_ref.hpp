@@ -1,0 +1,39 @@
+// A non-owning, non-allocating callable reference (function pointer + caller
+// context), for hot paths that must not touch the heap the way a
+// std::function conversion does. The referenced callable must outlive every
+// invocation — FunctionRef is a parameter type, never a stored member.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hdlts::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return fn_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*fn_)(void*, Args...);
+};
+
+}  // namespace hdlts::util

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <map>
@@ -487,6 +488,84 @@ TEST(BatchEngine, MetricsRegistryMirrorsEngineStats) {
   }
 }
 
+TEST(BatchEngine, StealsDrainAParkedWorkersShard) {
+  // Deterministic stealing scenario: park BOTH workers inside gate
+  // generators (one request lands in each shard, so each worker ends up
+  // inside one), queue direct requests round-robin across both shards, then
+  // release a single worker. The still-parked worker's shard can only drain
+  // through steals, so the free worker must record at least one.
+  const sim::Workload w = make_workload(25, 3, 7);
+  const sim::Problem problem(w);
+  const sched::Registry registry = core::default_registry();
+  GateGenerator gate_a;
+  GateGenerator gate_b;
+  Collector collector;
+  BatchEngineOptions options;
+  options.threads = 2;
+  options.queue_capacity = 16;
+  BatchEngine engine(registry, collector.callback(), options);
+  ASSERT_EQ(engine.threads(), 2u);
+
+  BatchRequest blocked;
+  blocked.schedulers = {"heft"};
+  blocked.id = 1000;
+  blocked.generator = &gate_a.fn;
+  ASSERT_TRUE(engine.submit(blocked));
+  blocked.id = 1001;
+  blocked.generator = &gate_b.fn;
+  ASSERT_TRUE(engine.submit(blocked));
+  gate_a.wait_entered();
+  gate_b.wait_entered();  // both workers parked, both shards empty
+
+  constexpr std::size_t kDirects = 8;  // dealt 4 into each shard
+  BatchRequest direct;
+  direct.problem = &problem;
+  direct.schedulers = {"heft"};
+  for (std::size_t i = 0; i < kDirects; ++i) {
+    direct.id = i;
+    ASSERT_TRUE(engine.try_submit(direct));
+  }
+
+  gate_a.release();  // one worker drains everything; its peer stays parked
+  while (engine.stats().completed < 1 + kDirects) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(engine.stats().steals, 1u);
+
+  gate_b.release();
+  engine.shutdown(BatchEngine::Drain::kDrain);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 2 + kDirects);
+  EXPECT_EQ(stats.completed, 2 + kDirects);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled);
+  EXPECT_EQ(collector.entries.size(), 2 + kDirects);
+  // The steal counter mirrors into the metric registry.
+  EXPECT_GE(obs::MetricRegistry::global().counter("svc.batch.steals").value(),
+            stats.steals);
+}
+
+TEST(BatchEngine, SingleThreadNeverSteals) {
+  const sim::Workload w = make_workload(20, 2, 4);
+  const sim::Problem problem(w);
+  const sched::Registry registry = core::default_registry();
+  Collector collector;
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.queue_capacity = 8;
+  BatchEngine engine(registry, collector.callback(), options);
+  BatchRequest request;
+  request.problem = &problem;
+  request.schedulers = {"heft"};
+  for (std::size_t i = 0; i < 12; ++i) {
+    request.id = i;
+    ASSERT_TRUE(engine.submit(request));
+  }
+  engine.shutdown(BatchEngine::Drain::kDrain);
+  EXPECT_EQ(engine.stats().steals, 0u);
+  EXPECT_EQ(engine.stats().completed, 12u);
+}
+
 // ---------------------------------------------------------------------------
 // Stress suite: sized via HDLTS_BATCH_STRESS_REQUESTS (CI TSan runs a larger
 // setting). Contention by construction: a queue much smaller than the
@@ -556,6 +635,48 @@ TEST(BatchStress, ContendedProducersStayDeterministic) {
           << "request " << i << " scheduler " << kSchedulers[si];
     }
   }
+}
+
+TEST(BatchStress, BurstySubmissionExercisesStealing) {
+  // Bursts much larger than the worker count land in every shard while
+  // request costs vary (different problem sizes), so fast workers go
+  // stealing from slow ones — the contended shape the CI TSan job soaks.
+  const auto requests = static_cast<std::size_t>(
+      util::env_int("HDLTS_BATCH_STRESS_REQUESTS", 200));
+  std::vector<sim::Workload> workloads;
+  std::vector<sim::Problem> problems;
+  for (std::size_t i = 0; i < 6; ++i) {
+    // 10..60 tasks: an order of magnitude spread in per-request cost.
+    workloads.push_back(make_workload(10 + i * 10, 3, util::derive_seed(7, i)));
+  }
+  for (const auto& w : workloads) problems.emplace_back(w);
+  const sched::Registry registry = core::default_registry();
+
+  std::atomic<std::size_t> ok_results{0};
+  auto on_result = [&](const BatchResult& r) {
+    ASSERT_TRUE(r.ok) << r.error;
+    ok_results.fetch_add(1);
+  };
+  BatchEngineOptions options;
+  options.threads = 4;
+  options.queue_capacity = 64;
+  BatchEngine engine(registry, on_result, options);
+  BatchRequest request;
+  request.schedulers = {"hdlts"};
+  for (std::size_t i = 0; i < requests; ++i) {
+    request.id = i;
+    request.problem = &problems[i % problems.size()];
+    ASSERT_TRUE(engine.submit(request));
+    // Drain bursts completely so the next burst starts from idle — fast
+    // workers repeatedly outrun slow ones and go stealing.
+    if (i % 48 == 47) engine.wait_idle();
+  }
+  engine.shutdown(BatchEngine::Drain::kDrain);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, requests);
+  EXPECT_EQ(stats.completed, requests);
+  EXPECT_EQ(ok_results.load(), requests);
+  EXPECT_EQ(stats.sched_failures, 0u);
 }
 
 TEST(BatchStress, RepeatedStartupShutdownCycles) {

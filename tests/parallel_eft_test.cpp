@@ -1,0 +1,142 @@
+// Differential tests for intra-problem parallelism in the compiled HDLTS
+// path: with a borrowed util::ThreadPool attached (sched::Scheduler::
+// set_thread_pool) the per-entry EFT refresh and the ready-task row fills
+// fan out across workers, and the schedule must stay bit-identical to the
+// fully serial run — the entries write disjoint state and the selection rule
+// is order-independent, so this is an exact (==, not near) contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/util/thread_pool.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts {
+namespace {
+
+sim::Workload random_problem(std::uint64_t seed) {
+  util::Rng rng(util::derive_seed(seed, 0xc0deULL));
+  workload::RandomDagParams params;
+  params.num_tasks = 15 + seed % 7 * 9;                // 15..69 tasks
+  params.alpha = (seed % 3 == 0) ? 0.5 : ((seed % 3 == 1) ? 1.0 : 2.0);
+  params.density = 1 + seed % 4;
+  params.costs.num_procs = 2 + seed % 7;               // 2..8 processors
+  params.costs.ccr = (seed % 4 == 0) ? 0.5 : ((seed % 4 == 1) ? 2.0 : 8.0);
+  sim::Workload w = workload::random_workload(params, seed);
+  for (platform::ProcId p = 0; p < w.platform.num_procs(); ++p) {
+    if (w.platform.num_alive() > 1 && rng() % 4 == 0) {
+      w.platform.set_alive(p, false);
+    }
+  }
+  return w;
+}
+
+/// A wide workload: many independent chains keep the ITQ large, so the
+/// parallel gate actually opens for a meaningful share of the rounds.
+sim::Workload wide_problem(std::uint64_t seed) {
+  workload::RandomDagParams params;
+  params.num_tasks = 400;
+  params.alpha = 2.0;  // shallow and wide
+  params.density = 2;
+  params.costs.num_procs = 8;
+  params.costs.ccr = 1.0;
+  return workload::random_workload(params, seed);
+}
+
+void expect_identical(const sim::Schedule& got, const sim::Schedule& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.num_tasks(), want.num_tasks()) << what;
+  for (graph::TaskId v = 0; v < got.num_tasks(); ++v) {
+    SCOPED_TRACE(what + ", task " + std::to_string(v));
+    const sim::Placement& a = got.placement(v);
+    const sim::Placement& b = want.placement(v);
+    EXPECT_EQ(a.proc, b.proc);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.finish, b.finish);
+    const auto da = got.duplicates(v);
+    const auto db = want.duplicates(v);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].proc, db[i].proc);
+      EXPECT_EQ(da[i].start, db[i].start);
+      EXPECT_EQ(da[i].finish, db[i].finish);
+    }
+  }
+}
+
+void expect_pool_matches_serial(const core::HdltsOptions& options,
+                                const sim::Problem& problem,
+                                util::ThreadPool& pool,
+                                const std::string& what) {
+  const core::Hdlts serial(options);
+  core::Hdlts parallel(options);
+  parallel.set_thread_pool(&pool);
+  const sim::Schedule want = serial.schedule(problem);
+  const sim::Schedule got = parallel.schedule(problem);
+  expect_identical(got, want, what);
+}
+
+TEST(ParallelEft, BitIdenticalAcrossVariantsAndSeeds) {
+  util::ThreadPool pool(4);
+  // parallel_min_work = 0 forces the team dispatch on every round, so even
+  // the small grid problems exercise the parallel path (the default 4096
+  // threshold would keep them serial).
+  std::vector<core::HdltsOptions> variants(4);
+  variants[0].parallel_min_work = 0;
+  variants[1].parallel_min_work = 0;
+  variants[1].dynamic_priorities = false;
+  variants[2].parallel_min_work = 0;
+  variants[2].pv = core::PvKind::kRange;
+  variants[3].parallel_min_work = 0;
+  variants[3].insertion = true;
+  variants[3].duplicate_all_sources = true;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const sim::Workload w = random_problem(seed * 7 + 1);
+    const sim::Problem problem(w);
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      expect_pool_matches_serial(variants[vi], problem, pool,
+                                 "variant " + std::to_string(vi) + ", seed " +
+                                     std::to_string(seed));
+    }
+  }
+}
+
+TEST(ParallelEft, BitIdenticalOnWideProblemsWithDefaultThreshold) {
+  util::ThreadPool pool(4);
+  // Default threshold: wide 400-task / 8-proc problems open the gate on the
+  // big rounds and stay serial on the small ones — both paths inside one run.
+  const core::HdltsOptions options;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const sim::Workload w = wide_problem(seed + 11);  // Problem is a view
+    const sim::Problem problem(w);
+    expect_pool_matches_serial(options, problem, pool,
+                               "wide seed " + std::to_string(seed));
+  }
+}
+
+TEST(ParallelEft, PoolOfOneAndRepeatedRunsAreStable) {
+  // A 1-worker pool degenerates to the caller doing all chunks; repeated
+  // runs through the same scheduler instance (warm arena) must not drift.
+  util::ThreadPool pool(1);
+  core::HdltsOptions options;
+  options.parallel_min_work = 0;
+  core::Hdlts parallel(options);
+  parallel.set_thread_pool(&pool);
+  const core::Hdlts serial(options);
+  const sim::Workload w = random_problem(42);  // Problem is a view
+  const sim::Problem problem(w);
+  const sim::Schedule want = serial.schedule(problem);
+  sim::Schedule recycled(1, 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    parallel.schedule_into(problem, recycled);
+    expect_identical(recycled, want, "rep " + std::to_string(rep));
+  }
+}
+
+}  // namespace
+}  // namespace hdlts

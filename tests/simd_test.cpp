@@ -1,0 +1,304 @@
+// Differential and edge-case tests for the runtime-dispatched SIMD kernels
+// (src/hdlts/simd/).
+//
+// Two layers:
+//   1. Kernel level: every compiled-in backend must agree bit-for-bit with
+//     the scalar reference on random inputs of every size (crossing vector
+//     width and tail boundaries) and on the adversarial edge cases the
+//     documented semantics pin down — NaN rows, mixed NaN/±inf, signed
+//     zeros, dead-processor masks.
+//   2. Scheduler level: the full ported-scheduler grid must produce
+//     bit-identical schedules under the scalar and SIMD backends
+//     (force_backend differential; skipped when the binary or CPU lacks the
+//     backend).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/problem.hpp"
+#include "hdlts/simd/kernels.hpp"
+#include "hdlts/util/reduction_tree.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+namespace hdlts {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const simd::Dispatch& scalar() {
+  const simd::Dispatch* s = simd::backend("scalar");
+  EXPECT_NE(s, nullptr);
+  return *s;
+}
+
+/// Every backend compiled into this binary and usable on this CPU.
+std::vector<const simd::Dispatch*> available_backends() {
+  std::vector<const simd::Dispatch*> out;
+  for (const char* name : {"scalar", "avx2", "neon"}) {
+    if (const simd::Dispatch* b = simd::backend(name)) out.push_back(b);
+  }
+  return out;
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndOffAliasesIt) {
+  EXPECT_NE(simd::backend("scalar"), nullptr);
+  EXPECT_EQ(simd::backend("off"), simd::backend("scalar"));
+  EXPECT_EQ(simd::backend("bogus"), nullptr);
+  EXPECT_FALSE(simd::force_backend("bogus"));
+  // active() always returns something usable.
+  const std::string_view name = simd::active_backend();
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "neon");
+  ASSERT_TRUE(simd::force_backend(name));  // restore is a no-op
+}
+
+TEST(SimdKernels, ArgminEdgeCases) {
+  for (const simd::Dispatch* k : available_backends()) {
+    SCOPED_TRACE(k->name);
+    const std::vector<double> plain = {3.0, 1.0, 2.0, 1.0};
+    EXPECT_EQ(k->argmin(plain.data(), plain.size()), 1u);  // tie -> first
+    const std::vector<double> single = {7.5};
+    EXPECT_EQ(k->argmin(single.data(), 1), 0u);
+    // NaN is never minimal; [NaN, +inf] must pick the +inf (the documented
+    // two-pass semantics — a single-pass `<` scan would answer 0 here).
+    const std::vector<double> nan_inf = {kNaN, kInf};
+    EXPECT_EQ(k->argmin(nan_inf.data(), nan_inf.size()), 1u);
+    const std::vector<double> all_nan = {kNaN, kNaN, kNaN, kNaN, kNaN};
+    EXPECT_EQ(k->argmin(all_nan.data(), all_nan.size()), 0u);
+    // Signed zeros compare equal: the first zero wins regardless of sign.
+    const std::vector<double> zeros1 = {+0.0, -0.0, 1.0};
+    EXPECT_EQ(k->argmin(zeros1.data(), zeros1.size()), 0u);
+    const std::vector<double> zeros2 = {1.0, -0.0, +0.0};
+    EXPECT_EQ(k->argmin(zeros2.data(), zeros2.size()), 1u);
+    const std::vector<double> neg_inf = {0.0, -kInf, -kInf};
+    EXPECT_EQ(k->argmin(neg_inf.data(), neg_inf.size()), 1u);
+    // NaN padding around the minimum at every lane position.
+    for (std::size_t n = 1; n <= 12; ++n) {
+      std::vector<double> row(n, kNaN);
+      for (std::size_t at = 0; at < n; ++at) {
+        row[at] = -1.0;
+        EXPECT_EQ(k->argmin(row.data(), n), at) << "n=" << n << " at=" << at;
+        row[at] = kNaN;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ArgminMaskedEdgeCases) {
+  for (const simd::Dispatch* k : available_backends()) {
+    SCOPED_TRACE(k->name);
+    const std::vector<double> row = {0.5, 0.1, 0.2, 0.1, 9.0};
+    const std::vector<unsigned char> all = {1, 1, 1, 1, 1};
+    EXPECT_EQ(k->argmin_masked(row.data(), all.data(), row.size()), 1u);
+    // The global minimum is dead: the masked minimum must win.
+    const std::vector<unsigned char> dead_min = {1, 0, 1, 0, 1};
+    EXPECT_EQ(k->argmin_masked(row.data(), dead_min.data(), row.size()), 2u);
+    // Nothing alive -> n.
+    const std::vector<unsigned char> none(5, 0);
+    EXPECT_EQ(k->argmin_masked(row.data(), none.data(), row.size()), 5u);
+    // Every alive entry NaN -> first alive index.
+    const std::vector<double> nans = {kNaN, kNaN, kNaN, kNaN};
+    const std::vector<unsigned char> tail_alive = {0, 0, 1, 1};
+    EXPECT_EQ(k->argmin_masked(nans.data(), tail_alive.data(), nans.size()),
+              2u);
+    // A dead NaN must not poison the scan.
+    const std::vector<double> mixed = {kNaN, 3.0, 2.0};
+    const std::vector<unsigned char> live_tail = {0, 1, 1};
+    EXPECT_EQ(k->argmin_masked(mixed.data(), live_tail.data(), mixed.size()),
+              2u);
+  }
+}
+
+TEST(SimdKernels, ArgmaxKeyEdgeCases) {
+  for (const simd::Dispatch* k : available_backends()) {
+    SCOPED_TRACE(k->name);
+    const std::vector<double> pv = {1.0, 3.0, 3.0, 2.0};
+    // Equal maxima resolve to the smallest key, wherever it sits.
+    const std::vector<std::uint32_t> keys_fwd = {0, 7, 4, 9};
+    EXPECT_EQ(k->argmax_key(pv.data(), keys_fwd.data(), pv.size()), 2u);
+    const std::vector<std::uint32_t> keys_rev = {0, 2, 5, 9};
+    EXPECT_EQ(k->argmax_key(pv.data(), keys_rev.data(), pv.size()), 1u);
+    // NaN PVs never win; all-NaN -> 0.
+    const std::vector<double> with_nan = {kNaN, 1.0, kNaN};
+    const std::vector<std::uint32_t> keys3 = {5, 6, 7};
+    EXPECT_EQ(k->argmax_key(with_nan.data(), keys3.data(), with_nan.size()),
+              1u);
+    const std::vector<double> all_nan = {kNaN, kNaN, kNaN};
+    EXPECT_EQ(k->argmax_key(all_nan.data(), keys3.data(), all_nan.size()), 0u);
+    const std::vector<double> one = {0.25};
+    const std::vector<std::uint32_t> key1 = {11};
+    EXPECT_EQ(k->argmax_key(one.data(), key1.data(), 1), 0u);
+  }
+}
+
+TEST(SimdKernels, RandomDifferentialAgainstScalar) {
+  const simd::Dispatch& ref = scalar();
+  util::Rng rng(0x51D0ULL);
+  for (const simd::Dispatch* k : available_backends()) {
+    SCOPED_TRACE(k->name);
+    for (int iter = 0; iter < 400; ++iter) {
+      const std::size_t n = 1 + rng() % 67;
+      std::vector<double> row(n);
+      std::vector<unsigned char> alive(n);
+      std::vector<std::uint32_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Coarse values so duplicates (and therefore tie-breaks) are common;
+        // sprinkle NaN/inf to exercise the documented semantics.
+        const std::uint64_t r = rng();
+        row[i] = (r % 16 == 0) ? kNaN
+                               : ((r % 16 == 1) ? kInf
+                                                : static_cast<double>(r % 8));
+        alive[i] = rng() % 3 != 0 ? 1 : 0;
+        keys[i] = static_cast<std::uint32_t>(rng() % 97);
+      }
+      EXPECT_EQ(k->argmin(row.data(), n), ref.argmin(row.data(), n))
+          << "iter " << iter;
+      EXPECT_EQ(k->argmin_masked(row.data(), alive.data(), n),
+                ref.argmin_masked(row.data(), alive.data(), n))
+          << "iter " << iter;
+      EXPECT_EQ(k->argmax_key(row.data(), keys.data(), n),
+                ref.argmax_key(row.data(), keys.data(), n))
+          << "iter " << iter;
+    }
+  }
+}
+
+TEST(SimdKernels, CombineUpMatchesTreeOpsBitwise) {
+  using Op = util::ReductionTree::Op;
+  util::Rng rng(0x7EE5ULL);
+  for (const simd::Dispatch* k : available_backends()) {
+    SCOPED_TRACE(k->name);
+    for (const Op op : {Op::kSum, Op::kMin, Op::kMax}) {
+      for (std::size_t base : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                               std::size_t{8}, std::size_t{16},
+                               std::size_t{64}}) {
+        std::vector<double> want(2 * base, 0.0);
+        for (std::size_t i = 0; i < base; ++i) {
+          want[base + i] =
+              static_cast<double>(rng() % 1000) / 7.0 - 50.0;
+        }
+        std::vector<double> got = want;
+        util::tree_ops::combine_up(op, want, base);
+        k->combine_up(op, got.data(), base);
+        for (std::size_t i = 1; i < 2 * base; ++i) {
+          EXPECT_EQ(got[i], want[i])
+              << k->name << " op=" << static_cast<int>(op)
+              << " base=" << base << " node=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SquareIsExact) {
+  util::Rng rng(0xABCDULL);
+  for (const simd::Dispatch* k : available_backends()) {
+    SCOPED_TRACE(k->name);
+    for (std::size_t n = 1; n <= 19; ++n) {
+      std::vector<double> src(n), dst(n, -1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        src[i] = static_cast<double>(rng() % 4096) / 3.0;
+      }
+      k->square(src.data(), dst.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(dst[i], src[i] * src[i]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-level differential: the whole ported grid, scalar vs SIMD.
+
+sim::Workload random_problem(std::uint64_t seed) {
+  util::Rng rng(util::derive_seed(seed, 0xc0deULL));
+  workload::RandomDagParams params;
+  params.num_tasks = 15 + seed % 7 * 9;                // 15..69 tasks
+  params.alpha = (seed % 3 == 0) ? 0.5 : ((seed % 3 == 1) ? 1.0 : 2.0);
+  params.density = 1 + seed % 4;
+  params.costs.num_procs = 2 + seed % 7;               // 2..8 processors
+  params.costs.ccr = (seed % 4 == 0) ? 0.5 : ((seed % 4 == 1) ? 2.0 : 8.0);
+  sim::Workload w = workload::random_workload(params, seed);
+  for (platform::ProcId p = 0; p < w.platform.num_procs(); ++p) {
+    if (w.platform.num_alive() > 1 && rng() % 4 == 0) {
+      w.platform.set_alive(p, false);
+    }
+  }
+  return w;
+}
+
+void expect_identical(const sim::Schedule& got, const sim::Schedule& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.num_tasks(), want.num_tasks()) << what;
+  for (graph::TaskId v = 0; v < got.num_tasks(); ++v) {
+    SCOPED_TRACE(what + ", task " + std::to_string(v));
+    const sim::Placement& a = got.placement(v);
+    const sim::Placement& b = want.placement(v);
+    EXPECT_EQ(a.proc, b.proc);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.finish, b.finish);
+    const auto da = got.duplicates(v);
+    const auto db = want.duplicates(v);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].proc, db[i].proc);
+      EXPECT_EQ(da[i].start, db[i].start);
+      EXPECT_EQ(da[i].finish, db[i].finish);
+    }
+  }
+}
+
+/// Restores the startup-selected backend even when a test fails out early.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::active_backend()) {}
+  ~BackendGuard() { simd::force_backend(saved_); }
+
+ private:
+  std::string saved_;
+};
+
+void run_grid_against_scalar(const char* backend_name) {
+  if (simd::backend(backend_name) == nullptr) {
+    GTEST_SKIP() << backend_name
+                 << " backend not available on this binary/CPU";
+  }
+  BackendGuard guard;
+  const sched::Registry registry = core::default_registry();
+  const std::vector<std::string> ported = {
+      "hdlts",       "hdlts-nodup",     "hdlts-static", "hdlts-popstddev",
+      "hdlts-range", "hdlts-insertion", "hdlts-multidup",
+      "heft",        "cpop",            "peft",         "pets",
+      "sdbats",      "dls",             "lookahead"};
+  std::size_t pairs = 0;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const sim::Workload w = random_problem(seed * 17 + 3);
+    const sim::Problem problem(w);
+    for (const std::string& name : ported) {
+      const auto scheduler = registry.make(name);
+      ASSERT_TRUE(simd::force_backend("scalar"));
+      const sim::Schedule want = scheduler->schedule(problem);
+      ASSERT_TRUE(simd::force_backend(backend_name));
+      const sim::Schedule got = scheduler->schedule(problem);
+      expect_identical(got, want, name + ", seed " + std::to_string(seed));
+      ++pairs;
+    }
+  }
+  EXPECT_GE(pairs, 200u);  // 16 problems x 14 schedulers
+}
+
+TEST(SimdSchedulerEquivalence, Avx2MatchesScalarOnFullGrid) {
+  run_grid_against_scalar("avx2");
+}
+
+TEST(SimdSchedulerEquivalence, NeonMatchesScalarOnFullGrid) {
+  run_grid_against_scalar("neon");
+}
+
+}  // namespace
+}  // namespace hdlts

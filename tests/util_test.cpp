@@ -249,6 +249,82 @@ TEST(ThreadPool, ConcurrentSubmittersAreSafe) {
   EXPECT_EQ(sum.load(), 400);
 }
 
+TEST(ThreadPool, RunTeamCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  pool.run_team(hits.size(), 16, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunTeamZeroCountAndDegenerateChunks) {
+  ThreadPool pool(2);
+  pool.run_team(0, 4, [](std::size_t, std::size_t) { FAIL(); });
+  std::vector<std::atomic<int>> hits(5);
+  pool.run_team(hits.size(), 0,  // chunk 0 is clamped to 1
+                [&](std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    hits[i].fetch_add(1);
+                  }
+                });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Chunk larger than count: the caller runs everything in one piece.
+  std::atomic<int> calls{0};
+  pool.run_team(3, 100, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, RunTeamBackToBackAndInterleavedWithSubmit) {
+  // Teams reuse a single broadcast slot; consecutive teams and queued tasks
+  // must not interfere (the shape the CI TSan job checks).
+  ThreadPool pool(3);
+  std::atomic<int> task_sum{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      pool.submit([&task_sum] { task_sum.fetch_add(1); });
+    }
+    std::vector<std::atomic<int>> hits(97);
+    pool.run_team(hits.size(), 8, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(task_sum.load(), 250);
+}
+
+TEST(ThreadPool, RunTeamFromConcurrentLeadersSerializes) {
+  // run_team is documented single-leader-at-a-time; concurrent external
+  // callers must be serialized, each team still covering its whole range.
+  ThreadPool pool(2);
+  std::atomic<long> grand{0};
+  std::vector<std::thread> leaders;
+  for (int t = 0; t < 3; ++t) {
+    leaders.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<long> local{0};
+        pool.run_team(64, 4, [&](std::size_t begin, std::size_t end) {
+          long s = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            s += static_cast<long>(i);
+          }
+          local.fetch_add(s);
+        });
+        EXPECT_EQ(local.load(), 64L * 63L / 2L);
+        grand.fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& l : leaders) l.join();
+  EXPECT_EQ(grand.load(), 3L * 20L * (64L * 63L / 2L));
+}
+
 TEST(Table, RejectsMismatchedRow) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
