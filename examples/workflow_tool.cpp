@@ -53,8 +53,9 @@ int usage() {
       "      [--threads=N] [--queue-cap=N] [--out=FILE.jsonl] [--check]\n"
       "      [--trace-out=FILE] [--counters-out=FILE]\n"
       "  workflow_tool online FILE [--fail=proc@frac ...] [--validate]\n"
+      "      [--legacy]\n"
       "  workflow_tool stream FILE [FILE ...] [--arrivals=t1,t2,...]\n"
-      "      [--policy=pv|fifo] [--validate]\n";
+      "      [--policy=pv|fifo] [--validate] [--legacy]\n";
   return 2;
 }
 
@@ -368,7 +369,12 @@ int main(int argc, char** argv) {
       for (const std::string& spec : cli.get_all("fail")) {
         fails.push_back(parse_fail_spec(spec, clean));
       }
-      const core::OnlineResult r = core::run_online(w, fails);
+      // --legacy runs the reference implementation instead of the compiled
+      // path (they are bit-identical; the flag exists for differential
+      // smokes and triage).
+      const core::OnlineResult r =
+          cli.get_bool("legacy", false) ? core::run_online_legacy(w, fails)
+                                        : core::run_online(w, fails);
       std::cout << "clean makespan  = " << clean
                 << "\nonline makespan = " << r.makespan
                 << "\ncompleted       = " << (r.completed ? "yes" : "no")
@@ -410,7 +416,10 @@ int main(int argc, char** argv) {
         throw InvalidArgument("--policy expects pv or fifo, got '" + policy +
                               "'");
       }
-      const core::StreamResult r = core::run_stream(arrivals, stream_options);
+      const core::StreamResult r =
+          cli.get_bool("legacy", false)
+              ? core::run_stream_legacy(arrivals, stream_options)
+              : core::run_stream(arrivals, stream_options);
       util::Table table({"workflow", "arrival", "finish", "flow time"});
       for (std::size_t w = 0; w < arrivals.size(); ++w) {
         table.add_row({cli.positional()[w + 1],

@@ -14,6 +14,13 @@
 # stay within HDLTS_NULL_SINK_FACTOR (default 1.02) of the committed
 # baseline, and the recording-sink overhead is reported alongside.
 #
+# bench/micro_dynamic (compiled vs legacy online/stream rescheduling) writes
+# BENCH_dynamic.json: the compiled dynamic paths must stay allocation-free in
+# steady state and the online path must hold >= HDLTS_MIN_DYNAMIC_SPEEDUP
+# (default 3.0) per dynamic decision over the legacy per-phase-rebuild
+# implementation — this bar binds in smoke mode too, because the advantage is
+# algorithmic rather than size-dependent.
+#
 # Also runs bench/micro_batch (svc::BatchEngine throughput scaling) and diffs
 # BENCH_batch.json: per-thread-count req/s cells against the regression
 # factor, plus the >=HDLTS_BATCH_SPEEDUP_MIN (default 3.0) scaling bar —
@@ -37,6 +44,8 @@
 #   HDLTS_MIN_INCREMENTAL_SPEEDUP   hdlts-vs-reference bar      (default 5.0)
 #   HDLTS_MIN_LAYOUT_SPEEDUP        compiled-vs-legacy bar      (default 1.05)
 #   HDLTS_BATCH_SPEEDUP_MIN         batch hi-vs-1-thread bar    (default 3.0)
+#   HDLTS_MIN_DYNAMIC_SPEEDUP       online compiled-vs-legacy
+#                                   ns/decision bar             (default 3.0)
 #
 # Tier-1 (`ctest`) is untouched: this script uses its own build directory.
 set -euo pipefail
@@ -50,6 +59,8 @@ LAYOUT_BASELINE=bench/BENCH_layout.json
 LAYOUT_FRESH="${BUILD_DIR}/BENCH_layout.json"
 BATCH_BASELINE=bench/BENCH_batch.json
 BATCH_FRESH="${BUILD_DIR}/BENCH_batch.json"
+DYNAMIC_BASELINE=bench/BENCH_dynamic.json
+DYNAMIC_FRESH="${BUILD_DIR}/BENCH_dynamic.json"
 
 if [[ "${MODE}" == "--smoke" ]]; then
   # Reduced effort, same cell shapes. Each default below still honours an
@@ -61,6 +72,12 @@ if [[ "${MODE}" == "--smoke" ]]; then
   export HDLTS_BATCH_REQUESTS="${HDLTS_BATCH_REQUESTS:-24}"
   export HDLTS_BATCH_REPS="${HDLTS_BATCH_REPS:-2}"
   export HDLTS_BENCH_MIN_TIME="${HDLTS_BENCH_MIN_TIME:-0.01}"
+  # Smoke-sized dynamic cells: same two rows (the diff needs the shapes),
+  # smaller graphs. The >=3x per-decision gate still binds — the compiled
+  # advantage is algorithmic (no per-phase rebuild), not size-dependent.
+  export HDLTS_DYNAMIC_TASKS="${HDLTS_DYNAMIC_TASKS:-400}"
+  export HDLTS_DYNAMIC_STREAM_TASKS="${HDLTS_DYNAMIC_STREAM_TASKS:-120}"
+  export HDLTS_DYNAMIC_REPS="${HDLTS_DYNAMIC_REPS:-3}"
   FACTOR="${HDLTS_BENCH_REGRESSION_FACTOR:-25.0}"
   NULL_SINK_FACTOR="${HDLTS_NULL_SINK_FACTOR:-5.0}"
   MIN_INCREMENTAL="${HDLTS_MIN_INCREMENTAL_SPEEDUP:-3.0}"
@@ -74,12 +91,14 @@ else
 fi
 MIN_LAYOUT="${HDLTS_MIN_LAYOUT_SPEEDUP:-1.05}"
 BATCH_SPEEDUP_MIN="${HDLTS_BATCH_SPEEDUP_MIN:-3.0}"
+MIN_DYNAMIC="${HDLTS_MIN_DYNAMIC_SPEEDUP:-3.0}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
 cmake --build "${BUILD_DIR}" -j \
-  --target micro_scale micro_layout micro_schedulers micro_batch >/dev/null
+  --target micro_scale micro_layout micro_schedulers micro_batch \
+  micro_dynamic >/dev/null
 
 echo "== running bench/micro_scale (this builds the perf trajectory) =="
 (cd "${BUILD_DIR}" && HDLTS_SCALE_JSON=BENCH_sched_scale.json \
@@ -117,6 +136,11 @@ echo "== running bench/micro_batch (svc::BatchEngine throughput scaling) =="
 (cd "${BUILD_DIR}" && HDLTS_BATCH_JSON=BENCH_batch.json ./bench/micro_batch)
 
 echo
+echo "== running bench/micro_dynamic (compiled vs legacy online/stream) =="
+(cd "${BUILD_DIR}" && HDLTS_DYNAMIC_JSON=BENCH_dynamic.json \
+  ./bench/micro_dynamic)
+
+echo
 echo "== running bench/micro_schedulers (google-benchmark sweep) =="
 (cd "${BUILD_DIR}" && ./bench/micro_schedulers \
   --benchmark_min_time="${HDLTS_BENCH_MIN_TIME:-0.05}")
@@ -125,12 +149,14 @@ if [[ "${MODE}" == "--update" ]]; then
   cp "${FRESH}" "${BASELINE}"
   cp "${LAYOUT_FRESH}" "${LAYOUT_BASELINE}"
   cp "${BATCH_FRESH}" "${BATCH_BASELINE}"
-  echo "baselines updated: ${BASELINE}, ${LAYOUT_BASELINE}, ${BATCH_BASELINE}"
+  cp "${DYNAMIC_FRESH}" "${DYNAMIC_BASELINE}"
+  echo "baselines updated: ${BASELINE}, ${LAYOUT_BASELINE}," \
+       "${BATCH_BASELINE}, ${DYNAMIC_BASELINE}"
   exit 0
 fi
 
 if [[ ! -f "${BASELINE}" || ! -f "${LAYOUT_BASELINE}" \
-      || ! -f "${BATCH_BASELINE}" ]]; then
+      || ! -f "${BATCH_BASELINE}" || ! -f "${DYNAMIC_BASELINE}" ]]; then
   echo "no committed baselines in bench/; run scripts/bench.sh --update"
   exit 1
 fi
@@ -323,4 +349,53 @@ else:
 
 sys.exit(1 if failed else 0)
 EOF
+python3 - "$DYNAMIC_BASELINE" "$DYNAMIC_FRESH" "$FACTOR" "$MIN_DYNAMIC" <<'PYEOF'
+import json, sys
+
+baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+min_dynamic = float(sys.argv[4])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def cells(doc):
+    return {r["path"]: r for r in doc["rows"]}
+
+base_cells, fresh_cells = cells(baseline), cells(fresh)
+failed = False
+
+missing = sorted(set(base_cells) - set(fresh_cells))
+if missing:
+    print(f"FAIL: dynamic cells missing vs baseline: {missing}")
+    failed = True
+
+for name, row in sorted(fresh_cells.items()):
+    if row["compiled_steady_allocs"] != 0:
+        print(f"FAIL: dynamic {name} compiled path allocates in steady "
+              f"state ({row['compiled_steady_allocs']} allocs/call; "
+              f"contract is 0)")
+        failed = True
+    if name in base_cells:
+        ratio = row["compiled_ms"] / base_cells[name]["compiled_ms"]
+        # Smoke runs use smaller graphs, so only flag wall-clock regressions
+        # when the cell shape (tasks) matches the committed baseline.
+        if row.get("tasks") == base_cells[name].get("tasks") and ratio > factor:
+            print(f"FAIL: dynamic {name} compiled_ms regressed {ratio:.2f}x "
+                  f"vs baseline ({base_cells[name]['compiled_ms']:.2f} ms -> "
+                  f"{row['compiled_ms']:.2f} ms)")
+            failed = True
+
+speedup = fresh.get("online_dynamic_speedup", 0.0)
+if speedup < min_dynamic:
+    print(f"FAIL: online dynamic speedup {speedup:.2f}x < "
+          f"{min_dynamic:.1f}x acceptance bar (ns/decision, compiled vs "
+          f"legacy)")
+    failed = True
+else:
+    print(f"ok: online dynamic speedup {speedup:.2f}x (baseline "
+          f"{baseline.get('online_dynamic_speedup', float('nan')):.2f}x), "
+          f"stream {fresh.get('stream_dynamic_speedup', 0.0):.2f}x, "
+          f"compiled steady-state allocs all 0")
+
+sys.exit(1 if failed else 0)
+PYEOF
 echo "== bench diff ok =="

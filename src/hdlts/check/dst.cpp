@@ -93,11 +93,87 @@ sim::Workload induced_prefix(const sim::Workload& w,
   return {std::move(g), std::move(costs), w.platform};
 }
 
+/// Appends a violation for the first field where the compiled online result
+/// diverges from the legacy reference (exact ==, no tolerance).
+void diff_online(const core::OnlineResult& compiled,
+                 const core::OnlineResult& legacy,
+                 std::vector<std::string>* out) {
+  if (compiled.completed != legacy.completed) {
+    out->push_back("compiled/legacy divergence: completed flag");
+    return;
+  }
+  if (compiled.makespan != legacy.makespan) {
+    out->push_back("compiled/legacy divergence: makespan " +
+                   std::to_string(compiled.makespan) + " vs " +
+                   std::to_string(legacy.makespan));
+    return;
+  }
+  if (compiled.lost_executions != legacy.lost_executions) {
+    out->push_back("compiled/legacy divergence: lost_executions " +
+                   std::to_string(compiled.lost_executions) + " vs " +
+                   std::to_string(legacy.lost_executions));
+    return;
+  }
+  if (compiled.executions.size() != legacy.executions.size()) {
+    out->push_back("compiled/legacy divergence: execution count " +
+                   std::to_string(compiled.executions.size()) + " vs " +
+                   std::to_string(legacy.executions.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < compiled.executions.size(); ++i) {
+    const core::OnlineExec& a = compiled.executions[i];
+    const core::OnlineExec& b = legacy.executions[i];
+    if (a.task != b.task || a.proc != b.proc || a.start != b.start ||
+        a.finish != b.finish || a.duplicate != b.duplicate ||
+        a.lost != b.lost) {
+      out->push_back("compiled/legacy divergence: execution #" +
+                     std::to_string(i) + " (task " + std::to_string(a.task) +
+                     " vs " + std::to_string(b.task) + ")");
+      return;
+    }
+  }
+}
+
+/// Same for the stream scheduler.
+void diff_stream(const core::StreamResult& compiled,
+                 const core::StreamResult& legacy,
+                 std::vector<std::string>* out) {
+  if (compiled.makespan != legacy.makespan) {
+    out->push_back("compiled/legacy stream divergence: makespan " +
+                   std::to_string(compiled.makespan) + " vs " +
+                   std::to_string(legacy.makespan));
+    return;
+  }
+  if (compiled.finish != legacy.finish ||
+      compiled.flow_time != legacy.flow_time) {
+    out->push_back("compiled/legacy stream divergence: per-workflow times");
+    return;
+  }
+  if (compiled.executions.size() != legacy.executions.size()) {
+    out->push_back("compiled/legacy stream divergence: execution count " +
+                   std::to_string(compiled.executions.size()) + " vs " +
+                   std::to_string(legacy.executions.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < compiled.executions.size(); ++i) {
+    const core::StreamTaskExec& a = compiled.executions[i];
+    const core::StreamTaskExec& b = legacy.executions[i];
+    if (a.workflow != b.workflow || a.task != b.task || a.proc != b.proc ||
+        a.start != b.start || a.finish != b.finish) {
+      out->push_back("compiled/legacy stream divergence: execution #" +
+                     std::to_string(i));
+      return;
+    }
+  }
+}
+
 /// Runs one online scenario and returns every complaint, including the
-/// plan's forced-outcome check.
+/// plan's forced-outcome check and (optionally) the compiled-vs-legacy
+/// differential.
 std::vector<std::string> run_and_validate(
     const sim::Workload& workload, const std::vector<core::ProcFailure>& plan,
-    PlanExpectation expect, const core::HdltsOptions& options) {
+    PlanExpectation expect, const core::HdltsOptions& options,
+    bool compare_legacy) {
   const core::OnlineResult result = core::run_online(workload, plan, options);
   const OnlineValidator validator(options);
   std::vector<std::string> violations =
@@ -109,6 +185,11 @@ std::vector<std::string> run_and_validate(
   if (expect == PlanExpectation::kMustFail && result.completed) {
     violations.push_back(
         "every processor fails at t = 0 but the run completed");
+  }
+  if (compare_legacy) {
+    const core::OnlineResult reference =
+        core::run_online_legacy(workload, plan, options);
+    diff_online(result, reference, &violations);
   }
   return violations;
 }
@@ -130,7 +211,7 @@ std::string minimize(const sim::Workload& workload,
                      std::vector<core::ProcFailure> plan,
                      PlanExpectation expect,
                      const core::HdltsOptions& options, std::uint64_t seed,
-                     const std::string& family) {
+                     const std::string& family, bool compare_legacy) {
   // Dropping a failure can change the forced outcome (e.g. removing one of
   // the all-die-at-zero entries may allow completion), so the minimizer
   // only chases *validator* complaints once it starts mutating: a scenario
@@ -139,7 +220,7 @@ std::string minimize(const sim::Workload& workload,
   auto fails = [&](const sim::Workload& w,
                    const std::vector<core::ProcFailure>& p,
                    PlanExpectation e) {
-    return !run_and_validate(w, p, e, options).empty();
+    return !run_and_validate(w, p, e, options, compare_legacy).empty();
   };
 
   for (std::size_t i = 0; i < plan.size();) {
@@ -173,7 +254,8 @@ std::string minimize(const sim::Workload& workload,
     }
   }
 
-  const auto violations = run_and_validate(best, plan, expect_now, options);
+  const auto violations =
+      run_and_validate(best, plan, expect_now, options, compare_legacy);
   std::string repro = "seed=" + std::to_string(seed) + " family=" + family +
                       " tasks=" + std::to_string(best_m) + "/" +
                       std::to_string(topo.size()) +
@@ -209,8 +291,9 @@ DstReport run_dst(const DstOptions& options) {
       for (const FaultPlan& plan :
            make_fault_plans(num_procs, clean_makespan, seed)) {
         ++report.online_runs;
-        auto violations =
-            run_and_validate(workload, plan.failures, plan.expectation, hdlts);
+        auto violations = run_and_validate(workload, plan.failures,
+                                           plan.expectation, hdlts,
+                                           options.compare_legacy);
         if (violations.empty()) continue;
         DstCounterexample cx;
         cx.seed = seed;
@@ -220,7 +303,7 @@ DstReport run_dst(const DstOptions& options) {
         cx.reproducer =
             options.minimize
                 ? minimize(workload, plan.failures, plan.expectation, hdlts,
-                           seed, kFamilies[family])
+                           seed, kFamilies[family], options.compare_legacy)
                 : "seed=" + std::to_string(seed) + " family=" +
                       kFamilies[family] +
                       " failures=" + describe_plan(plan.failures);
@@ -244,6 +327,11 @@ DstReport run_dst(const DstOptions& options) {
         const core::StreamResult sres = core::run_stream(arrivals, sopt);
         const StreamValidator svalidator(sopt);
         auto violations = svalidator.validate(arrivals, sres);
+        if (options.compare_legacy) {
+          const core::StreamResult sref =
+              core::run_stream_legacy(arrivals, sopt);
+          diff_stream(sres, sref, &violations);
+        }
         if (violations.empty()) continue;
         DstCounterexample cx;
         cx.seed = seed;

@@ -24,6 +24,10 @@ struct DstOptions {
   bool include_stream = true;
   /// Shrink counterexamples before reporting (drop failures, bisect tasks).
   bool minimize = true;
+  /// Replay every cell through the legacy reference schedulers and require
+  /// the compiled results to be bit-identical (executions, makespan, lost
+  /// counts). Doubles the sweep cost; divergence is reported as a violation.
+  bool compare_legacy = true;
 };
 
 struct DstCounterexample {

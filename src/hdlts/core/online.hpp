@@ -19,12 +19,25 @@
 // ever overlaps its processor's failure time. With no failures the result is
 // bit-identical to the static schedule (enforced by check::OnlineValidator
 // and the test suite).
+//
+// Two implementations produce bit-identical results (tests/dst_test.cpp,
+// tests/online_test.cpp):
+//   * the compiled path (OnlineHdlts, the default behind run_online) runs
+//     every phase against the workload's frozen sim::CompiledProblem with
+//     alive-processor column masking, arena-backed SoA ready/EFT rows,
+//     incremental dirty-column EFT refresh, and simd::active() kernels —
+//     after warm-up a run performs zero heap allocations (run_into);
+//   * the legacy path (run_online_legacy) rebuilds a sim::Problem per phase
+//     and recomputes every ITQ row per round — the reference the compiled
+//     path is differential-tested against.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/schedule.hpp"
+#include "hdlts/util/arena.hpp"
 
 namespace hdlts::obs {
 class DecisionTrace;
@@ -55,15 +68,67 @@ struct OnlineResult {
   std::size_t lost_executions = 0;
 };
 
+/// Reusable online scheduler. Owns the scratch arena, the recycled Schedule,
+/// and the committed/fresh execution buffers, so repeated runs over the same
+/// problem shape reach a zero-heap-allocation steady state on the compiled
+/// path (tests/alloc_test.cpp: OnlineCompiledSteadyState).
+class OnlineHdlts {
+ public:
+  explicit OnlineHdlts(HdltsOptions options = {}) : options_(options) {}
+
+  const HdltsOptions& options() const { return options_; }
+
+  /// Compiled (default) vs legacy reference path; mirrors
+  /// sched::Scheduler::set_use_compiled. The legacy path delegates to
+  /// run_online_legacy and allocates freely.
+  bool use_compiled() const { return use_compiled_; }
+  void set_use_compiled(bool use) { use_compiled_ = use; }
+
+  /// Runs the workflow under the fault plan. Validates (and on the compiled
+  /// path freezes) the workload internally.
+  OnlineResult run(const sim::Workload& workload,
+                   std::span<const ProcFailure> failures,
+                   obs::DecisionTrace* sink = nullptr);
+
+  /// Compiled-path entry point over an already-frozen problem: with a warm
+  /// arena and a recycled `out`, a steady-state call performs no heap
+  /// allocation. With use_compiled() off this falls back to the legacy path
+  /// (copying the workload; reference/negative-control only).
+  void run_into(const sim::Problem& problem,
+                std::span<const ProcFailure> failures, OnlineResult& out,
+                obs::DecisionTrace* sink = nullptr);
+
+ private:
+  void run_compiled(const sim::Problem& problem,
+                    std::span<const ProcFailure> failures, OnlineResult& out,
+                    obs::DecisionTrace* sink);
+
+  HdltsOptions options_;
+  bool use_compiled_ = true;
+  util::ScratchArena arena_;
+  sim::Schedule schedule_{0, 1};
+  std::vector<OnlineExec> committed_;  // finished or unstoppable executions
+  std::vector<OnlineExec> fresh_;      // current phase's tentative executions
+};
+
 /// Runs the workflow to completion under the given failures (which must not
 /// kill every processor if completion is expected). Failures are applied in
 /// time order; duplicate failures of the same processor are ignored.
 /// `sink` (optional) receives the run as structured events: begin, a note
 /// per phase start / applied failure / lost execution, every surviving
 /// execution as a placement, and an end event with the online makespan.
+/// Compiled fast path; bit-identical to run_online_legacy.
 OnlineResult run_online(const sim::Workload& workload,
                         std::span<const ProcFailure> failures,
                         const HdltsOptions& options = {},
                         obs::DecisionTrace* sink = nullptr);
+
+/// Reference implementation: rebuilds the problem every phase and recomputes
+/// every EFT row per round. Kept as the differential-testing oracle for the
+/// compiled path (and as the allocation negative control).
+OnlineResult run_online_legacy(const sim::Workload& workload,
+                               std::span<const ProcFailure> failures,
+                               const HdltsOptions& options = {},
+                               obs::DecisionTrace* sink = nullptr);
 
 }  // namespace hdlts::core

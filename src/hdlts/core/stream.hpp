@@ -9,18 +9,37 @@
 // arrives its source tasks join the ITQ and priorities are recomputed.
 // Assignments are non-preemptive and never revoked (contrast with the
 // failure path in hdlts/core/online.hpp, which does revoke).
+//
+// Two implementations produce bit-identical results (tests/stream_test.cpp,
+// tests/dst_test.cpp):
+//   * the compiled path (StreamHdlts, the default behind run_stream) merges
+//     the arrivals once into a combined CSR sim::CompiledProblem (the
+//     combiner reserves exact task/edge counts) and schedules with
+//     arena-backed SoA ready/EFT rows, incremental dirty-column refresh,
+//     and simd::active() kernels; once frozen, repeated run_into() calls
+//     perform zero heap allocations;
+//   * the legacy path (run_stream_legacy) recomputes every ITQ row per
+//     round — the reference the compiled path is tested against.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "hdlts/core/hdlts.hpp"
+#include "hdlts/sim/schedule.hpp"
+#include "hdlts/util/arena.hpp"
 
 namespace hdlts::obs {
 class DecisionTrace;
 }
 
 namespace hdlts::core {
+
+namespace detail {
+struct FrozenStream;  // the merged combined-id-space workload (stream.cpp)
+}
 
 /// One workflow in the stream. Workloads must all target a platform with
 /// the same processor count; the stream runs on the platform of the first
@@ -59,14 +78,66 @@ struct StreamOptions {
   PvKind pv = PvKind::kSampleStddev;
 };
 
+/// Reusable stream scheduler. compile() freezes an arrival set into one
+/// combined CSR problem (this step allocates); run_into() then schedules
+/// the frozen stream with arena-backed state — with a warm arena and a
+/// recycled result, a steady-state call performs zero heap allocations
+/// (tests/alloc_test.cpp: StreamCompiledSteadyState).
+class StreamHdlts {
+ public:
+  explicit StreamHdlts(StreamOptions options = {});
+  ~StreamHdlts();
+  StreamHdlts(StreamHdlts&&) noexcept;
+  StreamHdlts& operator=(StreamHdlts&&) noexcept;
+
+  const StreamOptions& options() const { return options_; }
+
+  /// Compiled (default) vs legacy reference path; only affects run() —
+  /// run_into() always schedules the frozen compiled problem.
+  bool use_compiled() const { return use_compiled_; }
+  void set_use_compiled(bool use) { use_compiled_ = use; }
+
+  /// Validates the arrivals and freezes them into the combined problem.
+  /// Throws InvalidArgument exactly where run_stream would.
+  void compile(std::span<const StreamArrival> arrivals);
+  bool compiled() const { return problem_.has_value(); }
+  /// The frozen combined workload (requires compiled()).
+  const sim::Workload& combined() const;
+
+  /// Schedules the frozen stream (requires compiled()). Zero-allocation in
+  /// steady state with a null sink.
+  void run_into(StreamResult& out, obs::DecisionTrace* sink = nullptr);
+
+  /// compile() + run_into() (or the legacy reference when use_compiled()
+  /// is off).
+  StreamResult run(std::span<const StreamArrival> arrivals,
+                   obs::DecisionTrace* sink = nullptr);
+
+ private:
+  StreamOptions options_;
+  bool use_compiled_ = true;
+  std::unique_ptr<detail::FrozenStream> frozen_;
+  std::optional<sim::Problem> problem_;
+  util::ScratchArena arena_;
+  sim::Schedule schedule_{0, 1};
+};
+
 /// Runs the stream to completion. Throws InvalidArgument on inconsistent
 /// processor counts or an empty stream. `sink` (optional) receives a note
 /// per workflow arrival, every execution as a placement (in the combined id
 /// space), and an end event with the stream makespan; exported through
 /// obs::write_chrome_trace this reconstructs the per-processor lanes even
-/// though no sim::Schedule is returned.
+/// though no sim::Schedule is returned. Compiled fast path; bit-identical
+/// to run_stream_legacy.
 StreamResult run_stream(std::span<const StreamArrival> arrivals,
                         const StreamOptions& options = {},
                         obs::DecisionTrace* sink = nullptr);
+
+/// Reference implementation: recomputes every EFT row and PV per round.
+/// Kept as the differential-testing oracle for the compiled path (and as
+/// the allocation negative control).
+StreamResult run_stream_legacy(std::span<const StreamArrival> arrivals,
+                               const StreamOptions& options = {},
+                               obs::DecisionTrace* sink = nullptr);
 
 }  // namespace hdlts::core

@@ -37,6 +37,13 @@ struct BatchEngine::Worker {
 
   std::size_t index = 0;         // this worker's shard
   BatchRequest request;          // pop target; strings keep their capacity
+  /// Dynamic-request state: the compiled online scheduler owns its arena /
+  /// recycled Schedule / committed buffers, and the result is a recycled
+  /// buffer too, so steady-state kOnline requests allocate nothing
+  /// (tests/alloc_test.cpp::BatchEngineOnlineSteadyState).
+  core::OnlineHdlts online;
+  core::OnlineResult online_result;
+  obs::Histogram* online_latency = nullptr;
   /// Steal transfer buffer (sized up front to the worst-case half-queue):
   /// stolen requests are copied here under the victim's lock, then moved on
   /// without ever holding two shard locks. Slots recycle their capacity the
@@ -145,7 +152,12 @@ void check_request(const BatchRequest& request) {
     throw InvalidArgument(
         "BatchRequest needs exactly one of problem/generator");
   }
-  if (request.schedulers.empty()) {
+  if (request.job == BatchJob::kOnline) {
+    if (!request.schedulers.empty()) {
+      throw InvalidArgument(
+          "kOnline BatchRequest must leave schedulers empty");
+    }
+  } else if (request.schedulers.empty()) {
     throw InvalidArgument("BatchRequest needs >= 1 scheduler name");
   }
 }
@@ -383,6 +395,16 @@ void BatchEngine::process(Worker& worker, const BatchRequest& request) {
       problem = &*worker.problem;
     } catch (const std::exception& e) {
       worker.error = e.what();
+      if (request.job == BatchJob::kOnline) {
+        BatchResult result;
+        result.id = request.id;
+        result.seed = request.seed;
+        result.scheduler = "hdlts-online";
+        result.error = worker.error;
+        note_sched_failure();
+        on_result_(result);
+        return;
+      }
       for (std::size_t i = 0; i < request.schedulers.size(); ++i) {
         BatchResult result;
         result.id = request.id;
@@ -395,6 +417,38 @@ void BatchEngine::process(Worker& worker, const BatchRequest& request) {
       }
       return;
     }
+  }
+
+  if (request.job == BatchJob::kOnline) {
+    // Dynamic request: one compiled failure-injection run, one result. The
+    // worker's OnlineHdlts and OnlineResult are recycled across requests, so
+    // the steady state allocates nothing (the request's fault-plan vector
+    // already lives in the recycled ring slot).
+    BatchResult result;
+    result.id = request.id;
+    result.seed = request.seed;
+    result.scheduler = "hdlts-online";
+    result.problem = problem;
+    try {
+      if (worker.online_latency == nullptr) {
+        worker.online_latency = &obs::MetricRegistry::global().histogram(
+            "svc.batch.latency_ms.hdlts-online", kLatencyBoundsMs);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      worker.online.run_into(*problem, request.failures,
+                             worker.online_result);
+      const auto t1 = std::chrono::steady_clock::now();
+      worker.online_latency->observe(elapsed_ms(t0, t1));
+      result.ok = true;
+      result.makespan = worker.online_result.makespan;
+      result.online = &worker.online_result;
+    } catch (const std::exception& e) {
+      worker.error = e.what();
+      result.error = worker.error;
+      note_sched_failure();
+    }
+    on_result_(result);
+    return;
   }
 
   for (std::size_t i = 0; i < request.schedulers.size(); ++i) {

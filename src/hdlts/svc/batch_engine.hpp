@@ -47,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hdlts/core/online.hpp"
 #include "hdlts/sched/registry.hpp"
 #include "hdlts/sim/problem.hpp"
 #include "hdlts/sim/schedule.hpp"
@@ -62,8 +63,16 @@ namespace hdlts::svc {
 /// metrics::WorkloadFactory, so experiment factories plug in directly).
 using WorkloadFn = std::function<sim::Workload(std::uint64_t seed)>;
 
+/// What a request asks the worker to run.
+enum class BatchJob {
+  kStatic,  ///< each named scheduler once over the problem (the default)
+  kOnline,  ///< the compiled dynamic scheduler (core::OnlineHdlts) under the
+            ///< request's fault plan; delivers a single "hdlts-online" result
+};
+
 /// One unit of work: a problem (given directly, or generated on the worker
-/// from `generator` + `seed`) scheduled by each named algorithm in turn.
+/// from `generator` + `seed`), either scheduled by each named algorithm in
+/// turn (kStatic) or run through the failure-injection path (kOnline).
 /// Exactly one of `problem` / `generator` must be set; both are non-owning
 /// and must outlive the request's completion.
 struct BatchRequest {
@@ -75,8 +84,13 @@ struct BatchRequest {
   /// Passed to `generator` when set; echoed into the result either way
   /// (workload provenance for JSONL outputs).
   std::uint64_t seed = 0;
-  /// Registry names, run in order; one result per entry.
+  /// Registry names, run in order; one result per entry. kStatic only (must
+  /// be empty for kOnline jobs, which always run the HDLTS online path).
   std::vector<std::string> schedulers;
+  BatchJob job = BatchJob::kStatic;
+  /// Fault plan for kOnline jobs (by value: ring slots recycle the vector's
+  /// capacity the same way they recycle the scheduler-name strings).
+  std::vector<core::ProcFailure> failures;
 };
 
 /// Delivered to the result callback once per (request, scheduler), on the
@@ -94,8 +108,12 @@ struct BatchResult {
   double makespan = 0.0;
   /// Null when the request carried a generator that failed.
   const sim::Problem* problem = nullptr;
-  /// Null when !ok.
+  /// Null when !ok or for kOnline jobs.
   const sim::Schedule* schedule = nullptr;
+  /// kOnline jobs only: the dynamic run (the worker's recycled buffer, valid
+  /// only for the duration of the callback). ok stays true even when the
+  /// fault plan killed every processor — inspect online->completed.
+  const core::OnlineResult* online = nullptr;
 };
 
 /// Must be thread-safe: workers invoke it concurrently.

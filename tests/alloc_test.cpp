@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "hdlts/core/hdlts.hpp"
+#include "hdlts/core/online.hpp"
+#include "hdlts/core/stream.hpp"
 #include "hdlts/sched/registry.hpp"
 #include "hdlts/svc/batch_engine.hpp"
 #include "hdlts/util/thread_pool.hpp"
@@ -158,6 +160,118 @@ TEST(ZeroAlloc, BatchEngineSteadyState) {
   EXPECT_EQ(after.allocations - before.allocations, 0u);
   EXPECT_EQ(after.frees - before.frees, 0u);
   EXPECT_GT(makespans[0], 0.0);
+}
+
+TEST(ZeroAlloc, BatchEngineOnlineSteadyState) {
+  // Dynamic requests through the service layer: once the worker's
+  // OnlineHdlts arena/Schedule/result buffers and the ring slots (including
+  // the fault-plan vector) are warm, a kOnline request costs zero heap
+  // allocations end to end.
+  const sim::Workload w = make_workload(200, 6, 29);
+  const sim::Problem problem(w);
+  const sched::Registry registry = sched::baseline_registry();
+  std::vector<double> makespans(1, 0.0);
+  svc::BatchEngineOptions options;
+  options.threads = 1;
+  options.queue_capacity = 4;
+  svc::BatchEngine engine(
+      registry,
+      [&](const svc::BatchResult& r) { makespans[0] = r.makespan; }, options);
+
+  svc::BatchRequest request;
+  request.problem = &problem;
+  request.job = svc::BatchJob::kOnline;
+  request.failures = {{1, 15.0}, {4, 40.0}};
+  for (std::size_t i = 0; i < 2 * options.queue_capacity + 2; ++i) {
+    request.id = i;
+    ASSERT_TRUE(engine.submit(request));
+    engine.wait_idle();
+  }
+
+  const auto before = tests::alloc_counters();
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.submit(request));
+    engine.wait_idle();
+  }
+  const auto after = tests::alloc_counters();
+  EXPECT_EQ(after.allocations - before.allocations, 0u);
+  EXPECT_EQ(after.frees - before.frees, 0u);
+  EXPECT_GT(makespans[0], 0.0);
+}
+
+TEST(ZeroAlloc, OnlineCompiledSteadyState) {
+  // The dynamic-path contract: with a warm arena, a recycled Schedule, and
+  // recycled result/committed buffers, a steady-state OnlineHdlts::run_into
+  // costs zero heap allocations — including the failure phases (kill /
+  // revoke / re-queue all happen in arena spans and capacity-stable
+  // vectors).
+  const sim::Workload w = make_workload(300, 8, 19);
+  const sim::Problem problem(w);
+  const std::vector<core::ProcFailure> failures{{1, 25.0}, {5, 60.0}};
+  core::OnlineHdlts scheduler;
+  ASSERT_TRUE(scheduler.use_compiled());
+  core::OnlineResult out;
+  for (int i = 0; i < 2; ++i) {
+    scheduler.run_into(problem, failures, out);
+  }
+  ASSERT_TRUE(out.completed);
+  const auto before = tests::alloc_counters();
+  scheduler.run_into(problem, failures, out);
+  const auto after = tests::alloc_counters();
+  EXPECT_EQ(after.allocations - before.allocations, 0u);
+  EXPECT_EQ(after.frees - before.frees, 0u);
+  EXPECT_GT(out.makespan, 0.0);
+}
+
+TEST(ZeroAlloc, StreamCompiledSteadyState) {
+  // compile() freezes the arrivals once (that step allocates); from the
+  // third run_into on, scheduling the frozen stream is allocation-free for
+  // both ITQ policies.
+  std::vector<core::StreamArrival> arrivals;
+  arrivals.push_back({make_workload(120, 6, 23), 0.0});
+  arrivals.push_back({make_workload(120, 6, 24), 30.0});
+  arrivals.push_back({make_workload(120, 6, 25), 70.0});
+  for (const core::StreamPolicy policy :
+       {core::StreamPolicy::kHdltsPv, core::StreamPolicy::kFifoEft}) {
+    core::StreamOptions options;
+    options.policy = policy;
+    core::StreamHdlts scheduler(options);
+    scheduler.compile(arrivals);
+    core::StreamResult out;
+    for (int i = 0; i < 2; ++i) {
+      scheduler.run_into(out);
+    }
+    const auto before = tests::alloc_counters();
+    scheduler.run_into(out);
+    const auto after = tests::alloc_counters();
+    EXPECT_EQ(after.allocations - before.allocations, 0u)
+        << (policy == core::StreamPolicy::kHdltsPv ? "pv" : "fifo");
+    EXPECT_EQ(after.frees - before.frees, 0u);
+    EXPECT_GT(out.makespan, 0.0);
+  }
+}
+
+TEST(ZeroAlloc, OnlineLegacyPathStillAllocates) {
+  // Negative control for the dynamic measurement: the legacy online path
+  // rebuilds a sim::Problem per phase and per-round vectors every call.
+  const sim::Workload w = make_workload(300, 8, 19);
+  const std::vector<core::ProcFailure> failures{{1, 25.0}};
+  (void)core::run_online_legacy(w, failures);  // warm allocator caches
+  const auto before = tests::alloc_counters();
+  (void)core::run_online_legacy(w, failures);
+  const auto after = tests::alloc_counters();
+  EXPECT_GT(after.allocations - before.allocations, 0u);
+}
+
+TEST(ZeroAlloc, StreamLegacyPathStillAllocates) {
+  std::vector<core::StreamArrival> arrivals;
+  arrivals.push_back({make_workload(120, 6, 23), 0.0});
+  arrivals.push_back({make_workload(120, 6, 24), 30.0});
+  (void)core::run_stream_legacy(arrivals);  // warm allocator caches
+  const auto before = tests::alloc_counters();
+  (void)core::run_stream_legacy(arrivals);
+  const auto after = tests::alloc_counters();
+  EXPECT_GT(after.allocations - before.allocations, 0u);
 }
 
 TEST(ZeroAlloc, LegacyPathStillAllocates) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hdlts/core/hdlts.hpp"
+#include "hdlts/core/online.hpp"
 #include "hdlts/obs/metrics.hpp"
 #include "hdlts/util/env.hpp"
 #include "hdlts/util/rng.hpp"
@@ -422,6 +423,69 @@ TEST(BatchEngine, UnknownSchedulerFailsThatResultOnly) {
   EXPECT_FALSE(collector.entries.at({7, 1}).ok);
   EXPECT_FALSE(collector.entries.at({7, 1}).error.empty());
   EXPECT_TRUE(collector.entries.at({7, 2}).ok);
+}
+
+TEST(BatchEngine, OnlineJobsMatchDirectRuns) {
+  // A kOnline request must deliver exactly the result core::run_online
+  // produces for the same (problem, fault plan), regardless of which worker
+  // picks it up or how warm that worker's recycled online state is.
+  const sim::Workload w = make_workload(40, 4, 5);
+  const sim::Problem problem(w);
+  const std::vector<std::vector<core::ProcFailure>> plans = {
+      {},
+      {{1, 10.0}},
+      {{0, 5.0}, {2, 20.0}},
+  };
+  const sched::Registry registry = core::default_registry();
+  std::mutex mu;
+  std::map<std::uint64_t, std::pair<bool, double>> got;  // id -> (ok, mk)
+  std::map<std::uint64_t, std::size_t> lost;
+  BatchEngineOptions options;
+  options.threads = 2;
+  BatchEngine engine(
+      registry,
+      [&](const BatchResult& r) {
+        EXPECT_EQ(r.scheduler, "hdlts-online");
+        EXPECT_EQ(r.schedule, nullptr);
+        ASSERT_NE(r.online, nullptr);
+        std::lock_guard lock(mu);
+        got[r.id] = {r.ok, r.makespan};
+        lost[r.id] = r.online->lost_executions;
+      },
+      options);
+  for (std::size_t round = 0; round < 3; ++round) {  // warm + reuse
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      BatchRequest request;
+      request.id = round * plans.size() + i;
+      request.problem = &problem;
+      request.job = svc::BatchJob::kOnline;
+      request.failures = plans[i];
+      ASSERT_TRUE(engine.submit(request));
+    }
+  }
+  engine.shutdown();
+  ASSERT_EQ(got.size(), 9u);
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const core::OnlineResult want = core::run_online(w, plans[i]);
+      const std::uint64_t id = round * plans.size() + i;
+      EXPECT_TRUE(got.at(id).first);
+      EXPECT_EQ(got.at(id).second, want.makespan) << "id " << id;
+      EXPECT_EQ(lost.at(id), want.lost_executions) << "id " << id;
+    }
+  }
+}
+
+TEST(BatchEngine, OnlineJobWithSchedulerNamesThrows) {
+  const sched::Registry registry = core::default_registry();
+  BatchEngine engine(registry, [](const BatchResult&) {}, {});
+  const sim::Workload w = make_workload(10, 3, 1);
+  const sim::Problem problem(w);
+  BatchRequest request;
+  request.problem = &problem;
+  request.job = svc::BatchJob::kOnline;
+  request.schedulers = {"heft"};
+  EXPECT_THROW(engine.submit(request), InvalidArgument);
 }
 
 TEST(BatchEngine, ValidationFailuresSurfaceAsFailedResults) {

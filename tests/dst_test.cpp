@@ -9,8 +9,11 @@
 #include <cstddef>
 #include <cstdint>
 
+#include <string>
+
 #include "hdlts/check/dst.hpp"
 #include "hdlts/check/faultplan.hpp"
+#include "hdlts/simd/kernels.hpp"
 #include "hdlts/util/env.hpp"
 
 namespace hdlts {
@@ -41,6 +44,33 @@ TEST(DstTest, SweepFindsNoViolations) {
   EXPECT_GE(report.online_runs, 200u);
   // Two ITQ policies per (family, round) cell.
   EXPECT_GE(report.stream_runs, 2u * 5u * std::min<std::size_t>(options.rounds, 5));
+}
+
+TEST(DstTest, SweepComparesCompiledAgainstLegacyByDefault) {
+  // The compiled/legacy differential is part of the default sweep: every
+  // online cell and both stream policies replay through the legacy
+  // reference schedulers and ==-compare executions, makespan, and lost
+  // counts. Divergence surfaces as a counterexample.
+  EXPECT_TRUE(check::DstOptions{}.compare_legacy);
+  check::DstOptions options;
+  options.rounds = 1;
+  options.compare_legacy = true;
+  const check::DstReport report = check::run_dst(options);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(DstTest, SweepIsCleanUnderForcedSimdBackends) {
+  const std::string saved(simd::active_backend());
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (simd::backend(backend) == nullptr) continue;
+    ASSERT_TRUE(simd::force_backend(backend));
+    check::DstOptions options;
+    options.rounds = 1;
+    const check::DstReport report = check::run_dst(options);
+    report_counterexamples(report);
+    EXPECT_TRUE(report.ok()) << "backend " << backend;
+  }
+  simd::force_backend(saved);
 }
 
 TEST(DstTest, SweepIsDeterministic) {

@@ -6,6 +6,7 @@
 #include "hdlts/check/faultplan.hpp"
 #include "hdlts/check/validate.hpp"
 #include "hdlts/core/online.hpp"
+#include "hdlts/simd/kernels.hpp"
 #include "hdlts/workload/classic.hpp"
 #include "hdlts/workload/fft.hpp"
 #include "hdlts/workload/forkjoin.hpp"
@@ -206,6 +207,110 @@ TEST(OnlineProperty, EverySeededFaultPlanValidatesAcrossFamilies) {
         if (plan.expectation == check::PlanExpectation::kMustFail) {
           EXPECT_FALSE(r.completed) << plan.description;
         }
+      }
+    }
+  }
+}
+
+// --- Compiled-vs-legacy bit identity ---
+
+void expect_online_identical(const OnlineResult& got, const OnlineResult& want,
+                             const std::string& label) {
+  EXPECT_EQ(got.completed, want.completed) << label;
+  EXPECT_EQ(got.makespan, want.makespan) << label;  // exact, no tolerance
+  EXPECT_EQ(got.lost_executions, want.lost_executions) << label;
+  ASSERT_EQ(got.executions.size(), want.executions.size()) << label;
+  for (std::size_t i = 0; i < got.executions.size(); ++i) {
+    const OnlineExec& a = got.executions[i];
+    const OnlineExec& b = want.executions[i];
+    EXPECT_EQ(a.task, b.task) << label << " #" << i;
+    EXPECT_EQ(a.proc, b.proc) << label << " #" << i;
+    EXPECT_EQ(a.start, b.start) << label << " #" << i;
+    EXPECT_EQ(a.finish, b.finish) << label << " #" << i;
+    EXPECT_EQ(a.duplicate, b.duplicate) << label << " #" << i;
+    EXPECT_EQ(a.lost, b.lost) << label << " #" << i;
+  }
+}
+
+TEST(OnlineDifferential, CompiledMatchesLegacyOnEverySeededFaultPlan) {
+  // Every family x seed x seeded fault plan, with the options grid rotated
+  // the same way the DST sweep rotates it — compiled (the run_online
+  // default) must be bit-identical to the legacy reference.
+  std::size_t pairs = 0;
+  for (int family = 0; family < 5; ++family) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const sim::Workload w = family_workload(family, seed);
+      const double clean = Hdlts().schedule(sim::Problem(w)).makespan();
+      std::size_t cell = 0;
+      for (const check::FaultPlan& plan :
+           check::make_fault_plans(3, clean, seed)) {
+        HdltsOptions options;
+        options.duplication = (cell % 3 == 2)
+                                  ? DuplicationRule::kOff
+                                  : DuplicationRule::kAnyChildBenefits;
+        options.dynamic_priorities = cell % 2 == 0;
+        options.insertion = cell % 4 == 1;
+        ++cell;
+        const OnlineResult compiled =
+            run_online(w, plan.failures, options);
+        const OnlineResult legacy =
+            run_online_legacy(w, plan.failures, options);
+        expect_online_identical(
+            compiled, legacy,
+            "family " + std::to_string(family) + " seed " +
+                std::to_string(seed) + " plan \"" + plan.description + "\"");
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_GE(pairs, 100u);
+}
+
+TEST(OnlineDifferential, SchedulerObjectReuseIsBitIdentical) {
+  // One OnlineHdlts recycled across workloads and plans must match fresh
+  // one-shot runs (warm arena/schedule state must not leak between runs).
+  OnlineHdlts scheduler;
+  OnlineResult out;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const sim::Workload w = family_workload(static_cast<int>(seed % 5), seed);
+    const double clean = Hdlts().schedule(sim::Problem(w)).makespan();
+    const sim::Problem problem(w);
+    for (const check::FaultPlan& plan :
+         check::make_fault_plans(3, clean, seed)) {
+      scheduler.run_into(problem, plan.failures, out);
+      const OnlineResult fresh = run_online(w, plan.failures);
+      expect_online_identical(out, fresh,
+                              "reuse seed " + std::to_string(seed));
+    }
+  }
+}
+
+class OnlineBackendGuard {
+ public:
+  OnlineBackendGuard() : saved_(simd::active_backend()) {}
+  ~OnlineBackendGuard() { simd::force_backend(saved_); }
+
+ private:
+  std::string saved_;
+};
+
+TEST(OnlineDifferential, CompiledMatchesLegacyUnderForcedBackends) {
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (simd::backend(backend) == nullptr) continue;  // CPU/binary lacks it
+    OnlineBackendGuard guard;
+    ASSERT_TRUE(simd::force_backend(backend));
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const sim::Workload w =
+          family_workload(static_cast<int>(seed % 5), seed);
+      const double clean = Hdlts().schedule(sim::Problem(w)).makespan();
+      for (const check::FaultPlan& plan :
+           check::make_fault_plans(3, clean, seed)) {
+        const OnlineResult compiled = run_online(w, plan.failures);
+        const OnlineResult legacy = run_online_legacy(w, plan.failures);
+        expect_online_identical(compiled, legacy,
+                                std::string(backend) + " seed " +
+                                    std::to_string(seed) + " plan \"" +
+                                    plan.description + "\"");
       }
     }
   }

@@ -6,6 +6,7 @@
 
 #include "hdlts/check/validate.hpp"
 #include "hdlts/core/stream.hpp"
+#include "hdlts/simd/kernels.hpp"
 #include "hdlts/workload/classic.hpp"
 #include "hdlts/workload/fft.hpp"
 #include "hdlts/workload/forkjoin.hpp"
@@ -183,6 +184,98 @@ sim::Workload stream_family_workload(int family, std::uint64_t seed) {
       workload::ForkJoinParams p;
       p.costs = costs;
       return workload::forkjoin_workload(p, seed);
+    }
+  }
+}
+
+// --- Compiled-vs-legacy bit identity ---
+
+void expect_stream_identical(const StreamResult& got, const StreamResult& want,
+                             const std::string& label) {
+  EXPECT_EQ(got.makespan, want.makespan) << label;  // exact, no tolerance
+  EXPECT_EQ(got.finish, want.finish) << label;
+  EXPECT_EQ(got.flow_time, want.flow_time) << label;
+  ASSERT_EQ(got.executions.size(), want.executions.size()) << label;
+  for (std::size_t i = 0; i < got.executions.size(); ++i) {
+    const StreamTaskExec& a = got.executions[i];
+    const StreamTaskExec& b = want.executions[i];
+    EXPECT_EQ(a.workflow, b.workflow) << label << " #" << i;
+    EXPECT_EQ(a.task, b.task) << label << " #" << i;
+    EXPECT_EQ(a.proc, b.proc) << label << " #" << i;
+    EXPECT_EQ(a.start, b.start) << label << " #" << i;
+    EXPECT_EQ(a.finish, b.finish) << label << " #" << i;
+  }
+}
+
+TEST(StreamDifferential, CompiledMatchesLegacyAcrossFamiliesAndPolicies) {
+  std::size_t pairs = 0;
+  for (int family = 0; family < 5; ++family) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      std::vector<StreamArrival> arrivals;
+      arrivals.push_back({stream_family_workload(family, seed), 0.0});
+      arrivals.push_back({stream_family_workload(family, seed + 100), 12.0});
+      arrivals.push_back({stream_family_workload(family, seed + 200), 40.0});
+      for (const StreamPolicy policy :
+           {StreamPolicy::kHdltsPv, StreamPolicy::kFifoEft}) {
+        StreamOptions options;
+        options.policy = policy;
+        const StreamResult compiled = run_stream(arrivals, options);
+        const StreamResult legacy = run_stream_legacy(arrivals, options);
+        expect_stream_identical(
+            compiled, legacy,
+            "family " + std::to_string(family) + " seed " +
+                std::to_string(seed) +
+                (policy == StreamPolicy::kHdltsPv ? " pv" : " fifo"));
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_GE(pairs, 30u);
+}
+
+TEST(StreamDifferential, CompileOnceRunManyIsBitIdentical) {
+  // A frozen StreamHdlts recycled across run_into calls must keep matching
+  // the one-shot result (warm arena/schedule state must not leak).
+  std::vector<StreamArrival> arrivals;
+  arrivals.push_back({stream_family_workload(0, 9), 0.0});
+  arrivals.push_back({stream_family_workload(2, 10), 20.0});
+  const StreamResult fresh = run_stream(arrivals);
+  StreamHdlts scheduler;
+  scheduler.compile(arrivals);
+  StreamResult out;
+  for (int round = 0; round < 3; ++round) {
+    scheduler.run_into(out);
+    expect_stream_identical(out, fresh,
+                            "round " + std::to_string(round));
+  }
+}
+
+class StreamBackendGuard {
+ public:
+  StreamBackendGuard() : saved_(simd::active_backend()) {}
+  ~StreamBackendGuard() { simd::force_backend(saved_); }
+
+ private:
+  std::string saved_;
+};
+
+TEST(StreamDifferential, CompiledMatchesLegacyUnderForcedBackends) {
+  std::vector<StreamArrival> arrivals;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    arrivals.push_back({stream_family_workload(static_cast<int>(i), 30 + i),
+                        8.0 * static_cast<double>(i)});
+  }
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (simd::backend(backend) == nullptr) continue;  // CPU/binary lacks it
+    StreamBackendGuard guard;
+    ASSERT_TRUE(simd::force_backend(backend));
+    for (const StreamPolicy policy :
+         {StreamPolicy::kHdltsPv, StreamPolicy::kFifoEft}) {
+      StreamOptions options;
+      options.policy = policy;
+      const StreamResult compiled = run_stream(arrivals, options);
+      const StreamResult legacy = run_stream_legacy(arrivals, options);
+      expect_stream_identical(compiled, legacy, backend);
     }
   }
 }
