@@ -20,6 +20,7 @@
 #include "hdlts/io/workload_io.hpp"
 #include "hdlts/metrics/metrics.hpp"
 #include "hdlts/obs/export.hpp"
+#include "hdlts/obs/prometheus.hpp"
 #include "hdlts/report/gantt_svg.hpp"
 #include "hdlts/sim/gantt.hpp"
 #include "hdlts/svc/batch_engine.hpp"
@@ -45,13 +46,13 @@ int usage() {
       "      [--cpus=P --ccr=X --beta=X --wdag=X --seed=S] --out=FILE\n"
       "  workflow_tool schedule FILE [--scheduler=hdlts] [--gantt]\n"
       "      [--csv=FILE] [--svg=FILE] [--trace-out=FILE]\n"
-      "      [--counters-out=FILE]\n"
+      "      [--counters-out=FILE] [--prom-out=FILE]\n"
       "  workflow_tool profile FILE\n"
       "  workflow_tool compare FILE [--schedulers=a,b,c]\n"
-      "      [--trace-out=FILE] [--counters-out=FILE]\n"
+      "      [--trace-out=FILE] [--counters-out=FILE] [--prom-out=FILE]\n"
       "  workflow_tool batch WORKLOADS.txt [--schedulers=a,b,c]\n"
       "      [--threads=N] [--queue-cap=N] [--out=FILE.jsonl] [--check]\n"
-      "      [--trace-out=FILE] [--counters-out=FILE]\n"
+      "      [--trace-out=FILE] [--counters-out=FILE] [--prom-out=FILE]\n"
       "  workflow_tool online FILE [--fail=proc@frac ...] [--validate]\n"
       "      [--legacy]\n"
       "  workflow_tool stream FILE [FILE ...] [--arrivals=t1,t2,...]\n"
@@ -93,6 +94,13 @@ void write_counters_file(const std::string& path) {
   std::ofstream out(path);
   obs::write_counters_json(out, obs::MetricRegistry::global());
   out << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Dumps the registry in the Prometheus text exposition format.
+void write_prom_file(const std::string& path) {
+  std::ofstream out(path);
+  obs::prometheus_render(obs::MetricRegistry::global(), out);
   std::cout << "wrote " << path << "\n";
 }
 
@@ -209,6 +217,9 @@ int main(int argc, char** argv) {
       }
       if (cli.has("counters-out")) {
         write_counters_file(cli.get("counters-out", "counters.json"));
+      }
+      if (cli.has("prom-out")) {
+        write_prom_file(cli.get("prom-out", "counters.prom"));
       }
       return 0;
     }
@@ -354,6 +365,9 @@ int main(int argc, char** argv) {
       if (cli.has("counters-out")) {
         write_counters_file(cli.get("counters-out", "counters.json"));
       }
+      if (cli.has("prom-out")) {
+        write_prom_file(cli.get("prom-out", "counters.prom"));
+      }
       return stats.sched_failures == 0 ? 0 : 1;
     }
 
@@ -495,6 +509,9 @@ int main(int argc, char** argv) {
       }
       if (cli.has("counters-out")) {
         write_counters_file(cli.get("counters-out", "counters.json"));
+      }
+      if (cli.has("prom-out")) {
+        write_prom_file(cli.get("prom-out", "counters.prom"));
       }
       return 0;
     }

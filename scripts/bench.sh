@@ -145,6 +145,23 @@ echo "== running bench/micro_schedulers (google-benchmark sweep) =="
 (cd "${BUILD_DIR}" && ./bench/micro_schedulers \
   --benchmark_min_time="${HDLTS_BENCH_MIN_TIME:-0.05}")
 
+if [[ "${MODE}" == "--smoke" ]]; then
+  echo
+  echo "== running examples/stress_tool (monitored soak smoke) =="
+  cmake --build "${BUILD_DIR}" -j --target stress_tool >/dev/null
+  # Short mixed static/online soak with fault injection and every result
+  # check-validated; the zero-violation SLO gates make this a correctness
+  # smoke, not a wall-clock one (no throughput floor on shared runners).
+  "${BUILD_DIR}/examples/stress_tool" --config="duration=${HDLTS_SOAK_SECONDS:-8},threads=2,problems=4,monitor_period=500,online_fraction=0.4,timeline=${BUILD_DIR}/soak_smoke.jsonl,prom=${BUILD_DIR}/soak_smoke.prom"
+  # Validate the exposition output: promtool when the runner has it,
+  # otherwise the strict line-grammar checker in scripts/.
+  if command -v promtool >/dev/null 2>&1; then
+    promtool check metrics < "${BUILD_DIR}/soak_smoke.prom"
+  else
+    python3 scripts/check_prom_format.py "${BUILD_DIR}/soak_smoke.prom"
+  fi
+fi
+
 if [[ "${MODE}" == "--update" ]]; then
   cp "${FRESH}" "${BASELINE}"
   cp "${LAYOUT_FRESH}" "${LAYOUT_BASELINE}"
@@ -166,7 +183,14 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
-python3 - "$BASELINE" "$FRESH" "$FACTOR" "$MIN_INCREMENTAL" <<'EOF'
+# Every gate below runs even when an earlier one fails — `set -e` would
+# otherwise abort at the first failing python block and the later gates
+# (layout, batch, dynamic) would never run or report. Failures accumulate
+# into GATE_FAILURES and the script exits non-zero if ANY gate failed.
+GATE_FAILURES=0
+
+python3 - "$BASELINE" "$FRESH" "$FACTOR" "$MIN_INCREMENTAL" <<'EOF' \
+  || GATE_FAILURES=$((GATE_FAILURES + 1))
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -217,7 +241,8 @@ sys.exit(1 if failed else 0)
 EOF
 
 python3 - "$LAYOUT_BASELINE" "$LAYOUT_FRESH" "$FACTOR" "$NULL_SINK_FACTOR" \
-  "$MIN_LAYOUT" <<'EOF'
+  "$MIN_LAYOUT" <<'EOF' \
+  || GATE_FAILURES=$((GATE_FAILURES + 1))
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -290,7 +315,8 @@ else:
 sys.exit(1 if failed else 0)
 EOF
 
-python3 - "$BATCH_BASELINE" "$BATCH_FRESH" "$FACTOR" "$BATCH_SPEEDUP_MIN" <<'EOF'
+python3 - "$BATCH_BASELINE" "$BATCH_FRESH" "$FACTOR" "$BATCH_SPEEDUP_MIN" <<'EOF' \
+  || GATE_FAILURES=$((GATE_FAILURES + 1))
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -349,7 +375,8 @@ else:
 
 sys.exit(1 if failed else 0)
 EOF
-python3 - "$DYNAMIC_BASELINE" "$DYNAMIC_FRESH" "$FACTOR" "$MIN_DYNAMIC" <<'PYEOF'
+python3 - "$DYNAMIC_BASELINE" "$DYNAMIC_FRESH" "$FACTOR" "$MIN_DYNAMIC" <<'PYEOF' \
+  || GATE_FAILURES=$((GATE_FAILURES + 1))
 import json, sys
 
 baseline_path, fresh_path, factor = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -398,4 +425,9 @@ else:
 
 sys.exit(1 if failed else 0)
 PYEOF
+
+if [[ "${GATE_FAILURES}" -gt 0 ]]; then
+  echo "== bench diff FAILED: ${GATE_FAILURES} gate(s) tripped =="
+  exit 1
+fi
 echo "== bench diff ok =="

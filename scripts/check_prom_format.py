@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Strict line-grammar check for Prometheus text exposition format v0.0.4.
+
+Stand-in for `promtool check metrics` on runners that don't ship promtool
+(scripts/bench.sh and CI fall back to this). Validates the subset
+obs::prometheus_render() emits, strictly:
+
+  * every line is a HELP comment, a TYPE comment, or a sample
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * label names match [a-zA-Z_][a-zA-Z0-9_]*; label values are quoted with
+    only \\\\ \\" \\n escapes
+  * sample values parse as Go floats, including NaN / +Inf / -Inf literals
+  * TYPE precedes the first sample of its metric and appears at most once
+  * counters end in _total; histograms expose _bucket/_sum/_count, have an
+    le="+Inf" bucket, and bucket counts are cumulative (non-decreasing)
+  * no duplicate samples (same name + same label set)
+
+Usage: check_prom_format.py FILE [FILE...]   (exit 0 iff all files pass)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"        # metric name
+    r"(?:\{(.*)\})?"                       # optional label set
+    r" ([^ ]+)"                            # value
+    r"(?: (-?[0-9]+))?$"                   # optional ms timestamp
+)
+VALUE_RE = re.compile(
+    r"^(?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)|NaN|\+Inf|-Inf)$"
+)
+
+
+def parse_labels(raw, err):
+    """Split a label body like a=\"b\",c=\"d\" -> sorted tuple; None on error."""
+    labels = []
+    i, n = 0, len(raw)
+    while i < n:
+        j = raw.find("=", i)
+        if j < 0:
+            return err("label missing '='")
+        name = raw[i:j]
+        if not LABEL_NAME_RE.match(name):
+            return err(f"bad label name {name!r}")
+        if j + 1 >= n or raw[j + 1] != '"':
+            return err(f"label {name!r} value not quoted")
+        k = j + 2
+        value = []
+        while k < n and raw[k] != '"':
+            if raw[k] == "\\":
+                if k + 1 >= n or raw[k + 1] not in ('\\', '"', 'n'):
+                    return err(f"bad escape in label {name!r}")
+                k += 1
+            value.append(raw[k])
+            k += 1
+        if k >= n:
+            return err(f"unterminated value for label {name!r}")
+        labels.append((name, "".join(value)))
+        i = k + 1
+        if i < n:
+            if raw[i] != ",":
+                return err("expected ',' between labels")
+            i += 1
+    return tuple(sorted(labels))
+
+
+def base_metric(name, types):
+    """Histogram samples use NAME_bucket/_sum/_count; map back to NAME."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    if name.endswith("_total") and types.get(name[: -len("_total")]) == "counter":
+        return name[: -len("_total")]
+    return name
+
+
+def check_file(path):
+    errors = []
+    types = {}           # metric -> declared type
+    helped = set()
+    sampled = set()      # metrics that already emitted a sample
+    seen_samples = set()  # (name, labels) duplicates
+    buckets = {}         # metric -> list of (le, count) in order of appearance
+
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline is fine
+    else:
+        errors.append((len(lines), "file does not end with a newline"))
+
+    for lineno, line in enumerate(lines, 1):
+        def err(msg):
+            errors.append((lineno, msg))
+            return None
+
+        if line == "":
+            continue
+        if line.startswith("#"):
+            m = HELP_RE.match(line)
+            if m:
+                if m.group(1) in helped:
+                    err(f"duplicate HELP for {m.group(1)}")
+                helped.add(m.group(1))
+                continue
+            m = TYPE_RE.match(line)
+            if m:
+                name, kind = m.group(1), m.group(2)
+                if name in types:
+                    err(f"duplicate TYPE for {name}")
+                elif name in sampled:
+                    err(f"TYPE for {name} after its first sample")
+                types[name] = kind
+                continue
+            err(f"malformed comment line: {line!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(f"malformed sample line: {line!r}")
+            continue
+        name, raw_labels, value = m.group(1), m.group(2), m.group(3)
+        if not VALUE_RE.match(value):
+            err(f"bad sample value {value!r}")
+        labels = parse_labels(raw_labels, err) if raw_labels is not None else ()
+        if labels is None:
+            continue
+        if (name, labels) in seen_samples:
+            err(f"duplicate sample {name}{dict(labels)}")
+        seen_samples.add((name, labels))
+
+        base = base_metric(name, types)
+        sampled.add(base)
+        kind = types.get(base)
+        if kind is None:
+            err(f"sample {name!r} has no preceding TYPE")
+            continue
+        if kind == "counter":
+            if not name.endswith("_total"):
+                err(f"counter sample {name!r} must end in _total")
+            if value.startswith("-"):
+                err(f"counter {name!r} has negative value {value}")
+        if kind == "histogram" and name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                err(f"histogram bucket {name!r} missing le label")
+            else:
+                buckets.setdefault(base, []).append((le, value))
+
+    for metric, rows in sorted(buckets.items()):
+        if rows[-1][0] != "+Inf":
+            errors.append((0, f"histogram {metric} last bucket le={rows[-1][0]!r},"
+                              " expected +Inf"))
+        counts = []
+        for le, value in rows:
+            try:
+                counts.append(float(value))
+            except ValueError:
+                pass  # already reported as a bad value
+        if counts != sorted(counts):
+            errors.append((0, f"histogram {metric} bucket counts not cumulative:"
+                              f" {counts}"))
+
+    for lineno, msg in errors:
+        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+    return not errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        if check_file(path):
+            print(f"{path}: ok")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

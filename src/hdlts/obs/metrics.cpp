@@ -3,6 +3,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "hdlts/obs/quantile.hpp"
 #include "hdlts/util/error.hpp"
 #include "hdlts/util/json.hpp"
 
@@ -110,6 +111,30 @@ std::size_t MetricRegistry::size() const {
   return entries_.size();
 }
 
+void MetricRegistry::visit(
+    const std::function<void(const MetricView&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    MetricView view;
+    view.name = e.name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        view.kind = MetricView::Kind::kCounter;
+        view.counter = e.counter.get();
+        break;
+      case Kind::kGauge:
+        view.kind = MetricView::Kind::kGauge;
+        view.gauge = e.gauge.get();
+        break;
+      case Kind::kHistogram:
+        view.kind = MetricView::Kind::kHistogram;
+        view.histogram = e.histogram.get();
+        break;
+    }
+    fn(view);
+  }
+}
+
 void MetricRegistry::write_json(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
   os << "{";
@@ -145,7 +170,15 @@ void MetricRegistry::write_json(std::ostream& os) const {
             if (i > 0) os << ",";
             os << h.bucket_count(i);
           }
-          os << "]}";
+          os << "]";
+          // Quantile estimates (obs/quantile.hpp): NaN while empty -> null.
+          const char* quantile_keys[] = {"p50", "p95", "p99"};
+          const double qs[] = {0.5, 0.95, 0.99};
+          for (std::size_t q = 0; q < 3; ++q) {
+            os << ",\"" << quantile_keys[q] << "\":";
+            util::write_json_number(os, histogram_quantile(h, qs[q]));
+          }
+          os << "}";
           break;
         }
       }

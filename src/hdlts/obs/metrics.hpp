@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -80,6 +81,18 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// One registered instrument, exposed to iteration consumers (the JSONL
+/// runtime monitor, the Prometheus renderer). Exactly one of the three
+/// pointers is non-null, matching `kind`.
+struct MetricView {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string_view name;
+  Kind kind = Kind::kCounter;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
 class MetricRegistry {
  public:
   MetricRegistry() = default;
@@ -98,9 +111,17 @@ class MetricRegistry {
 
   std::size_t size() const;
 
+  /// Calls `fn` once per registered instrument, in registration order, under
+  /// the registry mutex — `fn` must not register new metrics (deadlock) and
+  /// should copy values out rather than retaining the views past the call.
+  /// Instrument values keep updating concurrently (reads are relaxed atomic
+  /// loads), so a visit is a point-in-time-ish snapshot, not a barrier.
+  void visit(const std::function<void(const MetricView&)>& fn) const;
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} in
   /// registration order, all doubles via util::json_number (non-finite ->
-  /// null).
+  /// null). Histograms additionally carry "p50"/"p95"/"p99" estimates from
+  /// obs/quantile.hpp (null while empty).
   void write_json(std::ostream& os) const;
 
   /// Zeroes every value; registrations (and cached references) survive.

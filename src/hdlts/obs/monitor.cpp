@@ -1,0 +1,488 @@
+#include "hdlts/obs/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "hdlts/obs/quantile.hpp"
+#include "hdlts/util/error.hpp"
+#include "hdlts/util/json.hpp"
+
+namespace hdlts::obs {
+
+ProcessStats read_process_stats() {
+  ProcessStats stats;
+#ifdef __linux__
+  const long page_bytes = sysconf(_SC_PAGESIZE);
+  const long ticks_per_s = sysconf(_SC_CLK_TCK);
+  {
+    std::ifstream statm("/proc/self/statm");
+    std::uint64_t size_pages = 0, rss_pages = 0;
+    if (statm >> size_pages >> rss_pages) {
+      stats.rss_mb = static_cast<double>(rss_pages) *
+                     static_cast<double>(page_bytes) / (1024.0 * 1024.0);
+      stats.valid = true;
+    }
+  }
+  {
+    // /proc/self/stat: the comm field may contain spaces but is wrapped in
+    // parentheses — skip past the closing one, then utime/stime are fields
+    // 14 and 15 (i.e. the 12th and 13th after the state character).
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    if (std::getline(stat, line)) {
+      const auto close = line.rfind(')');
+      if (close != std::string::npos) {
+        std::istringstream rest(line.substr(close + 1));
+        std::string state;
+        rest >> state;
+        std::uint64_t utime = 0, stime = 0;
+        for (int field = 4; field <= 15; ++field) {
+          if (field == 14) {
+            rest >> utime;
+          } else if (field == 15) {
+            rest >> stime;
+          } else {
+            std::string skip;
+            rest >> skip;
+          }
+        }
+        if (rest && ticks_per_s > 0) {
+          stats.cpu_seconds = static_cast<double>(utime + stime) /
+                              static_cast<double>(ticks_per_s);
+        }
+      }
+    }
+  }
+  {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("Threads:", 0) == 0) {
+        stats.threads = std::strtoull(line.c_str() + 8, nullptr, 10);
+        break;
+      }
+    }
+  }
+#endif
+  return stats;
+}
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kWarn: return "warn";
+    case Verdict::kFail: return "fail";
+  }
+  return "fail";
+}
+
+RuntimeMonitor::RuntimeMonitor(MonitorOptions options)
+    : options_(std::move(options)) {
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &MetricRegistry::global();
+  if (!options_.clock_ns) {
+    options_.clock_ns = [] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+  if (!options_.process_stats) {
+    options_.process_stats = read_process_stats;
+  }
+}
+
+RuntimeMonitor::~RuntimeMonitor() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::int64_t RuntimeMonitor::now_ns() const { return options_.clock_ns(); }
+
+void RuntimeMonitor::baseline() {
+  std::lock_guard lock(mu_);
+  if (baselined_) return;
+  baselined_ = true;
+  start_ns_ = now_ns();
+  last_sample_ns_ = start_ns_;
+  registry_->visit([this](const MetricView& view) {
+    const std::string name(view.name);
+    switch (view.kind) {
+      case MetricView::Kind::kCounter: {
+        const std::uint64_t v = view.counter->value();
+        prev_counters_[name] = v;
+        base_counters_[name] = v;
+        break;
+      }
+      case MetricView::Kind::kHistogram: {
+        HistogramState& state = prev_histograms_[name];
+        state.buckets.resize(view.histogram->bounds().size() + 1);
+        for (std::size_t i = 0; i < state.buckets.size(); ++i) {
+          state.buckets[i] = view.histogram->bucket_count(i);
+        }
+        state.sum = view.histogram->sum();
+        break;
+      }
+      case MetricView::Kind::kGauge:
+        break;
+    }
+  });
+  const ProcessStats stats = options_.process_stats();
+  last_rss_mb_ = stats.rss_mb;
+  last_cpu_seconds_ = stats.cpu_seconds;
+  if (options_.rss_baseline_sample == 0) baseline_rss_mb_ = stats.rss_mb;
+}
+
+void RuntimeMonitor::start() {
+  baseline();
+  std::lock_guard lock(mu_);
+  if (running_) throw InvalidArgument("RuntimeMonitor already started");
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void RuntimeMonitor::run_loop() {
+  auto next = std::chrono::steady_clock::now() + options_.period;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      if (wake_.wait_until(lock, next, [this] { return stop_; })) return;
+    }
+    sample_once();
+    // Fixed cadence, but never schedule into the past if a sample ran long.
+    next = std::max(next + options_.period,
+                    std::chrono::steady_clock::now());
+  }
+}
+
+void RuntimeMonitor::sample_once() {
+  std::lock_guard lock(mu_);
+  if (!baselined_) {
+    throw InvalidArgument("RuntimeMonitor::sample_once before baseline()");
+  }
+  const std::int64_t t = now_ns();
+  const double window_s =
+      static_cast<double>(t - last_sample_ns_) / 1e9;
+  const double t_s = static_cast<double>(t - start_ns_) / 1e9;
+
+  struct CounterSample {
+    std::string name;
+    std::uint64_t total = 0;
+    double rate = std::numeric_limits<double>::quiet_NaN();
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    double rate = 0.0;
+    std::uint64_t window_count = 0;
+    bool windowed = false;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  registry_->visit([&](const MetricView& view) {
+    switch (view.kind) {
+      case MetricView::Kind::kCounter: {
+        CounterSample s;
+        s.name = std::string(view.name);
+        s.total = view.counter->value();
+        const auto prev = prev_counters_.find(s.name);
+        if (prev != prev_counters_.end() && window_s > 0.0) {
+          s.rate = static_cast<double>(s.total - prev->second) / window_s;
+        }
+        counters.push_back(std::move(s));
+        break;
+      }
+      case MetricView::Kind::kGauge:
+        gauges.push_back({std::string(view.name), view.gauge->value()});
+        break;
+      case MetricView::Kind::kHistogram: {
+        HistogramSample s;
+        s.name = std::string(view.name);
+        const Histogram& h = *view.histogram;
+        const std::size_t n = h.bounds().size() + 1;
+        std::vector<std::uint64_t> cur(n);
+        std::uint64_t cur_count = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          cur[i] = h.bucket_count(i);
+          cur_count += cur[i];
+        }
+        const double cur_sum = h.sum();
+        const auto prev = prev_histograms_.find(s.name);
+        std::vector<std::uint64_t> window(n, 0);
+        double window_sum = cur_sum;
+        if (prev != prev_histograms_.end() &&
+            prev->second.buckets.size() == n) {
+          for (std::size_t i = 0; i < n; ++i) {
+            window[i] = cur[i] - prev->second.buckets[i];
+            s.window_count += window[i];
+          }
+          window_sum = cur_sum - prev->second.sum;
+        }
+        // Percentiles over the window when it saw observations; over the
+        // cumulative distribution otherwise (a quiet window still reports
+        // where latency has been, flagged windowed=false).
+        const std::vector<std::uint64_t>& src =
+            s.window_count > 0 ? window : cur;
+        const double src_sum = s.window_count > 0 ? window_sum : cur_sum;
+        s.windowed = s.window_count > 0;
+        s.p50 = quantile_from_buckets(h.bounds(), src, src_sum, 0.5);
+        s.p95 = quantile_from_buckets(h.bounds(), src, src_sum, 0.95);
+        s.p99 = quantile_from_buckets(h.bounds(), src, src_sum, 0.99);
+        if (window_s > 0.0) {
+          s.rate = static_cast<double>(s.window_count) / window_s;
+        }
+        histograms.push_back(std::move(s));
+        // Roll the cumulative snapshot forward.
+        HistogramState& state = prev_histograms_[histograms.back().name];
+        state.buckets = std::move(cur);
+        state.sum = cur_sum;
+        break;
+      }
+    }
+  });
+
+  const ProcessStats stats = options_.process_stats();
+  double cpu_pct = 0.0;
+  if (window_s > 0.0 && stats.valid) {
+    cpu_pct = (stats.cpu_seconds - last_cpu_seconds_) / window_s * 100.0;
+  }
+
+  ++num_samples_;
+  if (num_samples_ == options_.rss_baseline_sample && stats.valid) {
+    baseline_rss_mb_ = stats.rss_mb;
+  }
+  last_rss_mb_ = stats.rss_mb;
+  last_cpu_seconds_ = stats.cpu_seconds;
+  last_sample_ns_ = t;
+  for (const CounterSample& s : counters) prev_counters_[s.name] = s.total;
+
+  // Per-sample (window) gate verdicts — advisory; the run verdict comes from
+  // report()'s whole-run aggregates.
+  std::vector<GateResult> gate_results;
+  gate_results.reserve(options_.gates.size());
+  for (const SloGate& gate : options_.gates) {
+    double observed = 0.0;
+    switch (gate.kind) {
+      case SloKind::kMinCounterRate:
+        for (const CounterSample& s : counters) {
+          if (s.name == gate.metric && !std::isnan(s.rate)) {
+            observed = s.rate;
+          }
+        }
+        break;
+      case SloKind::kMaxHistogramP99:
+        for (const HistogramSample& s : histograms) {
+          if (s.name == gate.metric && !std::isnan(s.p99)) observed = s.p99;
+        }
+        break;
+      case SloKind::kMaxRssGrowth:
+        observed = baseline_rss_mb_ > 0.0 ? stats.rss_mb / baseline_rss_mb_
+                                          : 1.0;
+        break;
+      case SloKind::kMaxCounterTotal:
+        for (const CounterSample& s : counters) {
+          if (s.name == gate.metric) observed = static_cast<double>(s.total);
+        }
+        break;
+    }
+    gate_results.push_back(evaluate_gate(gate, observed));
+  }
+
+  if (options_.timeline != nullptr) {
+    std::ostringstream os;
+    os << "{\"sample\":" << num_samples_ << ",\"t_s\":";
+    util::write_json_number(os, t_s);
+    os << ",\"window_s\":";
+    util::write_json_number(os, window_s);
+    os << ",\"rss_mb\":";
+    util::write_json_number(os, stats.rss_mb);
+    os << ",\"cpu_pct\":";
+    util::write_json_number(os, cpu_pct);
+    os << ",\"threads\":" << stats.threads;
+    os << ",\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << util::json_escape(counters[i].name)
+         << "\":" << counters[i].total;
+    }
+    os << "},\"rates\":{";
+    bool first = true;
+    for (const CounterSample& s : counters) {
+      if (std::isnan(s.rate)) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << util::json_escape(s.name) << "\":";
+      util::write_json_number(os, s.rate);
+    }
+    os << "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << util::json_escape(gauges[i].name) << "\":";
+      util::write_json_number(os, gauges[i].value);
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      const HistogramSample& s = histograms[i];
+      if (i > 0) os << ",";
+      os << "\"" << util::json_escape(s.name) << "\":{\"p50\":";
+      util::write_json_number(os, s.p50);
+      os << ",\"p95\":";
+      util::write_json_number(os, s.p95);
+      os << ",\"p99\":";
+      util::write_json_number(os, s.p99);
+      os << ",\"rate\":";
+      util::write_json_number(os, s.rate);
+      os << ",\"window_count\":" << s.window_count
+         << ",\"windowed\":" << (s.windowed ? "true" : "false") << "}";
+    }
+    os << "},\"gates\":[";
+    for (std::size_t i = 0; i < gate_results.size(); ++i) {
+      const GateResult& g = gate_results[i];
+      if (i > 0) os << ",";
+      os << "{\"label\":\"" << util::json_escape(g.gate.label)
+         << "\",\"observed\":";
+      util::write_json_number(os, g.observed);
+      os << ",\"bound\":";
+      util::write_json_number(os, g.gate.bound);
+      os << ",\"verdict\":\"" << verdict_name(g.verdict) << "\"}";
+    }
+    os << "]}\n";
+    *options_.timeline << os.str() << std::flush;
+  }
+}
+
+GateResult RuntimeMonitor::evaluate_gate(const SloGate& gate,
+                                         double observed) const {
+  GateResult result;
+  result.gate = gate;
+  result.observed = observed;
+  const bool is_min = gate.kind == SloKind::kMinCounterRate;
+  if (is_min) {
+    if (observed < gate.bound) {
+      result.verdict = Verdict::kFail;
+    } else if (observed < gate.bound * (1.0 + options_.warn_margin)) {
+      result.verdict = Verdict::kWarn;
+    }
+  } else {
+    if (observed > gate.bound) {
+      result.verdict = Verdict::kFail;
+    } else if (observed > gate.bound * (1.0 - options_.warn_margin)) {
+      result.verdict = Verdict::kWarn;
+    }
+  }
+  std::ostringstream detail;
+  detail << gate.label << ": observed " << observed << " vs "
+         << (is_min ? "floor " : "ceiling ") << gate.bound << " -> "
+         << verdict_name(result.verdict);
+  result.detail = detail.str();
+  return result;
+}
+
+MonitorReport RuntimeMonitor::report_locked() const {
+  MonitorReport report;
+  report.samples = num_samples_;
+  report.elapsed_s =
+      static_cast<double>(last_sample_ns_ - start_ns_) / 1e9;
+  for (const SloGate& gate : options_.gates) {
+    double observed = 0.0;
+    bool found = true;
+    switch (gate.kind) {
+      case SloKind::kMinCounterRate: {
+        const auto base = base_counters_.find(gate.metric);
+        const auto cur = prev_counters_.find(gate.metric);
+        const std::uint64_t base_v =
+            base != base_counters_.end() ? base->second : 0;
+        if (cur != prev_counters_.end() && report.elapsed_s > 0.0) {
+          observed = static_cast<double>(cur->second - base_v) /
+                     report.elapsed_s;
+        } else {
+          found = cur != prev_counters_.end();
+        }
+        break;
+      }
+      case SloKind::kMaxHistogramP99: {
+        found = false;
+        registry_->visit([&](const MetricView& view) {
+          if (view.kind == MetricView::Kind::kHistogram &&
+              view.name == gate.metric) {
+            observed = histogram_quantile(*view.histogram, 0.99);
+            found = !std::isnan(observed);
+          }
+        });
+        break;
+      }
+      case SloKind::kMaxRssGrowth:
+        observed = baseline_rss_mb_ > 0.0 ? last_rss_mb_ / baseline_rss_mb_
+                                          : 1.0;
+        break;
+      case SloKind::kMaxCounterTotal: {
+        const auto cur = prev_counters_.find(gate.metric);
+        found = cur != prev_counters_.end();
+        if (found) observed = static_cast<double>(cur->second);
+        break;
+      }
+    }
+    GateResult result = evaluate_gate(gate, observed);
+    if (!found) {
+      // A gate over a metric the run never touched cannot pass silently —
+      // that would let a typo in a config key disable an SLO.
+      result.verdict = Verdict::kFail;
+      result.detail = gate.label + ": metric '" + gate.metric +
+                      "' never observed -> fail";
+    }
+    if (static_cast<int>(result.verdict) >
+        static_cast<int>(report.verdict)) {
+      report.verdict = result.verdict;
+    }
+    report.gates.push_back(std::move(result));
+  }
+  return report;
+}
+
+MonitorReport RuntimeMonitor::report() const {
+  std::lock_guard lock(mu_);
+  return report_locked();
+}
+
+MonitorReport RuntimeMonitor::finish() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard lock(mu_);
+    running_ = false;
+  }
+  sample_once();
+  return report();
+}
+
+std::size_t RuntimeMonitor::samples() const {
+  std::lock_guard lock(mu_);
+  return num_samples_;
+}
+
+}  // namespace hdlts::obs

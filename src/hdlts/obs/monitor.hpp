@@ -1,0 +1,188 @@
+// Continuous runtime monitoring: a background sampler that turns the
+// process-wide MetricRegistry into a JSONL timeline and a pass/warn/fail
+// SLO verdict while the BatchEngine (or any other workload) runs for
+// minutes. Modeled on WiredTiger cppsuite's runtime_monitor; driven by
+// examples/stress_tool.cpp (docs/OBSERVABILITY.md).
+//
+// Each sample, on a configurable period:
+//   * counters    -> per-second rates over the sample window
+//   * histograms  -> p50/p95/p99 estimates (obs/quantile.hpp) over the
+//                    window's delta buckets (cumulative when the window saw
+//                    no observations) plus the window observation rate
+//   * gauges      -> current values
+//   * the process -> RSS, CPU utilisation, thread count from /proc/self
+//                    (zeros off Linux)
+//   * SLO gates   -> per-sample verdicts on the window values
+// and one JSON object is appended to the timeline stream (JSONL — one line
+// per sample, every double through util::json_number).
+//
+// SLO gates are declarative (SloGate): a minimum counter rate (throughput
+// floors), a maximum histogram p99 (latency ceilings), a maximum RSS growth
+// factor vs the post-warm-up baseline (leak detection), and a maximum
+// counter total (zero-violation gates). finish()/report() evaluates them
+// over the WHOLE run — window verdicts in the timeline are advisory — and
+// any fail makes the run verdict kFail; within warn_margin of a bound makes
+// it kWarn.
+//
+// The monitor perturbs nothing it observes: sampling reads relaxed atomics
+// under the registry mutex, all allocation happens on the monitor thread,
+// and between samples the thread sleeps in a condition-variable wait — an
+// idle monitor leaves the schedulers' zero-allocation steady state intact
+// (tests/alloc_test.cpp::MonitorIdleKeepsZeroAllocSteadyState).
+//
+// Determinism hooks for tests: the clock, the process sampler, and the
+// registry are all injectable, and sample_once() is public so a unit test
+// can drive the monitor without the background thread
+// (tests/monitor_test.cpp runs a fake clock against an injected registry).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "hdlts/obs/metrics.hpp"
+
+namespace hdlts::obs {
+
+/// Point-in-time process resource usage (Linux: /proc/self/statm,
+/// /proc/self/stat, /proc/self/status; zeros with valid=false elsewhere).
+struct ProcessStats {
+  double rss_mb = 0.0;
+  double cpu_seconds = 0.0;  ///< utime + stime, cumulative
+  std::uint64_t threads = 0;
+  bool valid = false;
+};
+
+/// Reads the current process's resource usage from /proc/self.
+ProcessStats read_process_stats();
+
+enum class SloKind {
+  kMinCounterRate,     ///< counter rate/s must stay >= bound
+  kMaxHistogramP99,    ///< histogram p99 must stay <= bound
+  kMaxRssGrowth,       ///< last RSS / baseline RSS must stay <= bound
+  kMaxCounterTotal,    ///< counter total must stay <= bound (0 = never)
+};
+
+struct SloGate {
+  SloKind kind = SloKind::kMaxCounterTotal;
+  /// Registry metric name (ignored for kMaxRssGrowth).
+  std::string metric;
+  double bound = 0.0;
+  /// Short label for reports ("min_rps", "max_p99_ms", ...).
+  std::string label;
+};
+
+enum class Verdict { kPass, kWarn, kFail };
+
+std::string_view verdict_name(Verdict v);
+
+struct GateResult {
+  SloGate gate;
+  double observed = 0.0;
+  Verdict verdict = Verdict::kPass;
+  std::string detail;  ///< human-readable "observed X vs bound Y" line
+};
+
+struct MonitorReport {
+  Verdict verdict = Verdict::kPass;
+  std::vector<GateResult> gates;
+  std::size_t samples = 0;
+  double elapsed_s = 0.0;
+};
+
+struct MonitorOptions {
+  /// Sampler thread period. Ignored when the caller drives sample_once().
+  std::chrono::milliseconds period{1000};
+  /// Registry to sample; null means MetricRegistry::global().
+  MetricRegistry* registry = nullptr;
+  /// JSONL sink; null disables the timeline (gates still evaluate).
+  std::ostream* timeline = nullptr;
+  std::vector<SloGate> gates;
+  /// Within this fraction of a bound counts as kWarn: a max gate warns above
+  /// bound * (1 - warn_margin), a min gate below bound * (1 + warn_margin).
+  double warn_margin = 0.1;
+  /// RSS-growth baseline: sample index whose RSS anchors the growth factor.
+  /// The default (1) skips the first window so arena/ring warm-up growth is
+  /// not mistaken for a leak; 0 anchors at start().
+  std::size_t rss_baseline_sample = 1;
+  /// Test hooks: monotone ns clock and process sampler. Defaults: steady
+  /// clock and read_process_stats().
+  std::function<std::int64_t()> clock_ns;
+  std::function<ProcessStats()> process_stats;
+};
+
+class RuntimeMonitor {
+ public:
+  explicit RuntimeMonitor(MonitorOptions options = {});
+  /// Stops the sampler thread; does NOT take a final sample (call finish()).
+  ~RuntimeMonitor();
+
+  RuntimeMonitor(const RuntimeMonitor&) = delete;
+  RuntimeMonitor& operator=(const RuntimeMonitor&) = delete;
+
+  /// Captures the t=0 baseline and spawns the sampler thread. start() twice
+  /// is an error; a never-started monitor can still be driven manually via
+  /// baseline() + sample_once().
+  void start();
+
+  /// Captures the baseline without spawning a thread (manual driving).
+  void baseline();
+
+  /// Takes one sample now: window rates/percentiles, process stats, gate
+  /// checks, one JSONL line. Thread-safe (the sampler thread calls this).
+  void sample_once();
+
+  /// Stops the sampler thread (idempotent), takes one final sample, and
+  /// returns the whole-run report. The verdict is the worst gate verdict.
+  MonitorReport finish();
+
+  /// Whole-run evaluation without stopping (also what finish() returns).
+  MonitorReport report() const;
+
+  std::size_t samples() const;
+
+ private:
+  struct HistogramState {
+    std::vector<std::uint64_t> buckets;
+    double sum = 0.0;
+  };
+
+  void run_loop();
+  std::int64_t now_ns() const;
+  GateResult evaluate_gate(const SloGate& gate, double observed) const;
+  /// Whole-run gate evaluation against the baseline snapshot. Caller holds
+  /// mu_.
+  MonitorReport report_locked() const;
+
+  MonitorOptions options_;
+  MetricRegistry* registry_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  bool baselined_ = false;
+
+  std::int64_t start_ns_ = 0;
+  std::int64_t last_sample_ns_ = 0;
+  std::size_t num_samples_ = 0;
+  double baseline_rss_mb_ = 0.0;
+  double last_rss_mb_ = 0.0;
+  double last_cpu_seconds_ = 0.0;
+  // Previous cumulative values, for window deltas. Names are copied once at
+  // first sight; instruments live as long as the registry.
+  std::unordered_map<std::string, std::uint64_t> prev_counters_;
+  std::unordered_map<std::string, HistogramState> prev_histograms_;
+  // t=0 cumulative values, for whole-run rates in report().
+  std::unordered_map<std::string, std::uint64_t> base_counters_;
+};
+
+}  // namespace hdlts::obs

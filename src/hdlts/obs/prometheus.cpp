@@ -1,0 +1,106 @@
+#include "hdlts/obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "hdlts/obs/metrics.hpp"
+
+namespace hdlts::obs {
+namespace {
+
+// Prometheus sample values: decimal floats, with the literals NaN/+Inf/-Inf
+// (unlike JSON, the format has them). %.17g round-trips every double.
+void write_prom_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+bool valid_name_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void write_help_type(std::ostream& os, const std::string& prom_name,
+                     std::string_view kind, std::string_view raw_name) {
+  // HELP text: escape backslash and newline per the exposition format.
+  os << "# HELP " << prom_name << " hdlts " << kind << " ";
+  for (char c : raw_name) {
+    if (c == '\\') {
+      os << "\\\\";
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+  os << "\n# TYPE " << prom_name << " " << kind << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out.push_back(valid_name_char(c, /*first=*/false) ? c : '_');
+  }
+  // Digits are valid anywhere except first; keep a leading one by prefixing.
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void prometheus_render(const MetricRegistry& registry, std::ostream& os) {
+  registry.visit([&os](const MetricView& view) {
+    const std::string base = prometheus_name(view.name);
+    switch (view.kind) {
+      case MetricView::Kind::kCounter: {
+        const std::string name = base + "_total";
+        write_help_type(os, name, "counter", view.name);
+        os << name << " " << view.counter->value() << "\n";
+        break;
+      }
+      case MetricView::Kind::kGauge: {
+        write_help_type(os, base, "gauge", view.name);
+        os << base << " ";
+        write_prom_value(os, view.gauge->value());
+        os << "\n";
+        break;
+      }
+      case MetricView::Kind::kHistogram: {
+        const Histogram& h = *view.histogram;
+        write_help_type(os, base, "histogram", view.name);
+        // Registry buckets are disjoint; Prometheus buckets are cumulative.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += h.bucket_count(i);
+          os << base << "_bucket{le=\"";
+          write_prom_value(os, h.bounds()[i]);
+          os << "\"} " << cum << "\n";
+        }
+        cum += h.bucket_count(h.bounds().size());
+        os << base << "_bucket{le=\"+Inf\"} " << cum << "\n";
+        os << base << "_sum ";
+        write_prom_value(os, h.sum());
+        os << "\n" << base << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  });
+}
+
+}  // namespace hdlts::obs

@@ -1,0 +1,38 @@
+// Prometheus text exposition (version 0.0.4) for the MetricRegistry, so a
+// run's final counters can be scraped or pushed without bespoke tooling:
+//
+//   # HELP hdlts_schedule_calls_total hdlts counter hdlts.schedule_calls
+//   # TYPE hdlts_schedule_calls_total counter
+//   hdlts_schedule_calls_total 42
+//
+// Mapping rules (docs/OBSERVABILITY.md):
+//  * Registry names are dotted ("svc.batch.completed"); Prometheus metric
+//    names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid character
+//    becomes '_' and a leading digit gains a '_' prefix.
+//  * Counters gain the conventional "_total" suffix; gauges are rendered
+//    verbatim; histograms become the classic triplet: cumulative
+//    <name>_bucket{le="..."} series ending with le="+Inf", then <name>_sum
+//    and <name>_count.
+//  * Values use shortest-round-trip formatting; non-finite values render as
+//    the Prometheus literals "NaN", "+Inf", "-Inf".
+//
+// scripts/check_prom_format.py validates the grammar in CI; workflow_tool
+// --prom-out and stress_tool prom=<path> write it to disk.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace hdlts::obs {
+
+class MetricRegistry;
+
+/// Converts a registry metric name into a valid Prometheus metric name
+/// (without any kind-specific suffix).
+std::string prometheus_name(std::string_view name);
+
+/// Renders every instrument in `registry` (registration order) in the
+/// Prometheus text exposition format, ending with a trailing newline.
+void prometheus_render(const MetricRegistry& registry, std::ostream& os);
+
+}  // namespace hdlts::obs

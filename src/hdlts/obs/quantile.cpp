@@ -1,0 +1,75 @@
+#include "hdlts/obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::obs {
+
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> buckets,
+                             double sum, double q) {
+  HDLTS_EXPECTS(buckets.size() == bounds.size() + 1);
+  HDLTS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::uint64_t count = 0;
+  std::size_t occupied = 0;
+  std::size_t only = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    count += buckets[i];
+    if (buckets[i] > 0) {
+      ++occupied;
+      only = i;
+    }
+  }
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  const auto lower_edge = [&](std::size_t i) {
+    // Bucket 0 conventionally starts at 0 (latencies, sizes); when the first
+    // bound is itself negative the edge opens downward instead.
+    if (i == 0) return std::min(0.0, bounds.front());
+    return bounds[i - 1];
+  };
+
+  if (occupied == 1) {
+    // Every observation in one bucket: the mean is the best estimator and is
+    // exact for point-mass distributions. Clamp to the bucket in case NaN
+    // observations (excluded from sum, counted in overflow) skewed it.
+    const double mean = sum / static_cast<double>(count);
+    const double lo = lower_edge(only);
+    const double hi = only == bounds.size()
+                          ? std::numeric_limits<double>::infinity()
+                          : bounds[only];
+    if (std::isnan(mean)) return bounds.back();
+    return std::clamp(mean, lo, hi);
+  }
+
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) < rank || buckets[i] == 0) continue;
+    if (i == bounds.size()) return bounds.back();  // overflow: last bound
+    const double lo = lower_edge(i);
+    const double hi = bounds[i];
+    const double pos =
+        (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(pos, 0.0, 1.0);
+  }
+  return bounds.back();  // q == 1 with trailing empty buckets
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+  const std::span<const double> bounds = histogram.bounds();
+  std::vector<std::uint64_t> buckets(bounds.size() + 1);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = histogram.bucket_count(i);
+  }
+  return quantile_from_buckets(bounds, buckets, histogram.sum(), q);
+}
+
+}  // namespace hdlts::obs

@@ -1,0 +1,36 @@
+// Quantile estimation over fixed-bucket histograms — the shared math behind
+// the RuntimeMonitor's p50/p95/p99 timeline columns, the percentile fields in
+// the --counters-out JSON dump, and the SLO latency gates.
+//
+// The estimator follows the Prometheus histogram_quantile convention (linear
+// interpolation inside the bucket that contains the target rank, last finite
+// bound for ranks landing in the overflow bucket) with one refinement: when
+// every observation fell into a SINGLE bucket, the estimate is the bucket
+// mean (sum / count) clamped to the bucket's edges. For a point-mass
+// distribution — the same value observed N times — that makes every quantile
+// exact instead of an interpolated guess (pinned by tests/obs_test.cpp).
+//
+// NaN observations are counted in the overflow bucket but excluded from the
+// sum (Histogram's contract), so a NaN-polluted histogram skews the overflow
+// estimate; it cannot poison the finite buckets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hdlts::obs {
+
+class Histogram;
+
+/// Quantile estimate from raw bucket data. `bounds` are the strictly
+/// ascending upper bounds; `buckets` has bounds.size() + 1 entries, the last
+/// being the overflow bucket; `sum` is the sum of all (finite) observations.
+/// `q` must lie in [0, 1]. Returns NaN when the buckets are empty.
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> buckets,
+                             double sum, double q);
+
+/// Quantile estimate over a live histogram's cumulative contents.
+double histogram_quantile(const Histogram& histogram, double q);
+
+}  // namespace hdlts::obs

@@ -111,6 +111,25 @@ BatchEngine::~BatchEngine() {
   owned_pool_.reset();
 }
 
+namespace {
+
+// Live-depth gauges for the runtime monitor (svc.batch.queue_high_water only
+// records the max). Function-local statics register once, during warm-up;
+// set() is a relaxed store, keeping the steady state allocation-free.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricRegistry::global().gauge("svc.batch.queue_depth");
+  return g;
+}
+
+obs::Gauge& in_flight_gauge() {
+  static obs::Gauge& g =
+      obs::MetricRegistry::global().gauge("svc.batch.in_flight");
+  return g;
+}
+
+}  // namespace
+
 bool BatchEngine::enqueue_locked(const BatchRequest& request) {
   // Deal round-robin across shards; copy-assign into the recycled ring slot
   // (after one lap the slot's strings/vector are at capacity and the copy
@@ -141,6 +160,7 @@ bool BatchEngine::enqueue_locked(const BatchRequest& request) {
   static obs::Counter& submitted =
       obs::MetricRegistry::global().counter("svc.batch.submitted");
   submitted.add(1);
+  queue_depth_gauge().set(static_cast<double>(total));
   not_empty_.notify_one();
   return true;
 }
@@ -254,7 +274,10 @@ void BatchEngine::shutdown(Drain mode) {
           static obs::Counter& cancelled =
               obs::MetricRegistry::global().counter("svc.batch.cancelled");
           cancelled.add(removed);
-          total_size_.fetch_sub(removed, std::memory_order_acq_rel);
+          const std::size_t queued =
+              total_size_.fetch_sub(removed, std::memory_order_acq_rel) -
+              removed;
+          queue_depth_gauge().set(static_cast<double>(queued));
         }
       }
       not_empty_.notify_all();
@@ -310,8 +333,12 @@ bool BatchEngine::pop_own(Worker& worker) {
   }
   // Claim before releasing the queue slot so wait_idle can never observe
   // total == 0 && in_flight == 0 while a request is between the two.
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  total_size_.fetch_sub(1, std::memory_order_acq_rel);
+  const std::size_t flying =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const std::size_t queued =
+      total_size_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  in_flight_gauge().set(static_cast<double>(flying));
+  queue_depth_gauge().set(static_cast<double>(queued));
   { std::lock_guard lock(mu_); }  // pairs with the not_full_ wait predicate
   not_full_.notify_one();
   return true;
@@ -351,8 +378,12 @@ bool BatchEngine::steal_into(Worker& worker) {
     static obs::Counter& steals =
         obs::MetricRegistry::global().counter("svc.batch.steals");
     steals.add(1);
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    total_size_.fetch_sub(1, std::memory_order_acq_rel);
+    const std::size_t flying =
+        in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::size_t queued =
+        total_size_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    in_flight_gauge().set(static_cast<double>(flying));
+    queue_depth_gauge().set(static_cast<double>(queued));
     { std::lock_guard lock(mu_); }  // pairs with the not_full_ wait predicate
     not_full_.notify_one();
     return true;
@@ -365,7 +396,10 @@ void BatchEngine::note_request_done() {
   static obs::Counter& completed =
       obs::MetricRegistry::global().counter("svc.batch.completed");
   completed.add(1);
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+  const std::size_t was_flying =
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  in_flight_gauge().set(static_cast<double>(was_flying - 1));
+  if (was_flying == 1 &&
       total_size_.load(std::memory_order_acquire) == 0) {
     { std::lock_guard lock(mu_); }  // pairs with the wait_idle predicate
     idle_.notify_all();

@@ -1,0 +1,64 @@
+// cppsuite-style configuration strings: a single flat "key=value,key=value"
+// string describing a whole run, so a soak scenario fits in one shell
+// argument or one CI matrix cell:
+//
+//   "duration=30,threads=4,mix_fft=2,schedulers=heft+cpop,check=1"
+//
+// Grammar: comma-separated key=value pairs; whitespace around keys, values,
+// and separators is trimmed; empty segments (trailing commas) are ignored.
+// Keys must be non-empty and unique — a duplicate key throws rather than
+// silently letting the last one win. Values may be empty.
+//
+// Typed getters parse on access and throw InvalidArgument with the offending
+// key and text on malformed input. Every get marks its key as consumed;
+// unused_keys() returns the keys nobody asked about, letting callers reject
+// typos ("duratoin=30") instead of running a 10-minute soak with defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdlts::util {
+
+class Config {
+ public:
+  /// Parses "key=value,key=value,...". Throws InvalidArgument on a segment
+  /// without '=', an empty key, or a duplicate key.
+  explicit Config(std::string_view text);
+
+  bool has(std::string_view key) const;
+
+  /// Typed access with a default for absent keys. Parsing the full value
+  /// must succeed ("30x" is an error, not 30). get_bool accepts 0/1 and
+  /// true/false. All getters mark the key consumed.
+  std::string get_string(std::string_view key, std::string_view fallback);
+  std::int64_t get_int(std::string_view key, std::int64_t fallback);
+  double get_double(std::string_view key, double fallback);
+  bool get_bool(std::string_view key, bool fallback);
+
+  /// Splits the value on `sep` ('+' by convention, so commas stay free for
+  /// the pair separator): "heft+cpop" -> {"heft", "cpop"}. Absent key ->
+  /// `fallback` split the same way.
+  std::vector<std::string> get_list(std::string_view key,
+                                    std::string_view fallback, char sep = '+');
+
+  /// Keys present in the string that no getter has consumed yet, in input
+  /// order. Callers treat a non-empty result as a config typo.
+  std::vector<std::string> unused_keys() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool used = false;
+  };
+  Entry* find(std::string_view key);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hdlts::util

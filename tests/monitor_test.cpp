@@ -1,0 +1,375 @@
+// RuntimeMonitor unit tests: a fake clock and an injected registry drive
+// sample_once() deterministically (no background thread, no sleeps), so
+// window rates, percentile extraction, RSS-growth anchoring, and the SLO
+// verdict logic are all asserted exactly. The background thread itself is
+// exercised once with a real clock (and again under the TSan CI job).
+// Prometheus text exposition is format-checked against golden output.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/monitor.hpp"
+#include "hdlts/obs/prometheus.hpp"
+#include "hdlts/util/config.hpp"
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::obs {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+/// Fixture state shared by the fake-clock tests: an isolated registry, a
+/// controllable clock, and a controllable process sampler.
+struct FakeEnv {
+  MetricRegistry registry;
+  std::int64_t now_ns = 0;
+  ProcessStats stats;
+  std::ostringstream timeline;
+
+  FakeEnv() {
+    stats.valid = true;
+    stats.rss_mb = 100.0;
+    stats.threads = 3;
+  }
+
+  MonitorOptions options() {
+    MonitorOptions o;
+    o.registry = &registry;
+    o.timeline = &timeline;
+    o.clock_ns = [this] { return now_ns; };
+    o.process_stats = [this] { return stats; };
+    return o;
+  }
+};
+
+TEST(Monitor, WindowRatesFromFakeClock) {
+  FakeEnv env;
+  Counter& done = env.registry.counter("t.done");
+  RuntimeMonitor monitor(env.options());
+  monitor.baseline();
+
+  done.add(100);
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_NE(env.timeline.str().find("\"t.done\":100"), std::string::npos);
+
+  done.add(50);  // 50 more over a 2 s window -> 25/s
+  env.now_ns += 2 * kSecond;
+  monitor.sample_once();
+  EXPECT_EQ(monitor.samples(), 2u);
+  EXPECT_NE(env.timeline.str().find("\"t.done\":25"), std::string::npos);
+}
+
+TEST(Monitor, WindowPercentilesResetEachSample) {
+  FakeEnv env;
+  const std::array<double, 3> bounds = {1.0, 10.0, 100.0};
+  Histogram& lat = env.registry.histogram("t.lat", bounds);
+  RuntimeMonitor monitor(env.options());
+  monitor.baseline();
+
+  for (int i = 0; i < 4; ++i) lat.observe(7.0);
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  // Point mass at 7 -> exact percentiles in the first window.
+  EXPECT_NE(env.timeline.str().find("\"p99\":7"), std::string::npos);
+
+  // Second window sees only 50s: windowed percentiles must forget the 7s
+  // (a cumulative p50 over 4x7 + 4x50 would still sit in the first bucket).
+  env.timeline.str("");
+  for (int i = 0; i < 4; ++i) lat.observe(50.0);
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_NE(env.timeline.str().find("\"p50\":50"), std::string::npos);
+  EXPECT_NE(env.timeline.str().find("\"windowed\":true"), std::string::npos);
+
+  // A quiet window falls back to the cumulative distribution, flagged.
+  env.timeline.str("");
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_NE(env.timeline.str().find("\"windowed\":false"), std::string::npos);
+  EXPECT_NE(env.timeline.str().find("\"window_count\":0"), std::string::npos);
+}
+
+TEST(Monitor, WholeRunVerdictPassesGenerousGates) {
+  FakeEnv env;
+  Counter& done = env.registry.counter("t.done");
+  MonitorOptions options = env.options();
+  options.gates.push_back(
+      {SloKind::kMinCounterRate, "t.done", 10.0, "min_rate"});
+  options.gates.push_back(
+      {SloKind::kMaxCounterTotal, "t.done", 1000.0, "max_total"});
+  RuntimeMonitor monitor(std::move(options));
+  monitor.baseline();
+  done.add(150);
+  env.now_ns += 3 * kSecond;
+  monitor.sample_once();
+
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.verdict, Verdict::kPass);
+  ASSERT_EQ(report.gates.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.gates[0].observed, 50.0);  // 150 over 3 s
+  EXPECT_DOUBLE_EQ(report.gates[1].observed, 150.0);
+  EXPECT_DOUBLE_EQ(report.elapsed_s, 3.0);
+}
+
+TEST(Monitor, ImpossiblyTightGateFails) {
+  FakeEnv env;
+  Counter& done = env.registry.counter("t.done");
+  MonitorOptions options = env.options();
+  options.gates.push_back(
+      {SloKind::kMinCounterRate, "t.done", 1e9, "min_rate"});
+  RuntimeMonitor monitor(std::move(options));
+  monitor.baseline();
+  done.add(1000);
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().verdict, Verdict::kFail);
+}
+
+TEST(Monitor, WithinWarnMarginIsWarnNotFail) {
+  FakeEnv env;
+  Counter& done = env.registry.counter("t.done");
+  MonitorOptions options = env.options();
+  // Floor 100, margin 10%: observed 105 passes the floor but sits inside
+  // the warning band (< 110).
+  options.gates.push_back(
+      {SloKind::kMinCounterRate, "t.done", 100.0, "min_rate"});
+  RuntimeMonitor monitor(std::move(options));
+  monitor.baseline();
+  done.add(105);
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.verdict, Verdict::kWarn);
+  EXPECT_EQ(report.gates[0].verdict, Verdict::kWarn);
+}
+
+TEST(Monitor, ZeroViolationGateTripsOnFirstViolation) {
+  FakeEnv env;
+  Counter& violations = env.registry.counter("t.violations");
+  MonitorOptions options = env.options();
+  options.gates.push_back(
+      {SloKind::kMaxCounterTotal, "t.violations", 0.0, "max_violations"});
+  RuntimeMonitor monitor(std::move(options));
+  monitor.baseline();
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().verdict, Verdict::kPass);
+  violations.add(1);
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().verdict, Verdict::kFail);
+}
+
+TEST(Monitor, RssGrowthAnchorsAtConfiguredSample) {
+  FakeEnv env;
+  MonitorOptions options = env.options();
+  options.rss_baseline_sample = 1;  // skip warm-up growth
+  options.gates.push_back(
+      {SloKind::kMaxRssGrowth, "", 1.5, "max_rss_growth"});
+  RuntimeMonitor monitor(std::move(options));
+  env.stats.rss_mb = 100.0;
+  monitor.baseline();
+
+  env.stats.rss_mb = 200.0;  // warm-up doubling; becomes the anchor
+  env.now_ns += kSecond;
+  monitor.sample_once();
+
+  env.stats.rss_mb = 250.0;  // 1.25x the anchor: inside the ceiling
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().verdict, Verdict::kPass);
+
+  env.stats.rss_mb = 400.0;  // 2x the anchor: leak-like growth
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().verdict, Verdict::kFail);
+}
+
+TEST(Monitor, GateOverUnknownMetricFails) {
+  // A typo'd metric name must not silently disable the SLO.
+  FakeEnv env;
+  MonitorOptions options = env.options();
+  options.gates.push_back(
+      {SloKind::kMinCounterRate, "t.doesnotexist", 1.0, "min_rate"});
+  RuntimeMonitor monitor(std::move(options));
+  monitor.baseline();
+  env.now_ns += kSecond;
+  monitor.sample_once();
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.verdict, Verdict::kFail);
+  EXPECT_NE(report.gates[0].detail.find("never observed"),
+            std::string::npos);
+}
+
+TEST(Monitor, TimelineIsOneJsonObjectPerLine) {
+  FakeEnv env;
+  env.registry.counter("t.done").add(1);
+  env.registry.gauge("t.gauge").set(2.5);
+  RuntimeMonitor monitor(env.options());
+  monitor.baseline();
+  for (int i = 0; i < 3; ++i) {
+    env.now_ns += kSecond;
+    monitor.sample_once();
+  }
+  std::istringstream lines(env.timeline.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"rss_mb\":100"), std::string::npos);
+    EXPECT_NE(line.find("\"threads\":3"), std::string::npos);
+    EXPECT_NE(line.find("\"t.gauge\":2.5"), std::string::npos);
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Monitor, SampleBeforeBaselineThrows) {
+  FakeEnv env;
+  RuntimeMonitor monitor(env.options());
+  EXPECT_THROW(monitor.sample_once(), InvalidArgument);
+}
+
+TEST(Monitor, BackgroundThreadProducesSamples) {
+  // Real clock, fast period: start() must sample on its own and finish()
+  // must stop the thread, take a final sample, and report.
+  MetricRegistry registry;
+  registry.counter("t.bg").add(1);
+  std::ostringstream timeline;
+  MonitorOptions options;
+  options.registry = &registry;
+  options.timeline = &timeline;
+  options.period = std::chrono::milliseconds(5);
+  RuntimeMonitor monitor(std::move(options));
+  monitor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const MonitorReport report = monitor.finish();
+  EXPECT_GE(report.samples, 3u);
+  EXPECT_EQ(report.verdict, Verdict::kPass);  // no gates
+  EXPECT_GE(timeline.str().size(), report.samples);  // one line each
+}
+
+TEST(Monitor, DoubleStartThrows) {
+  MetricRegistry registry;
+  MonitorOptions options;
+  options.registry = &registry;
+  options.period = std::chrono::hours(1);
+  RuntimeMonitor monitor(std::move(options));
+  monitor.start();
+  EXPECT_THROW(monitor.start(), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("svc.batch.latency_ms.hdlts-online"),
+            "svc_batch_latency_ms_hdlts_online");
+  EXPECT_EQ(prometheus_name("already_valid:name"), "already_valid:name");
+  EXPECT_EQ(prometheus_name("9starts.with.digit"), "_9starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(Prometheus, RendersCounterGaugeHistogramTriplet) {
+  MetricRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge").set(2.5);
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram& h = reg.histogram("c.hist", bounds);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  std::ostringstream os;
+  prometheus_render(reg, os);
+  const std::string want =
+      "# HELP a_count_total hdlts counter a.count\n"
+      "# TYPE a_count_total counter\n"
+      "a_count_total 3\n"
+      "# HELP b_gauge hdlts gauge b.gauge\n"
+      "# TYPE b_gauge gauge\n"
+      "b_gauge 2.5\n"
+      "# HELP c_hist hdlts histogram c.hist\n"
+      "# TYPE c_hist histogram\n"
+      "c_hist_bucket{le=\"1\"} 1\n"
+      "c_hist_bucket{le=\"10\"} 2\n"
+      "c_hist_bucket{le=\"+Inf\"} 3\n"
+      "c_hist_sum 105.5\n"
+      "c_hist_count 3\n";
+  EXPECT_EQ(os.str(), want);
+}
+
+TEST(Prometheus, NonFiniteValuesUseTheFormatLiterals) {
+  MetricRegistry reg;
+  reg.gauge("n.nan").set(std::nan(""));
+  reg.gauge("n.inf").set(std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  prometheus_render(reg, os);
+  EXPECT_NE(os.str().find("n_nan NaN\n"), std::string::npos);
+  EXPECT_NE(os.str().find("n_inf +Inf\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// util::Config (the stress_tool scenario strings)
+
+TEST(Config, ParsesTypedKeysAndTracksUse) {
+  util::Config config(
+      "duration=30, threads=4 ,rate=2.5,check=true,schedulers=heft+cpop");
+  EXPECT_EQ(config.get_int("duration", 0), 30);
+  EXPECT_EQ(config.get_int("threads", 0), 4);
+  EXPECT_DOUBLE_EQ(config.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(config.get_bool("check", false));
+  const std::vector<std::string> want = {"heft", "cpop"};
+  EXPECT_EQ(config.get_list("schedulers", ""), want);
+  EXPECT_TRUE(config.unused_keys().empty());
+}
+
+TEST(Config, FallbacksForAbsentKeys) {
+  util::Config config("a=1");
+  EXPECT_EQ(config.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(config.get_bool("missing", false));
+  EXPECT_EQ(config.get_string("missing", "x"), "x");
+  const std::vector<std::string> want = {"p", "q"};
+  EXPECT_EQ(config.get_list("missing", "p+q"), want);
+}
+
+TEST(Config, UnusedKeysSurfaceTypos) {
+  util::Config config("duration=30,duratoin=60");
+  (void)config.get_int("duration", 0);
+  const std::vector<std::string> unused = config.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "duratoin");
+}
+
+TEST(Config, MalformedInputThrows) {
+  EXPECT_THROW(util::Config("noequals"), InvalidArgument);
+  EXPECT_THROW(util::Config("=value"), InvalidArgument);
+  EXPECT_THROW(util::Config("a=1,a=2"), InvalidArgument);
+  util::Config config("n=30x,b=maybe");
+  EXPECT_THROW(config.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(config.get_double("n", 0.0), InvalidArgument);
+  EXPECT_THROW(config.get_bool("b", false), InvalidArgument);
+}
+
+TEST(Config, TrailingCommasAndEmptySegmentsAreIgnored) {
+  util::Config config("a=1,,b=2,");
+  EXPECT_EQ(config.size(), 2u);
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_EQ(config.get_int("b", 0), 2);
+  util::Config empty("");
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hdlts::obs

@@ -16,6 +16,7 @@
 #include "hdlts/metrics/experiment.hpp"
 #include "hdlts/obs/export.hpp"
 #include "hdlts/obs/metrics.hpp"
+#include "hdlts/obs/quantile.hpp"
 #include "hdlts/obs/span.hpp"
 #include "hdlts/obs/trace.hpp"
 #include "hdlts/sched/cpop.hpp"
@@ -101,6 +102,110 @@ TEST(Metrics, JsonDumpIsValidAndStableOrder) {
   EXPECT_EQ(json.find("inf"), std::string::npos);
 }
 
+TEST(Metrics, VisitIteratesInRegistrationOrder) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("v.counter");
+  Gauge& g = reg.gauge("v.gauge");
+  const std::array<double, 2> bounds = {1.0, 2.0};
+  Histogram& h = reg.histogram("v.hist", bounds);
+  std::vector<std::string> names;
+  std::vector<MetricView::Kind> kinds;
+  reg.visit([&](const MetricView& view) {
+    names.emplace_back(view.name);
+    kinds.push_back(view.kind);
+    switch (view.kind) {
+      case MetricView::Kind::kCounter:
+        EXPECT_EQ(view.counter, &c);
+        break;
+      case MetricView::Kind::kGauge:
+        EXPECT_EQ(view.gauge, &g);
+        break;
+      case MetricView::Kind::kHistogram:
+        EXPECT_EQ(view.histogram, &h);
+        break;
+    }
+  });
+  const std::vector<std::string> want = {"v.counter", "v.gauge", "v.hist"};
+  EXPECT_EQ(names, want);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], MetricView::Kind::kCounter);
+  EXPECT_EQ(kinds[1], MetricView::Kind::kGauge);
+  EXPECT_EQ(kinds[2], MetricView::Kind::kHistogram);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantile estimation
+
+TEST(Quantiles, EmptyHistogramIsNaN) {
+  MetricRegistry reg;
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram& h = reg.histogram("q.empty", bounds);
+  EXPECT_TRUE(std::isnan(histogram_quantile(h, 0.5)));
+}
+
+TEST(Quantiles, SingleBucketPointMassIsExact) {
+  // Every observation equal: the single-occupied-bucket mean estimator must
+  // return the value EXACTLY, not a bucket-interpolated approximation.
+  MetricRegistry reg;
+  const std::array<double, 3> bounds = {1.0, 10.0, 100.0};
+  Histogram& h = reg.histogram("q.point", bounds);
+  for (int i = 0; i < 7; ++i) h.observe(7.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.95), 7.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 7.0);
+}
+
+TEST(Quantiles, SingleBucketMixedValuesReturnTheMean) {
+  MetricRegistry reg;
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram& h = reg.histogram("q.mean", bounds);
+  h.observe(2.0);
+  h.observe(9.0);  // same bucket (1, 10]
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 5.5);
+}
+
+TEST(Quantiles, InterpolatesAcrossBuckets) {
+  const std::array<double, 2> bounds = {10.0, 20.0};
+  const std::array<std::uint64_t, 3> buckets = {10, 10, 0};
+  // rank(0.75) = 15 -> halfway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(
+      quantile_from_buckets(bounds, buckets, 0.0, 0.75), 15.0);
+  // rank(0.5) = 10 -> exactly the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(
+      quantile_from_buckets(bounds, buckets, 0.0, 0.5), 10.0);
+}
+
+TEST(Quantiles, OverflowQuantileReturnsLastBound) {
+  MetricRegistry reg;
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram& h = reg.histogram("q.over", bounds);
+  h.observe(0.5);
+  for (int i = 0; i < 99; ++i) h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 10.0);
+}
+
+TEST(Quantiles, JsonDumpCarriesExactPointMassPercentiles) {
+  MetricRegistry reg;
+  const std::array<double, 3> bounds = {1.0, 10.0, 100.0};
+  Histogram& h = reg.histogram("q.json", bounds);
+  for (int i = 0; i < 5; ++i) h.observe(7.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":7"), std::string::npos);
+}
+
+TEST(Quantiles, JsonDumpEmitsNullPercentilesWhileEmpty) {
+  MetricRegistry reg;
+  const std::array<double, 1> bounds = {1.0};
+  (void)reg.histogram("q.jsonempty", bounds);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"p99\":null"), std::string::npos);
+}
+
 TEST(Metrics, ConcurrentCountersSumExactly) {
   MetricRegistry reg;
   Counter& c = reg.counter("test.mt");
@@ -156,6 +261,54 @@ TEST(Spans, RingOverwritesOldestAndCountsDrops) {
   EXPECT_EQ(log.dropped(), 6u);
   EXPECT_EQ(log.snapshot().size(), 4u);
   log.disable();
+}
+
+TEST(Spans, WraparoundKeepsTheNewestEvents) {
+  SpanLog& log = SpanLog::global();
+  log.enable(3);
+  const char* names[] = {"obs_test.w0", "obs_test.w1", "obs_test.w2",
+                         "obs_test.w3", "obs_test.w4"};
+  for (const char* name : names) {
+    const TimingSpan span(name);
+  }
+  const auto events = log.snapshot();
+  log.disable();
+  // 5 spans through a 3-slot ring: the survivors are the last 3, in order.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "obs_test.w2");
+  EXPECT_STREQ(events[1].name, "obs_test.w3");
+  EXPECT_STREQ(events[2].name, "obs_test.w4");
+}
+
+TEST(Spans, ConcurrentEmissionCountsEverySpan) {
+  // Runs under the TSan CI job: multi-thread emission into the shared ring
+  // must be race-free and lose no counts (drops are accounted, not silent).
+  SpanLog& log = SpanLog::global();
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  log.enable(kCapacity);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const TimingSpan span("obs_test.mt");
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto events = log.snapshot();
+  EXPECT_EQ(log.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - kCapacity);
+  log.disable();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (const SpanEvent& ev : events) {
+    EXPECT_STREQ(ev.name, "obs_test.mt");
+    EXPECT_GE(ev.dur_ns, 0);
+    EXPECT_LT(ev.tid, static_cast<std::uint32_t>(kThreads) + 16u);
+  }
 }
 
 // ---------------------------------------------------------------------------
