@@ -29,6 +29,10 @@
 #include "hdlts/check/faultplan.hpp"
 #include "hdlts/check/validate.hpp"
 #include "hdlts/core/hdlts.hpp"
+#include "hdlts/core/online.hpp"
+#include "hdlts/net/client.hpp"
+#include "hdlts/net/protocol.hpp"
+#include "hdlts/net/server.hpp"
 #include "hdlts/obs/metrics.hpp"
 #include "hdlts/obs/monitor.hpp"
 #include "hdlts/obs/prometheus.hpp"
@@ -36,6 +40,7 @@
 #include "hdlts/svc/batch_engine.hpp"
 #include "hdlts/util/cli.hpp"
 #include "hdlts/util/config.hpp"
+#include "hdlts/util/json.hpp"
 #include "hdlts/util/rng.hpp"
 #include "hdlts/workload/fft.hpp"
 #include "hdlts/workload/forkjoin.hpp"
@@ -126,6 +131,90 @@ sim::Workload make_pool_workload(const Mix& mix, util::Rng& rng,
   return workload::forkjoin_workload(params, seed);
 }
 
+/// One pre-computed request scenario for the serve-mode soak: the submit
+/// frame a client sends (tenant/id filled in per send) plus the substring
+/// every correct response must contain. The expectation is computed by
+/// running the same generator spec directly — the daemon path must be
+/// bit-identical to the library path, so a single %.17g makespan digit of
+/// drift is a soak failure.
+struct ServeScenario {
+  std::string request_body;  ///< frame minus the leading {"op","id","tenant"
+  std::string expect;        ///< required response substring
+};
+
+std::string generator_json(const net::GeneratorSpec& spec) {
+  std::string out = "\"generator\":{\"kind\":\"" + spec.kind + "\"";
+  out += ",\"tasks\":" + std::to_string(spec.tasks);
+  out += ",\"cpus\":" + std::to_string(spec.cpus);
+  out += "}";
+  return out;
+}
+
+std::vector<ServeScenario> make_serve_scenarios(
+    const sched::Registry& registry, std::size_t count,
+    const std::vector<std::string>& schedulers, double online_fraction,
+    std::size_t tasks_min, std::size_t tasks_max, std::size_t procs_min,
+    std::size_t procs_max, std::uint64_t seed) {
+  std::vector<ServeScenario> scenarios;
+  scenarios.reserve(count);
+  util::Rng rng(util::derive_seed(seed, 10));
+  for (std::size_t i = 0; i < count; ++i) {
+    net::GeneratorSpec spec;  // random-DAG family, defaults otherwise
+    spec.tasks = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(tasks_min),
+        static_cast<std::int64_t>(tasks_max)));
+    spec.cpus = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(procs_min),
+        static_cast<std::int64_t>(procs_max)));
+    // Masked to 32 bits: the wire protocol carries seeds as exact JSON
+    // integers, so stay well inside the parser's integer range.
+    const std::uint64_t wl_seed = util::derive_seed(seed, 11, i) & 0xffffffffu;
+    const sim::Workload workload = net::make_workload(spec, wl_seed);
+
+    ServeScenario scenario;
+    if (rng.uniform() < online_fraction) {
+      // One mid-run failure, timed off the clean HDLTS makespan.
+      const sim::Problem problem(workload);
+      const double clean = core::Hdlts().schedule(problem).makespan();
+      const std::vector<core::ProcFailure> failures{{0, clean * 0.5}};
+      const core::ProcFailure& failure = failures.front();
+      const core::OnlineResult expected = core::run_online(workload, failures);
+      scenario.request_body =
+          ",\"kind\":\"online\",\"seed\":" + std::to_string(wl_seed) + "," +
+          generator_json(spec) + ",\"failures\":[{\"proc\":0,\"time\":" +
+          util::json_number(failure.time) + "}]}";
+      scenario.expect =
+          "\"completed\":" + std::string(expected.completed ? "true" : "false") +
+          ",\"makespan\":" + util::json_number(expected.makespan);
+    } else {
+      const sim::Problem problem(workload);
+      std::vector<std::string> entries;
+      for (const std::string& name : schedulers) {
+        const double makespan =
+            registry.make(name)->schedule(problem).makespan();
+        entries.push_back(net::render_static_entry(name, true, makespan, ""));
+      }
+      std::string expect = "\"results\":[";
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        if (e > 0) expect += ',';
+        expect += entries[e];
+      }
+      expect += "]";
+      std::string names;
+      for (const std::string& name : schedulers) {
+        if (!names.empty()) names += ',';
+        names += "\"" + name + "\"";
+      }
+      scenario.request_body =
+          ",\"kind\":\"static\",\"seed\":" + std::to_string(wl_seed) + "," +
+          generator_json(spec) + ",\"schedulers\":[" + names + "]}";
+      scenario.expect = expect;
+    }
+    scenarios.push_back(std::move(scenario));
+  }
+  return scenarios;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,6 +293,13 @@ int main(int argc, char** argv) {
         config.get_double("slo_max_rss_growth", 0.0);
     const std::int64_t slo_max_check_violations =
         config.get_int("slo_max_check_violations", 0);
+    // serve=1 runs the same soak through the loopback daemon instead of
+    // submitting to the engine in-process: an ephemeral net::Server is
+    // started and serve_clients worker threads drive it over real sockets,
+    // differentially checking every reply against a direct library run.
+    const bool serve = config.get_bool("serve", false);
+    const int serve_clients =
+        static_cast<int>(config.get_int("serve_clients", 2));
 
     const std::vector<std::string> unused = config.unused_keys();
     if (!unused.empty()) {
@@ -223,9 +319,164 @@ int main(int argc, char** argv) {
                    ">= 1 scheduler)\n";
       return 2;
     }
+    if (serve && serve_clients <= 0) {
+      std::cerr << "stress_tool: serve_clients must be positive\n";
+      return 2;
+    }
+
+    const sched::Registry registry = core::default_registry();
+
+    if (serve) {
+      // ---- Serve-mode soak: drive the loopback daemon over real sockets.
+      // Each client thread owns one connection and one tenant and submits
+      // pre-computed generator requests, checking every reply for the
+      // byte-exact substring a direct library run produced. Any drift (or
+      // any error frame) counts as a check violation and trips the
+      // zero-violation SLO gate.
+      obs::MetricRegistry& metrics = obs::MetricRegistry::global();
+      obs::Counter& c_completed = metrics.counter("soak.requests_completed");
+      obs::Counter& c_ok = metrics.counter("soak.results_ok");
+      obs::Counter& c_violations = metrics.counter("soak.check_violations");
+
+      std::cout << "stress_tool: generating " << num_problems
+                << " serve scenarios..." << std::endl;
+      const std::vector<ServeScenario> scenarios = make_serve_scenarios(
+          registry, num_problems, schedulers, online_fraction, tasks_min,
+          tasks_max, procs_min, procs_max, seed);
+
+      net::ServerOptions server_options;
+      server_options.engine_threads = threads;
+      server_options.engine_queue_capacity = queue_cap;
+      net::Server server(registry, server_options);
+      server.start();
+      std::cout << "stress_tool: daemon on 127.0.0.1:" << server.port()
+                << ", " << serve_clients << " client(s)" << std::endl;
+
+      std::ofstream timeline_file;
+      obs::MonitorOptions monitor_options;
+      monitor_options.period = std::chrono::milliseconds(monitor_period_ms);
+      if (!timeline_path.empty()) {
+        timeline_file.open(timeline_path);
+        if (!timeline_file) {
+          std::cerr << "stress_tool: cannot write timeline '" << timeline_path
+                    << "'\n";
+          return 2;
+        }
+        monitor_options.timeline = &timeline_file;
+      }
+      if (slo_min_rps > 0.0) {
+        monitor_options.gates.push_back(
+            {obs::SloKind::kMinCounterRate, "soak.requests_completed",
+             slo_min_rps, "min_rps"});
+      }
+      if (slo_max_p99_ms > 0.0) {
+        monitor_options.gates.push_back(
+            {obs::SloKind::kMaxHistogramP99, "svc.serve.latency_ms",
+             slo_max_p99_ms, "max_p99_ms.serve"});
+      }
+      if (slo_max_rss_growth > 0.0) {
+        monitor_options.gates.push_back({obs::SloKind::kMaxRssGrowth, "",
+                                         slo_max_rss_growth,
+                                         "max_rss_growth"});
+      }
+      if (slo_max_check_violations >= 0) {
+        monitor_options.gates.push_back(
+            {obs::SloKind::kMaxCounterTotal, "soak.check_violations",
+             static_cast<double>(slo_max_check_violations),
+             "max_check_violations"});
+      }
+      obs::RuntimeMonitor monitor(std::move(monitor_options));
+      monitor.start();
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto deadline =
+          t0 +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(duration_s));
+      std::atomic<std::uint64_t> sent{0};
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<std::size_t>(serve_clients));
+      for (int c = 0; c < serve_clients; ++c) {
+        clients.emplace_back([&, c] {
+          const std::string tenant = "t" + std::to_string(c);
+          try {
+            net::Client client(server.port());
+            util::Rng rng(util::derive_seed(seed, 20,
+                                            static_cast<std::uint64_t>(c)));
+            std::uint64_t id = 0;
+            while (std::chrono::steady_clock::now() < deadline) {
+              const ServeScenario& scenario = scenarios[static_cast<
+                  std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(scenarios.size()) - 1))];
+              const std::string reply = client.request(
+                  "{\"op\":\"submit\",\"id\":" + std::to_string(id) +
+                  ",\"tenant\":\"" + tenant + "\"" + scenario.request_body);
+              sent.fetch_add(1, std::memory_order_relaxed);
+              c_completed.add(1);
+              if (reply.find(scenario.expect) != std::string::npos) {
+                c_ok.add(1);
+              } else {
+                c_violations.add(1);
+                std::cerr << "stress_tool: " << tenant
+                          << " reply mismatch: " << reply.substr(0, 200)
+                          << "\n";
+              }
+              ++id;
+            }
+          } catch (const std::exception& e) {
+            c_violations.add(1);
+            std::cerr << "stress_tool: client " << tenant << ": " << e.what()
+                      << "\n";
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      server.request_drain();
+      server.wait();
+
+      const obs::MonitorReport report = monitor.finish();
+      const net::ServerStats sstats = server.stats();
+      const svc::BatchEngineStats estats = server.engine_stats();
+      std::cout << "stress_tool: serve soak: " << sent.load()
+                << " sent, accepted " << sstats.accepted << ", completed "
+                << sstats.completed << ", rejected " << sstats.rejected
+                << ", orphaned " << sstats.orphaned << ", engine "
+                << estats.submitted << "/" << estats.completed << "/"
+                << estats.cancelled << ", " << c_violations.value()
+                << " violations, " << report.samples << " monitor samples\n";
+      bool invariants_ok = true;
+      if (sstats.accepted != sstats.completed) {
+        invariants_ok = false;
+        std::cerr << "stress_tool: drain invariant violated: accepted "
+                  << sstats.accepted << " != completed " << sstats.completed
+                  << "\n";
+      }
+      if (estats.submitted != estats.completed + estats.cancelled) {
+        invariants_ok = false;
+        std::cerr << "stress_tool: engine invariant violated: submitted "
+                  << estats.submitted << " != completed " << estats.completed
+                  << " + cancelled " << estats.cancelled << "\n";
+      }
+      for (const obs::GateResult& gate : report.gates) {
+        std::cout << "  gate " << gate.detail << "\n";
+      }
+      std::cout << "stress_tool: verdict "
+                << obs::verdict_name(report.verdict) << std::endl;
+
+      if (!counters_path.empty()) {
+        std::ofstream out(counters_path);
+        metrics.write_json(out);
+        out << "\n";
+      }
+      if (!prom_path.empty()) {
+        std::ofstream out(prom_path);
+        obs::prometheus_render(metrics, out);
+      }
+      return (report.verdict == obs::Verdict::kFail || !invariants_ok) ? 1
+                                                                       : 0;
+    }
 
     // ---- Problem pool: five-family mix, clean makespans, fault plans.
-    const sched::Registry registry = core::default_registry();
     const sched::SchedulerPtr heft = registry.make("heft");
     std::vector<PooledProblem> pool(num_problems);
     util::Rng pool_rng(util::derive_seed(seed, 0));

@@ -7,7 +7,9 @@
 //   $ ./workflow_tool batch workloads.txt --schedulers=hdlts,heft --threads=8
 //   $ ./workflow_tool list
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -19,12 +21,16 @@
 #include "hdlts/graph/analysis.hpp"
 #include "hdlts/io/workload_io.hpp"
 #include "hdlts/metrics/metrics.hpp"
+#include "hdlts/net/client.hpp"
+#include "hdlts/net/server.hpp"
 #include "hdlts/obs/export.hpp"
+#include "hdlts/obs/monitor.hpp"
 #include "hdlts/obs/prometheus.hpp"
 #include "hdlts/report/gantt_svg.hpp"
 #include "hdlts/sim/gantt.hpp"
 #include "hdlts/svc/batch_engine.hpp"
 #include "hdlts/util/cli.hpp"
+#include "hdlts/util/config.hpp"
 #include "hdlts/util/json.hpp"
 #include "hdlts/util/table.hpp"
 #include "hdlts/workload/fft.hpp"
@@ -56,8 +62,26 @@ int usage() {
       "  workflow_tool online FILE [--fail=proc@frac ...] [--validate]\n"
       "      [--legacy]\n"
       "  workflow_tool stream FILE [FILE ...] [--arrivals=t1,t2,...]\n"
-      "      [--policy=pv|fifo] [--validate] [--legacy]\n";
+      "      [--policy=pv|fifo] [--validate] [--legacy]\n"
+      "  workflow_tool serve [--config=key=value,...] [--port-file=FILE]\n"
+      "      [--timeline=FILE]   (see docs/SERVICE.md for config keys)\n"
+      "  workflow_tool submit [--port=N|--port-file=FILE] [--tenant=T]\n"
+      "      [--kind=static|online|stream] [--id=N] [--seed=S] [--count=N]\n"
+      "      [--workload=FILE | --generator=random|fft|montage|md|gauss\n"
+      "       --tasks=N --cpus=P --ccr=X ...] [--schedulers=a,b,c]\n"
+      "      [--fail=proc@time ...] [--arrivals=t1,t2,...] [--policy=pv]\n"
+      "      [--raw-line=JSON] [--ping] [--stats] [--drain]\n"
+      "      [--expect=ok,QueueFull,...] [--metrics-out=FILE]\n"
+      "      [--timeout-ms=N]\n";
   return 2;
+}
+
+/// SIGTERM/SIGINT target for the serve verb (async-signal-safe drain).
+std::atomic<net::Server*> g_serve_server{nullptr};
+
+extern "C" void serve_signal_handler(int) {
+  net::Server* server = g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->notify_drain_async();
 }
 
 /// Parses a --fail spec "proc@frac"; frac scales the clean makespan.
@@ -144,6 +168,119 @@ sim::Workload generate(const util::Cli& cli) {
     return workload::gauss_workload(p, seed);
   }
   throw InvalidArgument("unknown workload kind '" + kind + "'");
+}
+
+/// Renders the submit verb's generator object from the CLI flags (all
+/// parameters are always emitted; the server applies the same defaults).
+std::string generator_json(const util::Cli& cli) {
+  std::string out = "{\"kind\":\"";
+  out += util::json_escape(cli.get("generator", "random"));
+  out += "\",\"tasks\":" + std::to_string(cli.get_int("tasks", 100));
+  out += ",\"alpha\":" + util::json_number(cli.get_double("alpha", 1.0));
+  out += ",\"density\":" + std::to_string(cli.get_int("density", 3));
+  out += ",\"points\":" + std::to_string(cli.get_int("points", 16));
+  out += ",\"nodes\":" + std::to_string(cli.get_int("nodes", 50));
+  out += ",\"matrix\":" + std::to_string(cli.get_int("matrix", 8));
+  out += ",\"cpus\":" + std::to_string(cli.get_int("cpus", 4));
+  out += ",\"ccr\":" + util::json_number(cli.get_double("ccr", 1.0));
+  out += ",\"beta\":" + util::json_number(cli.get_double("beta", 0.8));
+  out += ",\"wdag\":" + util::json_number(cli.get_double("wdag", 50.0));
+  out += "}";
+  return out;
+}
+
+/// Builds one submit frame from the CLI flags (without trailing newline).
+std::string submit_line(const util::Cli& cli, std::uint64_t id) {
+  const std::string kind = cli.get("kind", "static");
+  std::string line = "{\"op\":\"submit\",\"id\":" + std::to_string(id);
+  line += ",\"tenant\":\"" + util::json_escape(cli.get("tenant", "default")) +
+          "\"";
+  line += ",\"kind\":\"" + util::json_escape(kind) + "\"";
+  line += ",\"seed\":" + std::to_string(cli.get_int("seed", 1));
+
+  std::string payload;  // the workload/generator member, reused per arrival
+  if (cli.has("workload")) {
+    const std::string path = cli.get("workload", "");
+    std::ifstream in(path);
+    if (!in) throw InvalidArgument("cannot open workload '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    payload = "\"workload\":\"" + util::json_escape(text.str()) + "\"";
+  } else {
+    payload = "\"generator\":" + generator_json(cli);
+  }
+
+  if (kind == "stream") {
+    const std::vector<std::string> times = split_names(
+        cli.get("arrivals", "0,20"));
+    line += ",\"policy\":\"" + util::json_escape(cli.get("policy", "pv")) +
+            "\",\"arrivals\":[";
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (i > 0) line += ',';
+      line += "{" + payload + ",\"arrival\":" +
+              util::json_number(std::stod(times[i])) +
+              ",\"seed\":" +
+              std::to_string(cli.get_int("seed", 1) +
+                             static_cast<std::int64_t>(i)) +
+              "}";
+    }
+    line += "]";
+  } else {
+    line += "," + payload;
+    if (kind == "online") {
+      std::string failures;
+      for (const std::string& spec : cli.get_all("fail")) {
+        const auto at = spec.find('@');
+        if (at == std::string::npos) {
+          throw InvalidArgument("--fail expects proc@time, got '" + spec +
+                                "'");
+        }
+        if (!failures.empty()) failures += ',';
+        failures += "{\"proc\":" + spec.substr(0, at) +
+                    ",\"time\":" + spec.substr(at + 1) + "}";
+      }
+      if (!failures.empty()) line += ",\"failures\":[" + failures + "]";
+    } else {
+      line += ",\"schedulers\":[";
+      const auto names = split_names(cli.get("schedulers", "hdlts"));
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0) line += ',';
+        line += "\"" + util::json_escape(names[i]) + "\"";
+      }
+      line += "]";
+    }
+  }
+  line += "}";
+  return line;
+}
+
+/// Maps a response frame to its outcome class for --expect: "ok" for
+/// accepted responses, the taxonomy name ("QueueFull", ...) for errors.
+std::string classify_response(const std::string& line) {
+  if (line.rfind("{\"ok\":true", 0) == 0) return "ok";
+  const auto pos = line.find("\"error\":\"");
+  if (pos == std::string::npos) return "unparseable";
+  const auto start = pos + 9;
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return "unparseable";
+  return line.substr(start, end - start);
+}
+
+std::uint16_t resolve_port(const util::Cli& cli) {
+  if (cli.has("port")) {
+    return static_cast<std::uint16_t>(cli.get_int("port", 0));
+  }
+  const std::string path = cli.get("port-file", "");
+  if (path.empty()) {
+    throw InvalidArgument("submit needs --port or --port-file");
+  }
+  std::ifstream in(path);
+  int port = 0;
+  in >> port;
+  if (!in || port <= 0 || port > 65535) {
+    throw InvalidArgument("cannot read a port from '" + path + "'");
+  }
+  return static_cast<std::uint16_t>(port);
 }
 
 }  // namespace
@@ -455,6 +592,155 @@ int main(int argc, char** argv) {
                   << " executions replayed, all invariants hold\n";
       }
       return 0;
+    }
+
+    if (command == "serve") {
+      // Scheduling-as-a-service daemon (docs/SERVICE.md): admission control
+      // and per-tenant fair queuing in front of a svc::BatchEngine, drained
+      // gracefully on SIGTERM/SIGINT or the drain verb. Exit 0 = drained
+      // with invariants intact (and SLO gates passing when monitored).
+      util::Config config(cli.get("config", ""));
+      net::ServerOptions options = net::server_options_from_config(config);
+      const bool monitor_on = config.get_bool("monitor", false);
+      const auto monitor_period =
+          std::chrono::milliseconds(config.get_int("monitor_period_ms", 1000));
+      const double min_completed_rate =
+          config.get_double("min_completed_rate", 0.0);
+      const double max_p99_ms = config.get_double("max_p99_ms", 0.0);
+      const double max_rss_growth = config.get_double("max_rss_growth", 0.0);
+      if (const auto unused = config.unused_keys(); !unused.empty()) {
+        throw InvalidArgument("unknown serve config key '" + unused.front() +
+                              "'");
+      }
+
+      const auto registry = core::default_registry();
+      net::Server server(registry, options);
+      if (cli.has("port-file")) {
+        std::ofstream port_file(cli.get("port-file", ""));
+        port_file << server.port() << "\n";
+      }
+
+      obs::MonitorOptions monitor_options;
+      monitor_options.period = monitor_period;
+      std::ofstream timeline;
+      if (cli.has("timeline")) {
+        timeline.open(cli.get("timeline", "serve_timeline.jsonl"));
+        monitor_options.timeline = &timeline;
+      }
+      if (min_completed_rate > 0.0) {
+        monitor_options.gates.push_back({obs::SloKind::kMinCounterRate,
+                                         "svc.serve.completed",
+                                         min_completed_rate, "min_req_rate"});
+      }
+      if (max_p99_ms > 0.0) {
+        monitor_options.gates.push_back({obs::SloKind::kMaxHistogramP99,
+                                         "svc.serve.latency_ms", max_p99_ms,
+                                         "max_p99_ms"});
+      }
+      if (max_rss_growth > 0.0) {
+        monitor_options.gates.push_back({obs::SloKind::kMaxRssGrowth, "",
+                                         max_rss_growth, "max_rss_growth"});
+      }
+      obs::RuntimeMonitor monitor(monitor_options);
+
+      g_serve_server.store(&server, std::memory_order_release);
+      std::signal(SIGTERM, serve_signal_handler);
+      std::signal(SIGINT, serve_signal_handler);
+
+      if (monitor_on) monitor.start();
+      server.start();
+      std::cout << "listening on 127.0.0.1:" << server.port() << "\n"
+                << std::flush;
+      server.wait();
+      g_serve_server.store(nullptr, std::memory_order_release);
+
+      const auto stats = server.stats();
+      const auto engine = server.engine_stats();
+      std::cerr << "serve: drained; connections " << stats.connections
+                << ", accepted " << stats.accepted << ", completed "
+                << stats.completed << ", rejected " << stats.rejected
+                << ", orphaned " << stats.orphaned << ", engine "
+                << engine.completed << "/" << engine.submitted << "\n";
+      bool ok = true;
+      if (stats.accepted != stats.completed) {
+        std::cerr << "serve: INVARIANT VIOLATION accepted != completed\n";
+        ok = false;
+      }
+      if (engine.submitted != engine.completed + engine.cancelled) {
+        std::cerr << "serve: INVARIANT VIOLATION engine submitted != "
+                     "completed + cancelled\n";
+        ok = false;
+      }
+      if (monitor_on) {
+        const auto report = monitor.finish();
+        for (const auto& gate : report.gates) {
+          std::cerr << "serve: slo " << gate.gate.label << " "
+                    << obs::verdict_name(gate.verdict) << " (" << gate.detail
+                    << ")\n";
+        }
+        std::cerr << "serve: slo verdict "
+                  << obs::verdict_name(report.verdict) << " over "
+                  << report.samples << " samples\n";
+        if (report.verdict == obs::Verdict::kFail) ok = false;
+      }
+      return ok ? 0 : 1;
+    }
+
+    if (command == "submit") {
+      // Blocking client for the serve daemon. Pipelines --count copies of
+      // the request, prints each response frame to stdout, and (optionally)
+      // checks every outcome against --expect. Exit 3 = unexpected outcome.
+      const auto timeout =
+          std::chrono::milliseconds(cli.get_int("timeout-ms", 30000));
+      const std::uint16_t port = resolve_port(cli);
+
+      std::vector<std::string> lines;
+      if (cli.has("raw-line")) {
+        lines.push_back(cli.get("raw-line", ""));
+      } else if (cli.get_bool("ping", false)) {
+        lines.push_back("{\"op\":\"ping\"}");
+      } else if (cli.get_bool("stats", false)) {
+        lines.push_back("{\"op\":\"stats\"}");
+      } else if (cli.get_bool("drain", false)) {
+        lines.push_back("{\"op\":\"drain\"}");
+      } else if (cli.has("workload") || cli.has("generator")) {
+        const auto count =
+            static_cast<std::uint64_t>(cli.get_int("count", 1));
+        const auto base_id = static_cast<std::uint64_t>(cli.get_int("id", 1));
+        for (std::uint64_t i = 0; i < count; ++i) {
+          lines.push_back(submit_line(cli, base_id + i));
+        }
+      } else if (!cli.has("metrics-out")) {
+        return usage();
+      }
+
+      int exit_code = 0;
+      if (!lines.empty()) {
+        net::Client client(port, timeout);
+        for (const auto& line : lines) client.send_line(line);
+        const std::vector<std::string> expect =
+            split_names(cli.get("expect", ""));
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          const std::string response = client.recv_line();
+          std::cout << response << "\n";
+          if (!expect.empty()) {
+            const std::string outcome = classify_response(response);
+            if (std::find(expect.begin(), expect.end(), outcome) ==
+                expect.end()) {
+              std::cerr << "unexpected outcome '" << outcome << "' (expected "
+                        << cli.get("expect", "") << ")\n";
+              exit_code = 3;
+            }
+          }
+        }
+      }
+      if (cli.has("metrics-out")) {
+        const std::string path = cli.get("metrics-out", "metrics.prom");
+        std::ofstream out(path);
+        out << net::Client::scrape_metrics(port, timeout);
+        std::cerr << "wrote " << path << "\n";
+      }
+      return exit_code;
     }
 
     if (command == "schedule") {

@@ -1,0 +1,99 @@
+#include "hdlts/net/client.hpp"
+
+#include <poll.h>
+
+#include <array>
+#include <cerrno>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::net {
+
+namespace {
+
+// Response frames can carry large stream arrays; the client bound only
+// protects against a runaway peer, so it is deliberately generous.
+constexpr std::size_t kMaxResponseBytes = 64u << 20;
+
+/// Waits until `fd` is readable; false on timeout.
+bool wait_readable(int fd, std::chrono::milliseconds timeout) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw Error(errno_message("poll"));
+  }
+}
+
+}  // namespace
+
+Client::Client(std::uint16_t port, std::chrono::milliseconds timeout)
+    : fd_(connect_tcp(port)), framer_(kMaxResponseBytes), timeout_(timeout) {}
+
+void Client::send_line(std::string_view line) {
+  if (!fd_.valid()) throw Error("client connection is closed");
+  std::string frame(line);
+  frame += '\n';
+  if (!send_all(fd_.get(), frame)) {
+    throw Error(errno_message("send to server"));
+  }
+}
+
+std::string Client::recv_line() {
+  if (!fd_.valid()) throw Error("client connection is closed");
+  std::string frame;
+  std::array<char, 65536> buffer;
+  for (;;) {
+    const auto next = framer_.next(frame);
+    if (next == LineFramer::Next::kFrame) return frame;
+    if (next == LineFramer::Next::kOverflow) {
+      throw Error("response frame exceeds client bound");
+    }
+    if (!wait_readable(fd_.get(), timeout_)) {
+      throw Error("timed out waiting for server response");
+    }
+    const long n = recv_some(fd_.get(), buffer.data(), buffer.size());
+    if (n < 0) throw Error(errno_message("recv from server"));
+    if (n == 0) throw Error("server closed the connection");
+    framer_.feed(
+        std::string_view(buffer.data(), static_cast<std::size_t>(n)));
+  }
+}
+
+std::string Client::request(std::string_view line) {
+  send_line(line);
+  return recv_line();
+}
+
+void Client::close() { fd_.reset(); }
+
+std::string Client::scrape_metrics(std::uint16_t port,
+                                   std::chrono::milliseconds timeout) {
+  Fd fd = connect_tcp(port);
+  if (!send_all(fd.get(), "GET /metrics\n")) {
+    throw Error(errno_message("send scrape request"));
+  }
+  // The server answers with one HTTP response and closes: read to EOF.
+  std::string response;
+  std::array<char, 65536> buffer;
+  for (;;) {
+    if (!wait_readable(fd.get(), timeout)) {
+      throw Error("timed out waiting for metrics scrape");
+    }
+    const long n = recv_some(fd.get(), buffer.data(), buffer.size());
+    if (n < 0) throw Error(errno_message("recv scrape response"));
+    if (n == 0) break;
+    response.append(buffer.data(), static_cast<std::size_t>(n));
+    if (response.size() > kMaxResponseBytes) {
+      throw Error("metrics scrape exceeds client bound");
+    }
+  }
+  const auto split = response.find("\r\n\r\n");
+  if (response.rfind("HTTP/1.0 200", 0) != 0 || split == std::string::npos) {
+    throw Error("malformed metrics scrape response");
+  }
+  return response.substr(split + 4);
+}
+
+}  // namespace hdlts::net

@@ -1,0 +1,56 @@
+// Blocking client for the serve wire protocol: line-oriented
+// request/response over a loopback TCP connection, plus a one-shot
+// Prometheus scrape helper. Used by `workflow_tool submit`, the soak
+// harness's serve mode, and tests/serve_test.cpp.
+//
+// The client supports pipelining — send_line N times, then recv_line N
+// times — which is how the CI queue-full scenario provokes admission
+// rejections deterministically (the server reads a burst faster than the
+// single-threaded engine drains it).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hdlts/net/frame.hpp"
+#include "hdlts/net/socket.hpp"
+
+namespace hdlts::net {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port` (throws hdlts::Error on failure).
+  /// `timeout` bounds each recv_line wait.
+  explicit Client(std::uint16_t port,
+                  std::chrono::milliseconds timeout =
+                      std::chrono::milliseconds(30000));
+
+  /// Sends one request frame (`line` must not contain '\n'; the terminator
+  /// is appended). Throws hdlts::Error when the peer is gone.
+  void send_line(std::string_view line);
+
+  /// Blocks for the next response frame. Throws hdlts::Error on timeout or
+  /// connection loss.
+  std::string recv_line();
+
+  /// send_line + recv_line.
+  std::string request(std::string_view line);
+
+  /// Closes the connection (also happens on destruction).
+  void close();
+
+  /// One-shot scrape on a fresh connection: sends "GET /metrics", strips
+  /// the HTTP response headers, returns the Prometheus text body.
+  static std::string scrape_metrics(std::uint16_t port,
+                                    std::chrono::milliseconds timeout =
+                                        std::chrono::milliseconds(30000));
+
+ private:
+  Fd fd_;
+  LineFramer framer_;
+  std::chrono::milliseconds timeout_;
+};
+
+}  // namespace hdlts::net

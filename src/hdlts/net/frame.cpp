@@ -1,0 +1,35 @@
+#include "hdlts/net/frame.hpp"
+
+namespace hdlts::net {
+
+void LineFramer::feed(std::string_view bytes) {
+  if (overflowed_) return;  // discard; the connection is doomed anyway
+  buffer_.append(bytes);
+}
+
+LineFramer::Next LineFramer::next(std::string& frame) {
+  if (overflowed_) return Next::kOverflow;
+  const std::size_t nl = buffer_.find('\n', scan_from_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() > max_frame_bytes_) {
+      overflowed_ = true;
+      buffer_.clear();
+      return Next::kOverflow;
+    }
+    scan_from_ = buffer_.size();
+    return Next::kNeedMore;
+  }
+  std::size_t len = nl;
+  if (len > 0 && buffer_[len - 1] == '\r') --len;
+  if (len > max_frame_bytes_) {
+    overflowed_ = true;
+    buffer_.clear();
+    return Next::kOverflow;
+  }
+  frame.assign(buffer_, 0, len);
+  buffer_.erase(0, nl + 1);
+  scan_from_ = 0;
+  return Next::kFrame;
+}
+
+}  // namespace hdlts::net

@@ -1,0 +1,48 @@
+// Length-bounded JSONL framing for the service wire protocol
+// (docs/SERVICE.md): one frame is one JSON value on one line, terminated by
+// '\n' (a preceding '\r' is stripped so netcat/telnet clients work).
+//
+// The framer is a pure byte-stream splitter — it never looks inside a frame.
+// Its one security-relevant job is the length bound: a peer that streams
+// max_frame_bytes without a newline is flagged as kOverflow and the caller
+// must close the connection (there is no way to re-synchronise a line
+// protocol after an oversized line, because the overflowing bytes have
+// already been discarded).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace hdlts::net {
+
+class LineFramer {
+ public:
+  /// `max_frame_bytes` bounds one frame's length EXCLUDING the newline.
+  explicit LineFramer(std::size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the socket.
+  void feed(std::string_view bytes);
+
+  enum class Next {
+    kFrame,     ///< `frame` holds one complete line (newline stripped)
+    kNeedMore,  ///< no complete line buffered yet
+    kOverflow,  ///< line exceeded max_frame_bytes — close the connection
+  };
+
+  /// Extracts the next complete frame into `frame` (overwritten). After
+  /// kOverflow the framer stays in the overflow state forever.
+  Next next(std::string& frame);
+
+  std::size_t buffered() const { return buffer_.size(); }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;  ///< buffer_ prefix already known newline-free
+  bool overflowed_ = false;
+};
+
+}  // namespace hdlts::net

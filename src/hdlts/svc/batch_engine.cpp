@@ -44,6 +44,13 @@ struct BatchEngine::Worker {
   core::OnlineHdlts online;
   core::OnlineResult online_result;
   obs::Histogram* online_latency = nullptr;
+  /// Stream-request state, one scheduler per (policy, pv) combination seen
+  /// by this worker. compile() re-freezes the combined problem per request,
+  /// so stream jobs allocate; the instances are still recycled for their
+  /// warm arenas and the result buffer.
+  std::map<std::pair<int, int>, core::StreamHdlts> stream;
+  core::StreamResult stream_result;
+  obs::Histogram* stream_latency = nullptr;
   /// Steal transfer buffer (sized up front to the worst-case half-queue):
   /// stolen requests are copied here under the victim's lock, then moved on
   /// without ever holding two shard locks. Slots recycle their capacity the
@@ -168,6 +175,23 @@ bool BatchEngine::enqueue_locked(const BatchRequest& request) {
 namespace {
 
 void check_request(const BatchRequest& request) {
+  if (request.job == BatchJob::kStream) {
+    if (request.problem != nullptr || request.generator != nullptr) {
+      throw InvalidArgument(
+          "kStream BatchRequest must leave problem/generator unset");
+    }
+    if (request.arrivals == nullptr || request.arrivals->empty()) {
+      throw InvalidArgument("kStream BatchRequest needs >= 1 arrival");
+    }
+    if (!request.schedulers.empty()) {
+      throw InvalidArgument(
+          "kStream BatchRequest must leave schedulers empty");
+    }
+    return;
+  }
+  if (request.arrivals != nullptr) {
+    throw InvalidArgument("arrivals are only valid on kStream requests");
+  }
   if ((request.problem == nullptr) == (request.generator == nullptr)) {
     throw InvalidArgument(
         "BatchRequest needs exactly one of problem/generator");
@@ -419,6 +443,45 @@ void BatchEngine::worker_loop(Worker& worker) {
 
 void BatchEngine::process(Worker& worker, const BatchRequest& request) {
   const obs::TimingSpan span("svc.batch.request");
+
+  if (request.job == BatchJob::kStream) {
+    // Stream request: freeze the arrival list into one combined problem and
+    // schedule it; one "hdlts-stream" result. The StreamHdlts instance is
+    // recycled per (policy, pv) combination for its warm arena.
+    BatchResult result;
+    result.id = request.id;
+    result.seed = request.seed;
+    result.scheduler = "hdlts-stream";
+    try {
+      if (worker.stream_latency == nullptr) {
+        worker.stream_latency = &obs::MetricRegistry::global().histogram(
+            "svc.batch.latency_ms.hdlts-stream", kLatencyBoundsMs);
+      }
+      const auto key =
+          std::make_pair(static_cast<int>(request.stream_options.policy),
+                         static_cast<int>(request.stream_options.pv));
+      auto it = worker.stream.find(key);
+      if (it == worker.stream.end()) {
+        it = worker.stream
+                 .emplace(key, core::StreamHdlts(request.stream_options))
+                 .first;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      it->second.compile(*request.arrivals);
+      it->second.run_into(worker.stream_result);
+      const auto t1 = std::chrono::steady_clock::now();
+      worker.stream_latency->observe(elapsed_ms(t0, t1));
+      result.ok = true;
+      result.makespan = worker.stream_result.makespan;
+      result.stream = &worker.stream_result;
+    } catch (const std::exception& e) {
+      worker.error = e.what();
+      result.error = worker.error;
+      note_sched_failure();
+    }
+    on_result_(result);
+    return;
+  }
 
   const sim::Problem* problem = request.problem;
   if (request.generator != nullptr) {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "hdlts/core/online.hpp"
+#include "hdlts/core/stream.hpp"
 #include "hdlts/sched/registry.hpp"
 #include "hdlts/sim/problem.hpp"
 #include "hdlts/sim/schedule.hpp"
@@ -68,6 +69,8 @@ enum class BatchJob {
   kStatic,  ///< each named scheduler once over the problem (the default)
   kOnline,  ///< the compiled dynamic scheduler (core::OnlineHdlts) under the
             ///< request's fault plan; delivers a single "hdlts-online" result
+  kStream,  ///< a workflow stream (core::StreamHdlts) over the request's
+            ///< arrival list; delivers a single "hdlts-stream" result
 };
 
 /// One unit of work: a problem (given directly, or generated on the worker
@@ -91,6 +94,13 @@ struct BatchRequest {
   /// Fault plan for kOnline jobs (by value: ring slots recycle the vector's
   /// capacity the same way they recycle the scheduler-name strings).
   std::vector<core::ProcFailure> failures;
+  /// kStream jobs only: the arrival list (non-owning, must outlive the
+  /// request's completion; problem/generator must both be null). Stream
+  /// requests re-freeze the combined problem per run, so unlike
+  /// kStatic/kOnline they are not zero-allocation in steady state.
+  const std::vector<core::StreamArrival>* arrivals = nullptr;
+  /// kStream jobs only: ITQ policy + PV kind for the stream run.
+  core::StreamOptions stream_options;
 };
 
 /// Delivered to the result callback once per (request, scheduler), on the
@@ -114,6 +124,9 @@ struct BatchResult {
   /// only for the duration of the callback). ok stays true even when the
   /// fault plan killed every processor — inspect online->completed.
   const core::OnlineResult* online = nullptr;
+  /// kStream jobs only: the stream run (the worker's recycled buffer, valid
+  /// only for the duration of the callback).
+  const core::StreamResult* stream = nullptr;
 };
 
 /// Must be thread-safe: workers invoke it concurrently.

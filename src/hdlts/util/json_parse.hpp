@@ -1,0 +1,89 @@
+// Minimal JSON parser for the service wire protocol (hdlts/net/). The
+// library so far only *writes* JSON (util/json.hpp); the serve daemon also
+// has to read it from untrusted network peers, so this parser is strict and
+// bounded by construction:
+//
+//  * full RFC 8259 value grammar (null/bool/number/string/array/object),
+//    UTF-8 passed through opaquely, \uXXXX escapes decoded to UTF-8;
+//  * a hard nesting-depth limit (default 32) so a "[[[[..." frame cannot
+//    recurse the stack away;
+//  * numbers parse via strtod into double (the only numeric type the
+//    protocol uses); integers that fit exactly are exact;
+//  * trailing garbage after the value is an error — a frame is one value.
+//
+// Errors throw util::JsonParseError with a byte offset, which the protocol
+// layer maps onto the kMalformedRequest taxonomy (docs/SERVICE.md).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hdlts/util/error.hpp"
+
+namespace hdlts::util {
+
+class JsonParseError : public Error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : Error(what + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+/// One parsed JSON value. Object member order is not preserved (the
+/// protocol is name-addressed); duplicate keys are an error.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed access; throws InvalidArgument on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; null when absent (or when not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+struct JsonParseOptions {
+  /// Maximum container nesting depth before the parser rejects the input.
+  std::size_t max_depth = 32;
+};
+
+/// Parses exactly one JSON value covering the whole input (leading and
+/// trailing whitespace allowed). Throws JsonParseError on any violation.
+JsonValue parse_json(std::string_view text, JsonParseOptions options = {});
+
+}  // namespace hdlts::util

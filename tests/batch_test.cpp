@@ -20,6 +20,7 @@
 
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/core/online.hpp"
+#include "hdlts/core/stream.hpp"
 #include "hdlts/obs/metrics.hpp"
 #include "hdlts/util/env.hpp"
 #include "hdlts/util/rng.hpp"
@@ -474,6 +475,88 @@ TEST(BatchEngine, OnlineJobsMatchDirectRuns) {
       EXPECT_EQ(lost.at(id), want.lost_executions) << "id " << id;
     }
   }
+}
+
+TEST(BatchEngine, StreamJobsMatchDirectRuns) {
+  // A kStream request must deliver exactly the result core::run_stream
+  // produces for the same arrival list, under both ITQ policies, regardless
+  // of which worker picks it up or how warm its recycled stream state is.
+  std::vector<core::StreamArrival> arrivals;
+  arrivals.push_back({make_workload(20, 3, 1), 0.0});
+  arrivals.push_back({make_workload(15, 3, 2), 12.5});
+  arrivals.push_back({make_workload(25, 3, 3), 30.0});
+  std::vector<core::StreamOptions> variants(2);
+  variants[0].policy = core::StreamPolicy::kHdltsPv;
+  variants[1].policy = core::StreamPolicy::kFifoEft;
+  const sched::Registry registry = core::default_registry();
+  std::mutex mu;
+  std::map<std::uint64_t, core::StreamResult> got;
+  BatchEngineOptions options;
+  options.threads = 2;
+  BatchEngine engine(
+      registry,
+      [&](const BatchResult& r) {
+        EXPECT_EQ(r.scheduler, "hdlts-stream");
+        EXPECT_TRUE(r.ok) << r.error;
+        ASSERT_NE(r.stream, nullptr);
+        std::lock_guard lock(mu);
+        got[r.id] = *r.stream;  // copy the worker's recycled buffer
+      },
+      options);
+  for (std::size_t round = 0; round < 2; ++round) {  // warm + reuse
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      BatchRequest request;
+      request.id = round * variants.size() + v;
+      request.job = svc::BatchJob::kStream;
+      request.arrivals = &arrivals;
+      request.stream_options = variants[v];
+      ASSERT_TRUE(engine.submit(request));
+    }
+  }
+  engine.shutdown();
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t round = 0; round < 2; ++round) {
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const core::StreamResult want = core::run_stream(arrivals, variants[v]);
+      const core::StreamResult& have = got.at(round * variants.size() + v);
+      EXPECT_EQ(have.makespan, want.makespan);
+      EXPECT_EQ(have.finish, want.finish);
+      EXPECT_EQ(have.flow_time, want.flow_time);
+      ASSERT_EQ(have.executions.size(), want.executions.size());
+      for (std::size_t i = 0; i < want.executions.size(); ++i) {
+        EXPECT_EQ(have.executions[i].workflow, want.executions[i].workflow);
+        EXPECT_EQ(have.executions[i].task, want.executions[i].task);
+        EXPECT_EQ(have.executions[i].proc, want.executions[i].proc);
+        EXPECT_EQ(have.executions[i].start, want.executions[i].start);
+        EXPECT_EQ(have.executions[i].finish, want.executions[i].finish);
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, StreamJobValidation) {
+  const sched::Registry registry = core::default_registry();
+  BatchEngine engine(registry, [](const BatchResult&) {}, {});
+  const sim::Workload w = make_workload(10, 3, 1);
+  const sim::Problem problem(w);
+  std::vector<core::StreamArrival> arrivals;
+  arrivals.push_back({make_workload(10, 3, 2), 0.0});
+
+  BatchRequest request;
+  request.job = svc::BatchJob::kStream;
+  request.arrivals = &arrivals;
+  request.problem = &problem;  // kStream must leave problem unset
+  EXPECT_THROW(engine.submit(request), InvalidArgument);
+
+  request.problem = nullptr;
+  request.arrivals = nullptr;  // and needs arrivals
+  EXPECT_THROW(engine.submit(request), InvalidArgument);
+
+  request.job = svc::BatchJob::kStatic;
+  request.problem = &problem;
+  request.schedulers = {"heft"};
+  request.arrivals = &arrivals;  // arrivals only valid on kStream
+  EXPECT_THROW(engine.submit(request), InvalidArgument);
 }
 
 TEST(BatchEngine, OnlineJobWithSchedulerNamesThrows) {
