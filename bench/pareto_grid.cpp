@@ -1,0 +1,65 @@
+// Pareto grid: the multi-objective view of the comparison set. For each CCR
+// cell of the random-DAG family, metrics::compare_schedulers aggregates
+// makespan x energy x deadline-miss-rate per scheduler (deadline = factor *
+// makespan_lower_bound per repetition), and metrics::pareto_frontier picks
+// the non-dominated set. The frontier column shows which schedulers survive
+// when joules and deadlines count, not just schedule length — the
+// energy-aware HDLTS variant typically joins the frontier at high CCR where
+// the baseline burns duplicates.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hdlts/core/hdlts.hpp"
+#include "hdlts/metrics/experiment.hpp"
+#include "hdlts/util/env.hpp"
+#include "hdlts/util/rng.hpp"
+#include "hdlts/util/table.hpp"
+#include "hdlts/workload/random_dag.hpp"
+
+int main() {
+  using namespace hdlts;
+  const std::size_t reps = bench::bench_reps(30);
+  const auto base_seed =
+      static_cast<std::uint64_t>(util::env_int("HDLTS_SEED", 42));
+  const sched::Registry reg = core::default_registry();
+  const std::vector<std::string> names = {"hdlts", "hdlts-energy",
+                                          "hdlts-nodup", "heft", "cpop"};
+  const double ccrs[] = {0.5, 1.0, 2.0, 4.0};
+
+  std::cout << "== pareto_grid: makespan x energy x deadline miss rate ==\n"
+            << "random DAGs, 40 tasks, 4 CPUs, deadline = 1.5 * lower bound, "
+            << reps << " repetitions per cell\n\n";
+
+  util::Table table({"ccr", "scheduler", "makespan", "energy", "miss rate",
+                     "frontier"});
+  for (const double ccr : ccrs) {
+    metrics::WorkloadFactory factory = [ccr](std::uint64_t seed) {
+      workload::RandomDagParams p;
+      p.num_tasks = 40;
+      p.costs.num_procs = 4;
+      p.costs.ccr = ccr;
+      return workload::random_workload(p, seed);
+    };
+    metrics::CompareOptions options;
+    options.repetitions = reps;
+    options.base_seed = util::derive_seed(
+        base_seed, static_cast<std::uint64_t>(ccr * 1000.0));
+    options.deadline_factor = 1.5;
+    const std::vector<metrics::SchedulerSummary> summaries =
+        metrics::compare_schedulers(factory, names, reg, options);
+    const std::vector<metrics::ParetoPoint> frontier =
+        metrics::pareto_frontier(summaries);
+    for (const metrics::ParetoPoint& p : metrics::pareto_points(summaries)) {
+      bool on_frontier = false;
+      for (const metrics::ParetoPoint& f : frontier) {
+        if (f.scheduler == p.scheduler) on_frontier = true;
+      }
+      table.add_row({"ccr=" + util::fmt(ccr, 1), p.scheduler,
+                     util::fmt(p.makespan, 1), util::fmt(p.energy, 1),
+                     util::fmt(p.miss_rate, 2), on_frontier ? "*" : ""});
+    }
+  }
+  table.write_markdown(std::cout);
+  std::cout << std::endl;
+  return 0;
+}

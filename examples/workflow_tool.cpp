@@ -20,6 +20,7 @@
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/graph/analysis.hpp"
 #include "hdlts/io/workload_io.hpp"
+#include "hdlts/metrics/experiment.hpp"
 #include "hdlts/metrics/metrics.hpp"
 #include "hdlts/net/client.hpp"
 #include "hdlts/net/server.hpp"
@@ -55,6 +56,7 @@ int usage() {
       "      [--counters-out=FILE] [--prom-out=FILE]\n"
       "  workflow_tool profile FILE\n"
       "  workflow_tool compare FILE [--schedulers=a,b,c]\n"
+      "      [--pareto] [--reps=N] [--seed=S] [--deadline-factor=X]\n"
       "      [--trace-out=FILE] [--counters-out=FILE] [--prom-out=FILE]\n"
       "  workflow_tool batch WORKLOADS.txt [--schedulers=a,b,c]\n"
       "      [--threads=N] [--queue-cap=N] [--out=FILE.jsonl] [--check]\n"
@@ -330,6 +332,51 @@ int main(int argc, char** argv) {
       const auto registry = core::default_registry();
       const std::vector<std::string> names = split_names(
           cli.get("schedulers", "hdlts,heft,pets,cpop,peft,sdbats,dheft"));
+      if (cli.has("pareto")) {
+        // Multi-objective mode: aggregate makespan / energy / deadline-miss
+        // rate per scheduler over --reps repetitions of this workload and
+        // report the Pareto frontier as JSON on stdout. The frontier order
+        // is deterministic (metrics::pareto_frontier sorts it).
+        metrics::CompareOptions copts;
+        copts.repetitions = static_cast<std::size_t>(
+            std::max<std::int64_t>(1, cli.get_int("reps", 1)));
+        copts.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+        copts.deadline_factor = cli.get_double("deadline-factor", 0.0);
+        const metrics::WorkloadFactory factory =
+            [&w](std::uint64_t) { return w; };
+        const std::vector<metrics::SchedulerSummary> summaries =
+            metrics::compare_schedulers(factory, names, registry, copts);
+        const std::vector<metrics::ParetoPoint> points =
+            metrics::pareto_points(summaries);
+        const std::vector<metrics::ParetoPoint> frontier =
+            metrics::pareto_frontier(summaries);
+        auto on_frontier = [&frontier](const std::string& name) {
+          return std::any_of(
+              frontier.begin(), frontier.end(),
+              [&](const metrics::ParetoPoint& f) { return f.scheduler == name; });
+        };
+        std::cout << "{\"objectives\": [\"makespan\", \"energy\", "
+                     "\"deadline_miss_rate\"],\n \"deadline_factor\": "
+                  << util::json_number(copts.deadline_factor)
+                  << ",\n \"schedulers\": [";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const metrics::ParetoPoint& p = points[i];
+          std::cout << (i == 0 ? "" : ",") << "\n  {\"scheduler\": \""
+                    << util::json_escape(p.scheduler) << "\", \"makespan\": "
+                    << util::json_number(p.makespan) << ", \"energy\": "
+                    << util::json_number(p.energy)
+                    << ", \"deadline_miss_rate\": "
+                    << util::json_number(p.miss_rate) << ", \"on_frontier\": "
+                    << (on_frontier(p.scheduler) ? "true" : "false") << "}";
+        }
+        std::cout << "\n ],\n \"frontier\": [";
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+          std::cout << (i == 0 ? "" : ", ") << "\""
+                    << util::json_escape(frontier[i].scheduler) << "\"";
+        }
+        std::cout << "]}\n";
+        return 0;
+      }
       obs::RecordingTrace recording;
       const bool tracing = cli.has("trace-out");
       if (tracing) obs::SpanLog::global().enable();

@@ -6,6 +6,7 @@
 
 #include "hdlts/check/faultplan.hpp"
 #include "hdlts/check/validate.hpp"
+#include "hdlts/core/periodic.hpp"
 #include "hdlts/graph/algorithms.hpp"
 #include "hdlts/util/rng.hpp"
 #include "hdlts/workload/fft.hpp"
@@ -164,6 +165,11 @@ void diff_stream(const core::StreamResult& compiled,
                      std::to_string(i));
       return;
     }
+  }
+  if (compiled.deadline_missed != legacy.deadline_missed ||
+      compiled.deadline_misses != legacy.deadline_misses ||
+      compiled.hard_deadline_misses != legacy.hard_deadline_misses) {
+    out->push_back("compiled/legacy stream divergence: deadline accounting");
   }
 }
 
@@ -339,6 +345,44 @@ DstReport run_dst(const DstOptions& options) {
         cx.scenario = policy == core::StreamPolicy::kHdltsPv
                           ? "stream (hdlts-pv policy)"
                           : "stream (fifo-eft policy)";
+        cx.violations = std::move(violations);
+        cx.reproducer = "seed=" + std::to_string(seed) + " family=" +
+                        kFamilies[family] + " scenario=" + cx.scenario +
+                        " violation: " + cx.violations.front();
+        report.counterexamples.push_back(std::move(cx));
+      }
+
+      if (!options.include_periodic) continue;
+      // Periodic round: jittered arrivals with soft/hard deadlines on a
+      // pre-occupied platform, replayed through the deadline-aware
+      // validator and the legacy differential.
+      const core::PeriodicStreamParams pparams;
+      const core::PeriodicStream periodic = core::make_periodic_stream(
+          pparams,
+          [&](std::size_t index, std::uint64_t wseed) {
+            util::Rng wf_rng(wseed);
+            return build_workload(family, num_procs, seed, 100 + index,
+                                  wf_rng);
+          },
+          seed);
+      ++report.stream_runs;
+      core::StreamOptions sopt;
+      sopt.policy = core::StreamPolicy::kHdltsPv;
+      const core::StreamResult pres =
+          core::run_stream(periodic.arrivals, sopt, nullptr, periodic.busy);
+      const StreamValidator pvalidator(sopt);
+      auto violations =
+          pvalidator.validate(periodic.arrivals, periodic.busy, pres);
+      if (options.compare_legacy) {
+        const core::StreamResult pref = core::run_stream_legacy(
+            periodic.arrivals, sopt, nullptr, periodic.busy);
+        diff_stream(pres, pref, &violations);
+      }
+      if (!violations.empty()) {
+        DstCounterexample cx;
+        cx.seed = seed;
+        cx.family = kFamilies[family];
+        cx.scenario = "stream (periodic deadlines + busy intervals)";
         cx.violations = std::move(violations);
         cx.reproducer = "seed=" + std::to_string(seed) + " family=" +
                         kFamilies[family] + " scenario=" + cx.scenario +

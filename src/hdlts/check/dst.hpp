@@ -22,6 +22,11 @@ struct DstOptions {
   std::uint64_t base_seed = 0x9d57u;
   /// Also run and validate the stream scheduler (both ITQ policies).
   bool include_stream = true;
+  /// Also run a periodic-arrival stream round per cell: jittered arrivals
+  /// with soft/hard deadlines and pre-occupied busy intervals, validated
+  /// through the deadline-aware StreamValidator and diffed against the
+  /// legacy stream path (requires include_stream).
+  bool include_periodic = true;
   /// Shrink counterexamples before reporting (drop failures, bisect tasks).
   bool minimize = true;
   /// Replay every cell through the legacy reference schedulers and require

@@ -290,6 +290,13 @@ std::vector<std::string> OnlineValidator::validate(
 std::vector<std::string> StreamValidator::validate(
     std::span<const core::StreamArrival> arrivals,
     const core::StreamResult& result) const {
+  return validate(arrivals, std::span<const core::BusyInterval>{}, result);
+}
+
+std::vector<std::string> StreamValidator::validate(
+    std::span<const core::StreamArrival> arrivals,
+    std::span<const core::BusyInterval> busy,
+    const core::StreamResult& result) const {
   std::vector<std::string> violations;
   auto complain = [&violations](std::string msg) {
     violations.push_back(std::move(msg));
@@ -379,6 +386,27 @@ std::vector<std::string> StreamValidator::validate(
 
   check_lane_exclusivity(lanes, violations);
 
+  // Pre-occupied busy intervals: the stream promised to schedule around
+  // them, so no execution may overlap one (positive-length overlap only,
+  // shared endpoints are fine).
+  for (const core::BusyInterval& b : busy) {
+    if (b.proc >= np) {
+      complain("busy interval names unknown processor " +
+               std::to_string(b.proc));
+      continue;
+    }
+    for (const core::StreamTaskExec& e : result.executions) {
+      if (e.proc != b.proc || e.workflow >= arrivals.size()) continue;
+      if (e.start + kEps < b.finish && b.start + kEps < e.finish) {
+        complain("workflow " + std::to_string(e.workflow) + " task " +
+                 std::to_string(e.task) + " [" + fmt(e.start) + ", " +
+                 fmt(e.finish) + ") overlaps a pre-occupied interval [" +
+                 fmt(b.start) + ", " + fmt(b.finish) + ") on processor " +
+                 std::to_string(b.proc));
+      }
+    }
+  }
+
   // Precedence inside each workflow (assignments are never revoked in the
   // stream model, so every parent has exactly one copy).
   for (const core::StreamTaskExec& e : result.executions) {
@@ -432,6 +460,45 @@ std::vector<std::string> StreamValidator::validate(
   if (std::abs(result.makespan - makespan) > kEps) {
     complain("stream makespan " + fmt(result.makespan) +
              " does not equal the max execution finish " + fmt(makespan));
+  }
+
+  // Deadline bookkeeping: the missed flags and the soft/hard counters must
+  // match a recomputation from the reported finishes. The comparison is the
+  // producer's own strict `finish > deadline` (an infinite default deadline
+  // is never missed), so no tolerance is involved.
+  if (result.deadline_missed.size() != arrivals.size()) {
+    complain("per-workflow deadline_missed array does not match the "
+             "arrival count");
+  } else {
+    std::size_t misses = 0;
+    std::size_t hard_misses = 0;
+    for (std::size_t w = 0; w < arrivals.size(); ++w) {
+      const bool expected = result.finish[w] > arrivals[w].deadline;
+      if (expected) {
+        ++misses;
+        if (arrivals[w].deadline_kind == core::DeadlineKind::kHard) {
+          ++hard_misses;
+        }
+      }
+      if ((result.deadline_missed[w] != 0) != expected) {
+        complain("workflow " + std::to_string(w) + " deadline flag says " +
+                 (result.deadline_missed[w] != 0 ? "missed" : "met") +
+                 " but finish " + fmt(result.finish[w]) +
+                 (expected ? " overruns" : " meets") + " its deadline " +
+                 fmt(arrivals[w].deadline));
+      }
+    }
+    if (result.deadline_misses != misses) {
+      complain("deadline miss count " + std::to_string(result.deadline_misses) +
+               " does not equal the " + std::to_string(misses) +
+               " missed deadlines");
+    }
+    if (result.hard_deadline_misses != hard_misses) {
+      complain("hard deadline miss count " +
+               std::to_string(result.hard_deadline_misses) +
+               " does not equal the " + std::to_string(hard_misses) +
+               " missed hard deadlines");
+    }
   }
 
   return violations;

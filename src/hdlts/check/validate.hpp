@@ -57,9 +57,14 @@ class OnlineValidator {
 ///  * EST floored at the workflow's arrival time;
 ///  * durations equal to the owning workload's W(v, p);
 ///  * per-processor exclusivity across workflows;
+///  * pre-occupied busy-interval exclusivity — no execution overlaps a
+///    pre-occupied lane interval (when `busy` is passed);
 ///  * precedence with communication delays inside each workflow (stream
 ///    assignments are never revoked, so plain parent-feeds-child);
-///  * per-workflow finish / flow-time / global makespan bookkeeping.
+///  * per-workflow finish / flow-time / global makespan bookkeeping;
+///  * deadline bookkeeping — the per-workflow missed flags and the
+///    soft/hard miss counters match a recomputation against the arrivals'
+///    deadlines.
 class StreamValidator {
  public:
   explicit StreamValidator(core::StreamOptions options = {})
@@ -68,6 +73,13 @@ class StreamValidator {
   /// `arrivals` must be the exact run_stream input.
   std::vector<std::string> validate(
       std::span<const core::StreamArrival> arrivals,
+      const core::StreamResult& result) const;
+
+  /// Same, for a stream run over a pre-occupied platform: `busy` must be
+  /// the exact busy-interval set passed to run_stream.
+  std::vector<std::string> validate(
+      std::span<const core::StreamArrival> arrivals,
+      std::span<const core::BusyInterval> busy,
       const core::StreamResult& result) const;
 
  private:

@@ -1,0 +1,39 @@
+// Energy- and deadline-aware HDLTS (multi-objective extension; the Mack et
+// al. arXiv 2112.08980 direction named in the ROADMAP). Identical to HDLTS
+// in phases 1 and 2 (entry duplication, PV-driven dynamic prioritization);
+// only the CPU selection rule changes: instead of pure min-EFT, the chosen
+// task goes to
+//
+//   argmin over eligible p of  EFT(v, p) + energy_weight * E_dyn(v, p)
+//
+// where E_dyn(v, p) = W(v, p) * (busy_power(p) - idle_power(p)) is the
+// cached sim::CompiledProblem::dyn_energy row and a processor is eligible
+// only when its EFT meets options().deadline (min-EFT fallback when none
+// do). At energy_weight == 0 the baseline scan runs verbatim, so the
+// configuration space degrades continuously to plain HDLTS — bit-identical
+// schedules at weight 0, enforced in tests/pareto_test.cpp.
+#pragma once
+
+#include "hdlts/core/hdlts.hpp"
+
+namespace hdlts::core {
+
+class EnergyAwareHdlts final : public Hdlts {
+ public:
+  /// Defaults to energy_defaults() — unit energy weight, no deadline.
+  explicit EnergyAwareHdlts(HdltsOptions options = energy_defaults())
+      : Hdlts(options) {}
+
+  std::string name() const override { return "hdlts-energy"; }
+
+  /// The registry preset behind "hdlts-energy": energy_weight = 1.0 (EFT
+  /// time units and joules enter the key at equal weight under the default
+  /// busy/idle powers), everything else baseline HDLTS.
+  static HdltsOptions energy_defaults() {
+    HdltsOptions o;
+    o.energy_weight = 1.0;
+    return o;
+  }
+};
+
+}  // namespace hdlts::core

@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 
+#include "hdlts/core/energy_aware.hpp"
 #include "hdlts/obs/metrics.hpp"
 #include "hdlts/obs/span.hpp"
 #include "hdlts/obs/trace.hpp"
@@ -68,6 +69,36 @@ struct ItqEntry {
   ItqEntry(graph::TaskId v, std::size_t np, PvKind kind)
       : task(v), ready(np), eft(np), pv(kind, np) {}
 };
+
+/// Weighted EFT+energy CPU selection (energy_weight != 0 only; the weight-0
+/// configuration never reaches this function — it runs the literal baseline
+/// min-EFT scan, so its schedules stay bit-identical to plain HDLTS).
+/// Among processors whose EFT meets the deadline, picks the argmin of
+/// EFT + weight * E_dyn, ties to the lower column index; when no processor
+/// meets the deadline, falls back to the baseline min-EFT scan. `dyn(pi)`
+/// must be the task's dynamic energy on column pi — W * (busy - idle), the
+/// exact product sim::CompiledProblem::dyn_energy caches, so the legacy and
+/// compiled paths read identical bits.
+template <typename DynEnergy>
+std::size_t select_weighted(const double* row, std::size_t np, double weight,
+                            double deadline, DynEnergy dyn) {
+  std::size_t best = np;
+  double best_key = 0.0;
+  for (std::size_t pi = 0; pi < np; ++pi) {
+    if (row[pi] > deadline) continue;
+    const double key = row[pi] + weight * dyn(pi);
+    if (best == np || key < best_key) {
+      best = pi;
+      best_key = key;
+    }
+  }
+  if (best != np) return best;
+  best = 0;
+  for (std::size_t pi = 1; pi < np; ++pi) {
+    if (row[pi] < row[best]) best = pi;
+  }
+  return best;
+}
 
 }  // namespace
 
@@ -321,8 +352,19 @@ void Hdlts::run_legacy(const sim::Problem& problem, HdltsTrace* trace,
     itq.pop_back();
     const std::vector<double>& row = chosen_entry.eft;
     std::size_t best = 0;
-    for (std::size_t pi = 1; pi < np; ++pi) {
-      if (row[pi] < row[best]) best = pi;
+    if (options_.energy_weight == 0.0) {
+      for (std::size_t pi = 1; pi < np; ++pi) {
+        if (row[pi] < row[best]) best = pi;
+      }
+    } else {
+      const platform::Platform& plat = problem.platform();
+      const graph::TaskId v = chosen_entry.task;
+      best = select_weighted(row.data(), np, options_.energy_weight,
+                             options_.deadline, [&](std::size_t pi) {
+                               const platform::ProcId p = procs[pi];
+                               return problem.exec_time(v, p) *
+                                      (plat.busy_power(p) - plat.idle_power(p));
+                             });
     }
     const platform::ProcId proc = procs[best];
     const double finish = row[best];
@@ -659,7 +701,13 @@ void Hdlts::run_compiled_impl(const sim::CompiledProblem& problem,
     // CPU selection from the cached row. The row is slot-indexed, so running
     // the argmin before the queue compaction below reads the same bits.
     const auto row = eft.subspan(slot * np, np);
-    const std::size_t best = simd_k.argmin(row.data(), np);
+    const std::size_t best =
+        options_.energy_weight == 0.0
+            ? simd_k.argmin(row.data(), np)
+            : select_weighted(row.data(), np, options_.energy_weight,
+                              options_.deadline, [&](std::size_t pi) {
+                                return problem.dyn_energy(chosen, procs[pi]);
+                              });
     const platform::ProcId proc = procs[best];
     const double finish = row[best];
     const double start = finish - problem.exec_time(chosen, proc);
@@ -748,6 +796,7 @@ sched::Registry default_registry() {
     o.duplicate_all_sources = true;
     return std::make_unique<Hdlts>(o);
   });
+  r.add("hdlts-energy", [] { return std::make_unique<EnergyAwareHdlts>(); });
   return r;
 }
 

@@ -28,6 +28,7 @@
 // docs/ALGORITHMS.md "Complexity & incremental state".
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "hdlts/core/pv.hpp"
@@ -70,6 +71,18 @@ struct HdltsOptions {
   /// order-independent). Small rounds stay serial because a team dispatch
   /// costs more than recomputing a few columns.
   std::size_t parallel_min_work = 4096;
+  /// Multi-objective extension (core::EnergyAwareHdlts): weight of dynamic
+  /// energy in the CPU selection rule, which becomes
+  ///   argmin over eligible p of EFT(v, p) + energy_weight * E_dyn(v, p)
+  /// with E_dyn the cached sim::CompiledProblem::dyn_energy row. At exactly
+  /// 0.0 the baseline min-EFT scan runs verbatim — the schedule is
+  /// bit-identical to plain HDLTS (enforced in tests/pareto_test.cpp).
+  double energy_weight = 0.0;
+  /// Absolute completion deadline for the weighted rule: processors whose
+  /// EFT would overrun it are ineligible; when every processor overruns
+  /// (or at energy_weight 0) selection falls back to pure min-EFT. +inf
+  /// (the default) makes every processor eligible.
+  double deadline = std::numeric_limits<double>::infinity();
 };
 
 /// One scheduling step, mirroring a row of the paper's Table I.
@@ -87,7 +100,7 @@ struct HdltsTrace {
   std::vector<platform::ProcId> duplicated_on;
 };
 
-class Hdlts final : public sched::Scheduler {
+class Hdlts : public sched::Scheduler {
  public:
   explicit Hdlts(HdltsOptions options = {}) : options_(options) {}
 
@@ -130,8 +143,9 @@ class Hdlts final : public sched::Scheduler {
   HdltsOptions options_;
 };
 
-/// A registry with the baselines plus "hdlts" and its ablation variants
-/// ("hdlts-nodup", "hdlts-static", "hdlts-popstddev", "hdlts-range").
+/// A registry with the baselines plus "hdlts", its ablation variants
+/// ("hdlts-nodup", "hdlts-static", "hdlts-popstddev", "hdlts-range", ...)
+/// and the multi-objective "hdlts-energy" (core::EnergyAwareHdlts).
 sched::Registry default_registry();
 
 /// The comparison set evaluated in the paper's §V, in reporting order:

@@ -1,0 +1,68 @@
+#include "hdlts/core/periodic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdlts/util/rng.hpp"
+
+namespace hdlts::core {
+
+namespace {
+
+/// Scheduler-independent makespan floor of one workload: the total
+/// minimum-processor work spread over the alive processors. Local on purpose
+/// — core cannot link metrics (metrics sits above svc, which sits above
+/// core), and the deadline only needs a consistent scale, not a tight bound.
+double min_work_per_proc(const sim::Workload& wl) {
+  const std::vector<platform::ProcId> alive = wl.platform.alive_procs();
+  if (alive.empty()) return 0.0;
+  double min_work = 0.0;
+  for (graph::TaskId v = 0; v < wl.graph.num_tasks(); ++v) {
+    double best = wl.costs(v, alive.front());
+    for (const platform::ProcId p : alive) {
+      best = std::min(best, wl.costs(v, p));
+    }
+    min_work += best;
+  }
+  return min_work / static_cast<double>(alive.size());
+}
+
+}  // namespace
+
+PeriodicStream make_periodic_stream(const PeriodicStreamParams& params,
+                                    const WorkflowFactory& factory,
+                                    std::uint64_t seed) {
+  HDLTS_EXPECTS(params.count > 0);
+  HDLTS_EXPECTS(params.period > 0.0);
+  util::Rng rng(util::derive_seed(seed, 0x9e0dULL));
+
+  PeriodicStream out;
+  out.arrivals.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    sim::Workload wl = factory(i, util::derive_seed(seed, 0x77fULL, i));
+    double arrival = params.period * static_cast<double>(i);
+    if (params.jitter > 0.0) {
+      arrival += rng.uniform(0.0, params.jitter * params.period);
+    }
+    double deadline = std::numeric_limits<double>::infinity();
+    DeadlineKind kind = DeadlineKind::kSoft;
+    if (params.deadline_factor > 0.0) {
+      deadline = arrival + params.deadline_factor * min_work_per_proc(wl);
+      kind = rng.chance(params.hard_fraction) ? DeadlineKind::kHard
+                                              : DeadlineKind::kSoft;
+    }
+    out.arrivals.push_back({std::move(wl), arrival, deadline, kind});
+  }
+
+  if (params.busy_fraction > 0.0) {
+    const std::size_t num_procs =
+        out.arrivals.front().workload.platform.num_procs();
+    for (platform::ProcId p = 0; p < num_procs; ++p) {
+      const double len = rng.uniform(0.0, params.busy_fraction * params.period);
+      if (len > 0.0) out.busy.push_back({p, 0.0, len});
+    }
+  }
+  return out;
+}
+
+}  // namespace hdlts::core

@@ -1,0 +1,50 @@
+// Periodic workflow arrivals with QoS metadata over a pre-occupied platform
+// (the arXiv 2506.12415 scenario shape): workflow i arrives around i * period
+// (plus bounded jitter), carries a soft or hard completion deadline derived
+// from its own minimum work, and the processors are not idle at time zero —
+// each lane may start with a pre-occupied busy prefix the Schedule respects.
+//
+// The generator is deterministic in (params, factory, seed): workflow i is
+// built from a seed derived as derive_seed(seed, tag, i), never from shared
+// generator state, so the arrival list is independent of evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hdlts/core/stream.hpp"
+
+namespace hdlts::core {
+
+/// Builds workflow `index` of the stream from its derived seed.
+using WorkflowFactory =
+    std::function<sim::Workload(std::size_t index, std::uint64_t seed)>;
+
+struct PeriodicStreamParams {
+  std::size_t count = 4;   ///< workflows in the stream
+  double period = 25.0;    ///< nominal inter-arrival gap
+  /// Uniform arrival jitter in [0, jitter * period); 0 = strictly periodic.
+  double jitter = 0.25;
+  /// Deadline slack: deadline = arrival + factor * (min work / alive procs).
+  /// <= 0 disables deadlines (every arrival keeps the +inf default).
+  double deadline_factor = 2.5;
+  /// Probability that a deadline-bearing workflow's deadline is hard.
+  double hard_fraction = 0.25;
+  /// Each lane starts pre-occupied for [0, U(0, busy_fraction * period));
+  /// <= 0 leaves the platform idle at time zero.
+  double busy_fraction = 0.5;
+};
+
+struct PeriodicStream {
+  std::vector<StreamArrival> arrivals;
+  std::vector<BusyInterval> busy;
+};
+
+/// Generates a deadline-bearing periodic arrival stream plus the platform's
+/// pre-occupied busy intervals. All workloads must target the same processor
+/// count (enforced later by run_stream's combiner).
+PeriodicStream make_periodic_stream(const PeriodicStreamParams& params,
+                                    const WorkflowFactory& factory,
+                                    std::uint64_t seed);
+
+}  // namespace hdlts::core

@@ -41,6 +41,9 @@ struct detail::FrozenStream {
   std::vector<std::size_t> offset;  // workflow -> first combined id
   std::vector<std::size_t> phase_order;  // workflow indices in arrival order
   std::vector<double> arrival;           // per workflow
+  std::vector<double> deadline;          // per workflow (absolute; +inf none)
+  std::vector<unsigned char> hard;       // per workflow: hard deadline?
+  std::vector<BusyInterval> busy;        // pre-occupied processor intervals
 };
 
 namespace {
@@ -50,7 +53,8 @@ namespace {
 /// reserved to the exact task/edge totals (and the CostTable constructor
 /// pre-sizes the full matrix), so the build does not realloc-churn through
 /// add_task/add_edge.
-detail::FrozenStream build_combined(std::span<const StreamArrival> arrivals) {
+detail::FrozenStream build_combined(std::span<const StreamArrival> arrivals,
+                                    std::span<const BusyInterval> busy) {
   if (arrivals.empty()) {
     throw InvalidArgument("workflow stream must not be empty");
   }
@@ -63,6 +67,18 @@ detail::FrozenStream build_combined(std::span<const StreamArrival> arrivals) {
     }
     if (a.arrival < 0.0) {
       throw InvalidArgument("arrival times must be non-negative");
+    }
+    if (a.deadline < a.arrival) {
+      throw InvalidArgument("deadline precedes the workflow's arrival");
+    }
+  }
+  for (const BusyInterval& b : busy) {
+    if (b.proc >= num_procs) {
+      throw InvalidArgument("busy interval uses unknown processor " +
+                            std::to_string(b.proc));
+    }
+    if (b.start < 0.0 || b.finish < b.start) {
+      throw InvalidArgument("busy interval is malformed");
     }
   }
 
@@ -80,6 +96,9 @@ detail::FrozenStream build_combined(std::span<const StreamArrival> arrivals) {
       std::vector<double>(total, 0.0),
       std::vector<std::size_t>(total, 0),
       std::move(offset),
+      {},
+      {},
+      {},
       {},
       {}};
   out.workload.graph.reserve(total, total_edges);
@@ -116,18 +135,51 @@ detail::FrozenStream build_combined(std::span<const StreamArrival> arrivals) {
               return arrivals[a].arrival < arrivals[b].arrival;
             });
   out.arrival.resize(arrivals.size());
+  out.deadline.resize(arrivals.size());
+  out.hard.resize(arrivals.size());
   for (std::size_t w = 0; w < arrivals.size(); ++w) {
     out.arrival[w] = arrivals[w].arrival;
+    out.deadline[w] = arrivals[w].deadline;
+    out.hard[w] =
+        arrivals[w].deadline_kind == DeadlineKind::kHard ? 1 : 0;
   }
+  out.busy.assign(busy.begin(), busy.end());
   return out;
+}
+
+/// Deadline bookkeeping shared by both implementations: compares each
+/// workflow's finish against its (absolute) deadline with strict >, so the
+/// compiled and legacy paths stay exactly == on every new field.
+void account_deadlines(const std::vector<double>& deadline,
+                       const std::vector<unsigned char>& hard,
+                       StreamResult& out) {
+  out.deadline_missed.assign(deadline.size(), 0);
+  out.deadline_misses = 0;
+  out.hard_deadline_misses = 0;
+  for (std::size_t w = 0; w < deadline.size(); ++w) {
+    if (out.finish[w] > deadline[w]) {
+      out.deadline_missed[w] = 1;
+      ++out.deadline_misses;
+      if (hard[w] != 0) ++out.hard_deadline_misses;
+    }
+  }
+}
+
+/// Pins the pre-occupied intervals onto a freshly reset schedule; the same
+/// call order in both paths keeps their timelines bit-identical.
+void apply_busy(std::span<const BusyInterval> busy, sim::Schedule& schedule) {
+  for (const BusyInterval& b : busy) {
+    schedule.place_busy(b.proc, b.start, b.finish);
+  }
 }
 
 }  // namespace
 
 StreamResult run_stream_legacy(std::span<const StreamArrival> arrivals,
                                const StreamOptions& options,
-                               obs::DecisionTrace* sink) {
-  const detail::FrozenStream frozen = build_combined(arrivals);
+                               obs::DecisionTrace* sink,
+                               std::span<const BusyInterval> busy) {
+  const detail::FrozenStream frozen = build_combined(arrivals, busy);
   const std::size_t num_procs = frozen.workload.platform.num_procs();
   const std::size_t total = frozen.workload.graph.num_tasks();
   const std::vector<double>& floor = frozen.floor;
@@ -143,6 +195,7 @@ StreamResult run_stream_legacy(std::span<const StreamArrival> arrivals,
   }
 
   sim::Schedule schedule(total, num_procs);
+  apply_busy(frozen.busy, schedule);
   std::vector<std::size_t> pending(total, 0);
   std::vector<bool> released(total, false);
   std::vector<ItqEntry> itq;
@@ -243,6 +296,7 @@ StreamResult run_stream_legacy(std::span<const StreamArrival> arrivals,
   for (std::size_t w = 0; w < arrivals.size(); ++w) {
     result.flow_time[w] = result.finish[w] - arrivals[w].arrival;
   }
+  account_deadlines(frozen.deadline, frozen.hard, result);
   std::sort(result.executions.begin(), result.executions.end(),
             [](const StreamTaskExec& a, const StreamTaskExec& b) {
               if (a.start != b.start) return a.start < b.start;
@@ -264,9 +318,11 @@ StreamHdlts::~StreamHdlts() = default;
 StreamHdlts::StreamHdlts(StreamHdlts&&) noexcept = default;
 StreamHdlts& StreamHdlts::operator=(StreamHdlts&&) noexcept = default;
 
-void StreamHdlts::compile(std::span<const StreamArrival> arrivals) {
+void StreamHdlts::compile(std::span<const StreamArrival> arrivals,
+                          std::span<const BusyInterval> busy) {
   problem_.reset();
-  frozen_ = std::make_unique<detail::FrozenStream>(build_combined(arrivals));
+  frozen_ =
+      std::make_unique<detail::FrozenStream>(build_combined(arrivals, busy));
   problem_.emplace(frozen_->workload);
 }
 
@@ -333,6 +389,7 @@ void StreamHdlts::run_into(StreamResult& out, obs::DecisionTrace* sink) {
 
   schedule_.reset(total, cp.num_procs());
   sim::Schedule& schedule = schedule_;
+  apply_busy(frozen.busy, schedule);
   std::size_t itq_size = 0;
   std::size_t free_size = 0;
   std::uint32_t next_slot = 0;
@@ -504,6 +561,7 @@ void StreamHdlts::run_into(StreamResult& out, obs::DecisionTrace* sink) {
   for (std::size_t w = 0; w < num_workflows; ++w) {
     out.flow_time[w] = out.finish[w] - frozen.arrival[w];
   }
+  account_deadlines(frozen.deadline, frozen.hard, out);
   std::sort(out.executions.begin(), out.executions.end(),
             [](const StreamTaskExec& a, const StreamTaskExec& b) {
               if (a.start != b.start) return a.start < b.start;
@@ -520,9 +578,12 @@ void StreamHdlts::run_into(StreamResult& out, obs::DecisionTrace* sink) {
 }
 
 StreamResult StreamHdlts::run(std::span<const StreamArrival> arrivals,
-                              obs::DecisionTrace* sink) {
-  if (!use_compiled_) return run_stream_legacy(arrivals, options_, sink);
-  compile(arrivals);
+                              obs::DecisionTrace* sink,
+                              std::span<const BusyInterval> busy) {
+  if (!use_compiled_) {
+    return run_stream_legacy(arrivals, options_, sink, busy);
+  }
+  compile(arrivals, busy);
   StreamResult out;
   run_into(out, sink);
   return out;
@@ -530,9 +591,10 @@ StreamResult StreamHdlts::run(std::span<const StreamArrival> arrivals,
 
 StreamResult run_stream(std::span<const StreamArrival> arrivals,
                         const StreamOptions& options,
-                        obs::DecisionTrace* sink) {
+                        obs::DecisionTrace* sink,
+                        std::span<const BusyInterval> busy) {
   StreamHdlts stream(options);
-  return stream.run(arrivals, sink);
+  return stream.run(arrivals, sink, busy);
 }
 
 }  // namespace hdlts::core

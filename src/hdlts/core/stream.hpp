@@ -22,6 +22,7 @@
 //     round — the reference the compiled path is tested against.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -41,12 +42,32 @@ namespace detail {
 struct FrozenStream;  // the merged combined-id-space workload (stream.cpp)
 }
 
+/// QoS class of a workflow's deadline (arXiv 2506.12415's soft/hard split).
+/// Accounting only — the non-clairvoyant stream scheduler never revokes
+/// work, so a hard miss is reported, not prevented.
+enum class DeadlineKind {
+  kSoft,  ///< a miss degrades quality of service
+  kHard,  ///< a miss is a correctness event (counted separately)
+};
+
 /// One workflow in the stream. Workloads must all target a platform with
 /// the same processor count; the stream runs on the platform of the first
 /// arrival (bandwidths of later platforms are ignored).
 struct StreamArrival {
   sim::Workload workload;
   double arrival = 0.0;
+  /// Absolute completion deadline; +infinity (the default) means none.
+  double deadline = std::numeric_limits<double>::infinity();
+  DeadlineKind deadline_kind = DeadlineKind::kSoft;
+};
+
+/// A pre-occupied interval on one processor: background load that exists
+/// before the stream starts (the platform is not idle at time zero). The
+/// Schedule respects these at init — no task may overlap one.
+struct BusyInterval {
+  platform::ProcId proc = platform::kInvalidProc;
+  double start = 0.0;
+  double finish = 0.0;
 };
 
 /// Which priority rule drives the shared ITQ.
@@ -69,6 +90,11 @@ struct StreamResult {
   std::vector<double> finish;
   /// Flow time of each workflow: finish - arrival.
   std::vector<double> flow_time;
+  /// Per workflow: 1 when finish exceeds the arrival's deadline.
+  std::vector<unsigned char> deadline_missed;
+  /// Count of missed deadlines (soft + hard) and the hard subset.
+  std::size_t deadline_misses = 0;
+  std::size_t hard_deadline_misses = 0;
   /// Completion of the whole stream.
   double makespan = 0.0;
 };
@@ -98,8 +124,11 @@ class StreamHdlts {
   void set_use_compiled(bool use) { use_compiled_ = use; }
 
   /// Validates the arrivals and freezes them into the combined problem.
-  /// Throws InvalidArgument exactly where run_stream would.
-  void compile(std::span<const StreamArrival> arrivals);
+  /// `busy` (optional) pins pre-occupied processor intervals that every
+  /// subsequent run_into() re-applies to the Schedule at init. Throws
+  /// InvalidArgument exactly where run_stream would.
+  void compile(std::span<const StreamArrival> arrivals,
+               std::span<const BusyInterval> busy = {});
   bool compiled() const { return problem_.has_value(); }
   /// The frozen combined workload (requires compiled()).
   const sim::Workload& combined() const;
@@ -111,7 +140,8 @@ class StreamHdlts {
   /// compile() + run_into() (or the legacy reference when use_compiled()
   /// is off).
   StreamResult run(std::span<const StreamArrival> arrivals,
-                   obs::DecisionTrace* sink = nullptr);
+                   obs::DecisionTrace* sink = nullptr,
+                   std::span<const BusyInterval> busy = {});
 
  private:
   StreamOptions options_;
@@ -131,13 +161,15 @@ class StreamHdlts {
 /// to run_stream_legacy.
 StreamResult run_stream(std::span<const StreamArrival> arrivals,
                         const StreamOptions& options = {},
-                        obs::DecisionTrace* sink = nullptr);
+                        obs::DecisionTrace* sink = nullptr,
+                        std::span<const BusyInterval> busy = {});
 
 /// Reference implementation: recomputes every EFT row and PV per round.
 /// Kept as the differential-testing oracle for the compiled path (and as
 /// the allocation negative control).
 StreamResult run_stream_legacy(std::span<const StreamArrival> arrivals,
                                const StreamOptions& options = {},
-                               obs::DecisionTrace* sink = nullptr);
+                               obs::DecisionTrace* sink = nullptr,
+                               std::span<const BusyInterval> busy = {});
 
 }  // namespace hdlts::core

@@ -2,23 +2,28 @@
 
 namespace hdlts::metrics {
 
-EnergyBreakdown energy(const sim::Problem& problem,
+EnergyBreakdown energy(const sim::CompiledProblem& problem,
                        const sim::Schedule& schedule) {
-  const auto& platform = problem.platform();
   EnergyBreakdown out;
   const double horizon = schedule.makespan();
   for (const platform::ProcId p : problem.procs()) {
     double busy_time = 0.0;
     for (const sim::Placement& pl : schedule.timeline(p)) {
+      if (pl.task == graph::kInvalidTask) continue;  // pre-occupied interval
       const double duration = pl.finish - pl.start;
-      const double joules = duration * platform.busy_power(p);
+      const double joules = duration * problem.busy_power(p);
       out.busy += joules;
       if (pl.duplicate) out.duplicate += joules;
       busy_time += duration;
     }
-    out.idle += (horizon - busy_time) * platform.idle_power(p);
+    out.idle += (horizon - busy_time) * problem.static_power(p);
   }
   return out;
+}
+
+EnergyBreakdown energy(const sim::Problem& problem,
+                       const sim::Schedule& schedule) {
+  return energy(problem.compiled(), schedule);
 }
 
 }  // namespace hdlts::metrics

@@ -5,7 +5,13 @@
 //
 // Model: every executed block (primary or duplicate) draws its processor's
 // busy power for its duration; for the rest of the schedule horizon
-// (through the makespan) each alive processor draws its idle power.
+// (through the makespan) each alive processor draws its idle power. The
+// power numbers are read from the cached sim::CompiledProblem energy rows —
+// the same table the energy-aware scheduler consults — so bench and metric
+// code never duplicates the W * (busy - idle) arithmetic. Equivalently:
+//   total() == sum(dyn_energy over placements)
+//              + makespan * total_static_power()
+// (pre-occupied busy intervals are background load and are excluded).
 #pragma once
 
 #include "hdlts/sim/problem.hpp"
@@ -22,6 +28,10 @@ struct EnergyBreakdown {
 
 /// Energy of a (partial or complete) schedule on the problem's platform.
 EnergyBreakdown energy(const sim::Problem& problem,
+                       const sim::Schedule& schedule);
+
+/// Same accounting straight off the compiled view (hot paths, bench grids).
+EnergyBreakdown energy(const sim::CompiledProblem& problem,
                        const sim::Schedule& schedule);
 
 }  // namespace hdlts::metrics

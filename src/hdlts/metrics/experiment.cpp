@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "hdlts/metrics/energy.hpp"
 #include "hdlts/metrics/metrics.hpp"
 #include "hdlts/obs/metrics.hpp"
 #include "hdlts/obs/span.hpp"
@@ -18,7 +19,21 @@ struct CellResult {
   double speedup = 0.0;
   double efficiency = 0.0;
   double makespan = 0.0;
+  double energy = 0.0;
+  bool missed_deadline = false;
 };
+
+/// Fills the multi-objective cell fields; one body for the serial and
+/// batched paths so their doubles match bitwise. The deadline is
+/// scheduler-independent (a function of the problem alone), so every
+/// scheduler races the same bound on a given repetition.
+void fill_objectives(const sim::Problem& problem, const sim::Schedule& schedule,
+                     double deadline_factor, CellResult& cell) {
+  cell.energy = energy(problem, schedule).total();
+  cell.missed_deadline =
+      deadline_factor > 0.0 &&
+      cell.makespan > deadline_factor * makespan_lower_bound(problem);
+}
 
 /// Shared rep runner: fills `cells` (rep-major) or records a failure.
 ///
@@ -60,6 +75,7 @@ void run_repetitions(const WorkloadFactory& factory,
         cell.speedup = speedup(problem, schedule);
         cell.efficiency = efficiency(problem, schedule);
         cell.makespan = schedule.makespan();
+        fill_objectives(problem, schedule, options.deadline_factor, cell);
       }
     } catch (const std::exception& e) {
       failures[rep] = e.what();
@@ -113,6 +129,7 @@ void run_repetitions(const WorkloadFactory& factory,
       cell.speedup = speedup(*r.problem, *r.schedule);
       cell.efficiency = efficiency(*r.problem, *r.schedule);
       cell.makespan = r.schedule->makespan();
+      fill_objectives(*r.problem, *r.schedule, options.deadline_factor, cell);
     };
     svc::BatchEngineOptions engine_options;
     engine_options.pool = options.pool;
@@ -182,6 +199,7 @@ std::vector<SchedulerSummary> compare_schedulers(
   for (std::size_t si = 0; si < ns; ++si) {
     out[si].scheduler = scheduler_names[si];
   }
+  std::vector<std::size_t> misses(ns, 0);
   for (std::size_t rep = 0; rep < reps; ++rep) {
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t si = 0; si < ns; ++si) {
@@ -194,10 +212,58 @@ std::vector<SchedulerSummary> compare_schedulers(
       s.speedup.add(cell.speedup);
       s.efficiency.add(cell.efficiency);
       s.makespan.add(cell.makespan);
+      s.energy.add(cell.energy);
       if (cell.makespan <= best * (1.0 + 1e-12)) ++s.wins;
+      if (cell.missed_deadline) ++misses[si];
     }
   }
+  for (std::size_t si = 0; si < ns; ++si) {
+    out[si].deadline_miss_rate =
+        static_cast<double>(misses[si]) / static_cast<double>(reps);
+  }
   return out;
+}
+
+bool pareto_dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.makespan <= b.makespan && a.energy <= b.energy &&
+                        a.miss_rate <= b.miss_rate;
+  const bool better = a.makespan < b.makespan || a.energy < b.energy ||
+                      a.miss_rate < b.miss_rate;
+  return no_worse && better;
+}
+
+std::vector<ParetoPoint> pareto_frontier(std::span<const ParetoPoint> points) {
+  std::vector<ParetoPoint> out;
+  for (const ParetoPoint& p : points) {
+    const bool dominated =
+        std::any_of(points.begin(), points.end(),
+                    [&](const ParetoPoint& q) { return pareto_dominates(q, p); });
+    if (!dominated) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [](const ParetoPoint& a,
+                                       const ParetoPoint& b) {
+    if (a.makespan != b.makespan) return a.makespan < b.makespan;
+    if (a.energy != b.energy) return a.energy < b.energy;
+    if (a.miss_rate != b.miss_rate) return a.miss_rate < b.miss_rate;
+    return a.scheduler < b.scheduler;
+  });
+  return out;
+}
+
+std::vector<ParetoPoint> pareto_points(
+    const std::vector<SchedulerSummary>& summaries) {
+  std::vector<ParetoPoint> out;
+  out.reserve(summaries.size());
+  for (const SchedulerSummary& s : summaries) {
+    out.push_back({s.scheduler, s.makespan.mean(), s.energy.mean(),
+                   s.deadline_miss_rate});
+  }
+  return out;
+}
+
+std::vector<ParetoPoint> pareto_frontier(
+    const std::vector<SchedulerSummary>& summaries) {
+  return pareto_frontier(std::span<const ParetoPoint>(pareto_points(summaries)));
 }
 
 std::vector<std::vector<double>> win_matrix(

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,9 +30,14 @@ struct SchedulerSummary {
   util::RunningStats speedup;
   util::RunningStats efficiency;
   util::RunningStats makespan;
+  /// Total schedule energy (metrics::energy(...).total()) per repetition.
+  util::RunningStats energy;
   /// Repetitions in which this scheduler produced the (possibly shared)
   /// best makespan among the compared set.
   std::size_t wins = 0;
+  /// Fraction of repetitions whose makespan overran the repetition's
+  /// deadline (CompareOptions::deadline_factor; 0 when deadlines are off).
+  double deadline_miss_rate = 0.0;
 };
 
 struct CompareOptions {
@@ -45,6 +51,12 @@ struct CompareOptions {
   /// sink must be thread-safe when `pool` is set (obs::RecordingTrace is);
   /// events from different repetitions interleave in arrival order.
   obs::DecisionTrace* trace_sink = nullptr;
+  /// Multi-objective mode: when > 0 every repetition gets the
+  /// scheduler-independent deadline deadline_factor * makespan_lower_bound
+  /// (the same bound for every scheduler on that repetition's problem), and
+  /// each summary's deadline_miss_rate reports how often the scheduler
+  /// overran it. 0 (the default) disables deadline accounting.
+  double deadline_factor = 0.0;
 };
 
 /// Runs every named scheduler from `registry` on `repetitions` workloads
@@ -64,5 +76,34 @@ std::vector<std::vector<double>> win_matrix(
     const WorkloadFactory& factory,
     const std::vector<std::string>& scheduler_names,
     const sched::Registry& registry, const CompareOptions& options = {});
+
+/// One scheduler's position in the makespan x energy x deadline-miss-rate
+/// objective space (all three minimized).
+struct ParetoPoint {
+  std::string scheduler;
+  double makespan = 0.0;
+  double energy = 0.0;
+  double miss_rate = 0.0;
+};
+
+/// True when `a` is at least as good as `b` on every objective and strictly
+/// better on at least one (the standard Pareto dominance order).
+bool pareto_dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// The non-dominated subset of `points`. Deterministic regardless of input
+/// order: membership is input-order independent (each point is tested
+/// against every other), and the result is sorted by makespan, then energy,
+/// then miss rate, then scheduler name. Objective-identical points are
+/// mutually non-dominated and all kept.
+std::vector<ParetoPoint> pareto_frontier(std::span<const ParetoPoint> points);
+
+/// Summaries -> objective points (mean makespan, mean energy, miss rate),
+/// in summary order.
+std::vector<ParetoPoint> pareto_points(
+    const std::vector<SchedulerSummary>& summaries);
+
+/// Convenience: pareto_frontier(pareto_points(summaries)).
+std::vector<ParetoPoint> pareto_frontier(
+    const std::vector<SchedulerSummary>& summaries);
 
 }  // namespace hdlts::metrics

@@ -67,6 +67,23 @@ CompiledProblem::CompiledProblem(const graph::TaskGraph& g,
             : 0;
   }
 
+  // Energy rows mirror the cost rows: dynamic energy is the verbatim
+  // W(v, p) * (busy - idle) product, static power the idle draw, both cached
+  // so scheduler hot loops never touch the platform's checked accessors.
+  static_power_.resize(num_procs_);
+  busy_power_.resize(num_procs_);
+  for (platform::ProcId p = 0; p < num_procs_; ++p) {
+    static_power_[p] = platform.idle_power(p);
+    busy_power_[p] = platform.busy_power(p);
+  }
+  dyn_energy_.resize(num_tasks_ * num_procs_);
+  for (graph::TaskId v = 0; v < num_tasks_; ++v) {
+    for (platform::ProcId p = 0; p < num_procs_; ++p) {
+      const std::size_t at = static_cast<std::size_t>(v) * num_procs_ + p;
+      dyn_energy_[at] = w_[at] * (busy_power_[p] - static_power_[p]);
+    }
+  }
+
   bw_.assign(num_procs_ * num_procs_, 1.0);  // diagonal unused
   for (platform::ProcId a = 0; a < num_procs_; ++a) {
     for (platform::ProcId b = 0; b < num_procs_; ++b) {
@@ -81,6 +98,9 @@ CompiledProblem::CompiledProblem(const graph::TaskGraph& g,
   for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
     column_of_[procs_[pi]] = pi;
   }
+
+  total_static_power_ = 0.0;
+  for (const platform::ProcId p : procs_) total_static_power_ += static_power_[p];
 }
 
 double CompiledProblem::edge_data(graph::TaskId u, graph::TaskId v) const {

@@ -90,6 +90,31 @@ class CompiledProblem {
   /// True when the task costs nothing on every processor (pseudo task).
   bool is_free_task(graph::TaskId v) const { return free_task_[v] != 0; }
 
+  // --- energy (cached from the platform power model) ---
+  //
+  // Decomposition: running task v on processor p costs
+  //   dyn_energy(v, p) = W(v, p) * (busy_power(p) - idle_power(p))
+  // joules above the baseline the processor burns anyway, and every alive
+  // processor additionally burns static_power(p) = idle_power(p) joules per
+  // unit time for the whole schedule horizon. Total schedule energy is then
+  //   sum(dyn_energy over placements) + makespan * total_static_power(),
+  // which equals the busy/idle split metrics::energy reports.
+
+  double dyn_energy(graph::TaskId v, platform::ProcId p) const {
+    return dyn_energy_[static_cast<std::size_t>(v) * num_procs_ + p];
+  }
+  /// Full dynamic-energy row of task v (all processors, alive or not).
+  std::span<const double> dyn_energy_row(graph::TaskId v) const {
+    return {dyn_energy_.data() + static_cast<std::size_t>(v) * num_procs_,
+            num_procs_};
+  }
+  /// Baseline (idle) draw of processor p, cached from the platform.
+  double static_power(platform::ProcId p) const { return static_power_[p]; }
+  /// Busy draw of processor p, cached from the platform.
+  double busy_power(platform::ProcId p) const { return busy_power_[p]; }
+  /// Sum of static_power over the alive processors.
+  double total_static_power() const { return total_static_power_; }
+
   // --- communication ---
 
   double bandwidth(platform::ProcId a, platform::ProcId b) const {
@@ -131,6 +156,11 @@ class CompiledProblem {
   std::vector<double> min_cost_;
   std::vector<double> stddev_cost_;
   std::vector<unsigned char> free_task_;
+
+  std::vector<double> dyn_energy_;     // V x P row-major
+  std::vector<double> static_power_;   // P (= platform idle power)
+  std::vector<double> busy_power_;     // P
+  double total_static_power_ = 0.0;    // over alive processors
 
   std::vector<platform::ProcId> procs_;
   std::vector<std::size_t> column_of_;

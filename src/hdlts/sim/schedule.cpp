@@ -40,7 +40,8 @@ void Schedule::place(graph::TaskId task, platform::ProcId proc, double start,
     throw InvalidArgument("task " + std::to_string(task) + " already placed");
   }
   const Placement pl{task, proc, start, finish, /*duplicate=*/false};
-  insert_into_timeline(pl);  // throws on overlap before mutating primary_
+  // Throws on overlap before mutating primary_.
+  insert_into_timeline(pl, /*counts_for_makespan=*/true);
   primary_[task] = pl;
   ++num_placed_;
 }
@@ -51,11 +52,21 @@ void Schedule::place_duplicate(graph::TaskId task, platform::ProcId proc,
     throw InvalidArgument("unknown task id " + std::to_string(task));
   }
   const Placement pl{task, proc, start, finish, /*duplicate=*/true};
-  insert_into_timeline(pl);
+  insert_into_timeline(pl, /*counts_for_makespan=*/true);
   dup_[task].push_back(pl);
 }
 
-void Schedule::insert_into_timeline(const Placement& pl) {
+void Schedule::place_busy(platform::ProcId proc, double start, double finish) {
+  // A pre-occupied interval blocks the lane but is not an execution: the
+  // makespan stays the completion time of the workload itself, so an idle
+  // tail on a background-loaded lane never inflates it.
+  const Placement pl{graph::kInvalidTask, proc, start, finish,
+                     /*duplicate=*/false};
+  insert_into_timeline(pl, /*counts_for_makespan=*/false);
+}
+
+void Schedule::insert_into_timeline(const Placement& pl,
+                                    bool counts_for_makespan) {
   if (pl.proc >= num_procs()) {
     throw InvalidArgument("unknown processor id " + std::to_string(pl.proc));
   }
@@ -91,7 +102,7 @@ void Schedule::insert_into_timeline(const Placement& pl) {
   line.insert(pos, pl);
   // All validation passed: fold the record into the incremental caches.
   avail_[pl.proc] = std::max(avail_[pl.proc], pl.finish);
-  makespan_ = std::max(makespan_, pl.finish);
+  if (counts_for_makespan) makespan_ = std::max(makespan_, pl.finish);
   change_log_.push_back(pl.proc);
 }
 
@@ -258,17 +269,21 @@ std::vector<std::string> Schedule::validate(const Problem& problem) const {
     for (const Placement& d : dup_[v]) check_placement(d, "duplicate");
   }
 
+  auto block_label = [](const Placement& pl) {
+    return pl.task == graph::kInvalidTask ? std::string("busy interval")
+                                          : std::to_string(pl.task);
+  };
   for (platform::ProcId p = 0; p < num_procs(); ++p) {
     const auto line = timeline(p);
     // Compare consecutive positive-length blocks; zero-duration records
-    // (pseudo tasks) occupy no time and cannot overlap anything.
+    // (pseudo tasks) occupy no time and cannot overlap anything. Busy
+    // intervals participate like any other block.
     const Placement* prev = nullptr;
     for (const Placement& pl : line) {
       if (pl.finish - pl.start <= kEps) continue;
       if (prev != nullptr && prev->finish > pl.start + kEps) {
         complain("overlap on processor " + std::to_string(p) + " between " +
-                 std::to_string(prev->task) + " and " +
-                 std::to_string(pl.task));
+                 block_label(*prev) + " and " + block_label(pl));
       }
       prev = &pl;
     }

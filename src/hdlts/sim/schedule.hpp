@@ -51,6 +51,14 @@ class Schedule {
   void place_duplicate(graph::TaskId task, platform::ProcId proc, double start,
                        double finish);
 
+  /// Marks [start, finish) on `proc` as pre-occupied background load (the
+  /// processor was not idle when scheduling began, e.g. a pre-occupied MEC
+  /// lane). Busy blocks take part in overlap checks, proc_available() and
+  /// earliest_start() exactly like placements — tasks cannot overlap them —
+  /// but they are not task executions: they carry graph::kInvalidTask, are
+  /// skipped by energy accounting, and do not advance the makespan.
+  void place_busy(platform::ProcId proc, double start, double finish);
+
   bool is_placed(graph::TaskId task) const;
   /// Primary placement; throws InvalidArgument when not placed.
   const Placement& placement(graph::TaskId task) const;
@@ -114,7 +122,7 @@ class Schedule {
   std::vector<std::string> validate(const Problem& problem) const;
 
  private:
-  void insert_into_timeline(const Placement& pl);
+  void insert_into_timeline(const Placement& pl, bool counts_for_makespan);
 
   std::vector<Placement> primary_;               // by task id
   std::vector<std::vector<Placement>> dup_;      // by task id

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "hdlts/core/energy_aware.hpp"
 #include "hdlts/core/hdlts.hpp"
 #include "hdlts/core/online.hpp"
 #include "hdlts/core/stream.hpp"
@@ -87,11 +88,25 @@ TEST(ZeroAlloc, HdltsCompiledSteadyStateAcrossOptions) {
   const sim::Problem problem(w);
   for (const char* name :
        {"hdlts", "hdlts-nodup", "hdlts-static", "hdlts-popstddev",
-        "hdlts-range", "hdlts-insertion", "hdlts-multidup"}) {
+        "hdlts-range", "hdlts-insertion", "hdlts-multidup", "hdlts-energy"}) {
     const auto scheduler = core::default_registry().make(name);
     SCOPED_TRACE(name);
     expect_zero_traffic(*scheduler, problem);
   }
+}
+
+TEST(ZeroAlloc, EnergyAwareWeightedSteadyState) {
+  // The weighted selection rule reads the compiled problem's cached
+  // dyn_energy rows — no per-decision buffers — so a weighted,
+  // deadline-constrained configuration keeps the zero-allocation contract.
+  const sim::Workload w = make_workload(300, 5, 11);
+  const sim::Problem problem(w);
+  core::HdltsOptions options;
+  options.energy_weight = 3.0;
+  options.deadline = 1e6;
+  const core::EnergyAwareHdlts hdlts(options);
+  ASSERT_TRUE(hdlts.use_compiled());
+  expect_zero_traffic(hdlts, problem);
 }
 
 TEST(ZeroAlloc, PortedListSchedulersSteadyState) {
@@ -272,6 +287,36 @@ TEST(ZeroAlloc, StreamCompiledSteadyState) {
     EXPECT_EQ(after.frees - before.frees, 0u);
     EXPECT_GT(out.makespan, 0.0);
   }
+}
+
+TEST(ZeroAlloc, StreamDeadlineBusySteadyState) {
+  // Deadlines and pre-occupied busy intervals ride the frozen stream:
+  // deadline accounting writes into recycled flag/counter storage and the
+  // busy intervals are re-applied from the frozen copy, so the steady-state
+  // zero-allocation contract survives the QoS extension.
+  std::vector<core::StreamArrival> arrivals;
+  arrivals.push_back({make_workload(120, 6, 23), 0.0, 40.0,
+                      core::DeadlineKind::kHard});
+  arrivals.push_back({make_workload(120, 6, 24), 30.0, 200.0,
+                      core::DeadlineKind::kSoft});
+  arrivals.push_back({make_workload(120, 6, 25), 70.0, 90.0,
+                      core::DeadlineKind::kSoft});
+  const std::vector<core::BusyInterval> busy = {{0, 0.0, 12.0},
+                                                {3, 5.0, 20.0}};
+  core::StreamHdlts scheduler;
+  scheduler.compile(arrivals, busy);
+  core::StreamResult out;
+  for (int i = 0; i < 2; ++i) {
+    scheduler.run_into(out);
+  }
+  const auto before = tests::alloc_counters();
+  scheduler.run_into(out);
+  const auto after = tests::alloc_counters();
+  EXPECT_EQ(after.allocations - before.allocations, 0u);
+  EXPECT_EQ(after.frees - before.frees, 0u);
+  EXPECT_GT(out.makespan, 0.0);
+  EXPECT_EQ(out.deadline_missed.size(), arrivals.size());
+  EXPECT_GT(out.deadline_misses, 0u);  // the 40.0 hard deadline is unmeetable
 }
 
 TEST(ZeroAlloc, OnlineLegacyPathStillAllocates) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hdlts/check/validate.hpp"
+#include "hdlts/core/periodic.hpp"
 #include "hdlts/workload/forkjoin.hpp"
 
 namespace hdlts {
@@ -279,6 +280,101 @@ TEST_F(StreamMutationTest, WrongDurationIsCaught) {
   ASSERT_TRUE(mutated_one);
   const auto violations = validate(mutated);
   EXPECT_TRUE(any_contains(violations, "W(v,p)")) << joined(violations);
+}
+
+/// Deadline/busy-interval scenario: a periodic stream with tight deadlines
+/// (so misses genuinely occur) on a pre-occupied platform. The unmutated
+/// result must be valid under the deadline-aware overload before any
+/// corruption is attempted.
+class DeadlineStreamMutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::PeriodicStreamParams params;
+    params.count = 4;
+    params.period = 8.0;
+    params.deadline_factor = 0.6;  // tight on purpose: some workflows miss
+    params.hard_fraction = 0.5;
+    params.busy_fraction = 0.9;
+    core::PeriodicStream stream = core::make_periodic_stream(
+        params,
+        [](std::size_t, std::uint64_t seed) {
+          workload::ForkJoinParams p;
+          p.chains = 3;
+          p.length = 3;
+          p.costs.num_procs = 3;
+          return workload::forkjoin_workload(p, seed);
+        },
+        7);
+    arrivals_ = std::move(stream.arrivals);
+    busy_ = std::move(stream.busy);
+    ASSERT_FALSE(busy_.empty());
+    result_ = core::run_stream(arrivals_, {}, nullptr, busy_);
+    ASSERT_GT(result_.deadline_misses, 0u)
+        << "scenario must actually miss a deadline";
+    const check::StreamValidator validator;
+    ASSERT_TRUE(validator.validate(arrivals_, busy_, result_).empty());
+  }
+
+  std::vector<std::string> validate(const core::StreamResult& mutated) const {
+    const check::StreamValidator validator;
+    return validator.validate(arrivals_, busy_, mutated);
+  }
+
+  std::vector<core::StreamArrival> arrivals_;
+  std::vector<core::BusyInterval> busy_;
+  core::StreamResult result_;
+};
+
+TEST_F(DeadlineStreamMutationTest, FlippedDeadlineFlagIsCaught) {
+  core::StreamResult mutated = result_;
+  ASSERT_FALSE(mutated.deadline_missed.empty());
+  mutated.deadline_missed[0] = mutated.deadline_missed[0] == 0 ? 1 : 0;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "deadline flag")) << joined(violations);
+}
+
+TEST_F(DeadlineStreamMutationTest, CorruptedMissCounterIsCaught) {
+  core::StreamResult mutated = result_;
+  mutated.deadline_misses += 1;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "deadline miss count"))
+      << joined(violations);
+}
+
+TEST_F(DeadlineStreamMutationTest, CorruptedHardMissCounterIsCaught) {
+  core::StreamResult mutated = result_;
+  mutated.hard_deadline_misses += 1;
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "hard deadline miss count"))
+      << joined(violations);
+}
+
+TEST_F(DeadlineStreamMutationTest, TruncatedDeadlineArrayIsCaught) {
+  core::StreamResult mutated = result_;
+  mutated.deadline_missed.pop_back();
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "deadline_missed array"))
+      << joined(violations);
+}
+
+TEST_F(DeadlineStreamMutationTest, ExecutionMovedIntoBusyIntervalIsCaught) {
+  core::StreamResult mutated = result_;
+  bool mutated_one = false;
+  for (const core::BusyInterval& b : busy_) {
+    for (core::StreamTaskExec& e : mutated.executions) {
+      if (e.proc != b.proc) continue;
+      const double duration = e.finish - e.start;
+      e.start = b.start;  // slide the block onto the pre-occupied interval
+      e.finish = b.start + duration;
+      mutated_one = true;
+      break;
+    }
+    if (mutated_one) break;
+  }
+  ASSERT_TRUE(mutated_one) << "no execution shares a processor with a "
+                              "busy interval";
+  const auto violations = validate(mutated);
+  EXPECT_TRUE(any_contains(violations, "pre-occupied")) << joined(violations);
 }
 
 }  // namespace

@@ -91,5 +91,97 @@ TEST(Energy, EmptyScheduleIsFree) {
   EXPECT_DOUBLE_EQ(e.total(), 0.0);
 }
 
+TEST(Energy, CompiledRowsMatchTheDefinition) {
+  // The shared cost model caches dyn_energy(v,p) = W(v,p) * (busy - idle)
+  // and static_power(p) = idle_power(p) at compile time — bit-identical to
+  // recomputing from the platform, which is what keeps the weighted
+  // selection rule equal between the legacy and compiled paths.
+  sim::Workload w = workload::classic_workload();
+  w.platform.set_power(0, 2.0, 0.5);
+  w.platform.set_power(2, 4.0, 1.0);
+  const sim::Problem p(w);
+  const sim::CompiledProblem& c = p.compiled();
+  double static_sum = 0.0;
+  for (platform::ProcId proc = 0; proc < w.platform.num_procs(); ++proc) {
+    EXPECT_EQ(c.static_power(proc), w.platform.idle_power(proc));
+    EXPECT_EQ(c.busy_power(proc), w.platform.busy_power(proc));
+    static_sum += w.platform.idle_power(proc);
+    for (graph::TaskId v = 0; v < w.graph.num_tasks(); ++v) {
+      EXPECT_EQ(c.dyn_energy(v, proc),
+                w.costs(v, proc) * (w.platform.busy_power(proc) -
+                                    w.platform.idle_power(proc)));
+    }
+  }
+  EXPECT_EQ(c.total_static_power(), static_sum);
+}
+
+TEST(Energy, TotalDecomposesIntoDynamicPlusStatic) {
+  // total == sum(dyn over every placed block) + makespan * sum(static):
+  // the algebraic identity behind the energy-aware objective, on a schedule
+  // that includes duplicates.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  const sim::CompiledProblem& c = p.compiled();
+  double dyn = 0.0;
+  for (graph::TaskId v = 0; v < p.num_tasks(); ++v) {
+    dyn += c.dyn_energy(v, s.placement(v).proc);
+    for (const sim::Placement& d : s.duplicates(v)) {
+      dyn += c.dyn_energy(v, d.proc);
+    }
+  }
+  const EnergyBreakdown e = energy(p, s);
+  EXPECT_NEAR(e.total(), dyn + s.makespan() * c.total_static_power(), 1e-9);
+}
+
+TEST(Energy, CompiledOverloadMatchesProblemOverload) {
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  const EnergyBreakdown a = energy(p, s);
+  const EnergyBreakdown b = energy(p.compiled(), s);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.idle, b.idle);
+  EXPECT_EQ(a.duplicate, b.duplicate);
+}
+
+TEST(Energy, BusyIntervalsCarryNoEnergy) {
+  // Pre-occupied intervals belong to someone else's accounting: placing one
+  // must not change the schedule's energy (and must not stretch the
+  // makespan the idle term integrates over).
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  const sim::Schedule s = core::Hdlts().schedule(p);
+  sim::Schedule with = s;
+  with.place_busy(0, s.makespan(), s.makespan() + 100.0);
+  EXPECT_EQ(with.makespan(), s.makespan());
+  const EnergyBreakdown a = energy(p, s);
+  const EnergyBreakdown b = energy(p, with);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.idle, b.idle);
+  EXPECT_EQ(a.total(), b.total());
+}
+
+TEST(Energy, WeightedSelectionCompiledMatchesLegacy) {
+  // The weighted rule computes the dynamic-energy term as the same
+  // W * (busy - idle) product on both paths, so a weighted scheduler must
+  // stay bit-identical between schedule() (compiled) and schedule_traced()
+  // (legacy) just like the baseline does.
+  const sim::Workload w = workload::classic_workload();
+  const sim::Problem p(w);
+  core::HdltsOptions options;
+  options.energy_weight = 2.5;
+  options.deadline = 120.0;
+  const core::Hdlts scheduler(options);
+  const sim::Schedule compiled = scheduler.schedule(p);
+  const sim::Schedule legacy = scheduler.schedule_traced(p, nullptr);
+  EXPECT_EQ(compiled.makespan(), legacy.makespan());
+  for (graph::TaskId v = 0; v < p.num_tasks(); ++v) {
+    EXPECT_EQ(compiled.placement(v).proc, legacy.placement(v).proc);
+    EXPECT_EQ(compiled.placement(v).start, legacy.placement(v).start);
+    EXPECT_EQ(compiled.placement(v).finish, legacy.placement(v).finish);
+  }
+}
+
 }  // namespace
 }  // namespace hdlts::metrics
